@@ -1,0 +1,425 @@
+//! Bit-plane vector register file storage.
+//!
+//! Bitwise PUM datapaths store each vector register bit-sliced: bit *b* of
+//! every lane lives in the same physical row/column, and a micro-op (NOR,
+//! triple-row-activate majority, bitline AND, ...) applies to **all lanes
+//! of one bit-plane at once**. [`BitPlaneVrf`] reproduces that layout
+//! exactly: a plane is a packed bitvector over lanes, and micro-ops are
+//! whole-plane boolean operations — the column-parallel physics of PUM.
+
+use crate::DATA_BITS;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one bit-plane of a VRF, as addressed by micro-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Plane {
+    /// Bit `bit` of architectural vector register `reg`.
+    Reg {
+        /// Register index within the VRF.
+        reg: u8,
+        /// Bit position within each 64-bit element.
+        bit: u8,
+    },
+    /// A scratch plane (buffer rows used by recipes for temporaries;
+    /// RACER buffers, Ambit designated compute rows, DC sense-amp latches).
+    Scratch(u16),
+    /// The conditional register: one bit per lane, written by comparison
+    /// instructions. Writes are lane-masked.
+    Cond,
+    /// The mask register: one bit per lane, gating writes to architectural
+    /// planes. Writes to this plane are *not* masked (otherwise lanes could
+    /// never be re-enabled).
+    Mask,
+    /// A preset constant row (read-only), as used by e.g. Ambit to turn a
+    /// majority vote into AND (`Const(false)`) or OR (`Const(true)`).
+    Const(bool),
+}
+
+impl fmt::Display for Plane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plane::Reg { reg, bit } => write!(f, "r{reg}.{bit}"),
+            Plane::Scratch(i) => write!(f, "s{i}"),
+            Plane::Cond => f.write_str("cond"),
+            Plane::Mask => f.write_str("mask"),
+            Plane::Const(b) => write!(f, "const{}", u8::from(*b)),
+        }
+    }
+}
+
+/// Number of scratch planes available to recipes.
+pub const SCRATCH_PLANES: usize = 24;
+
+/// A bit-plane vector register file: `regs × 64` architectural planes plus
+/// scratch, conditional, mask and constant planes, each a packed bitvector
+/// over `lanes`.
+///
+/// # Example
+///
+/// ```
+/// use pum_backend::BitPlaneVrf;
+///
+/// let mut vrf = BitPlaneVrf::new(64, 8);
+/// vrf.write_lane_values(0, &[7; 64]);
+/// assert_eq!(vrf.read_lane_values(0)[5], 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitPlaneVrf {
+    lanes: usize,
+    regs: usize,
+    words: usize,
+    /// Flat plane storage: `(regs*64 + SCRATCH + cond + mask + const0/1)`
+    /// planes of `words` u64 words each.
+    storage: Vec<u64>,
+    /// When `false`, writes to architectural planes ignore the mask
+    /// register (used while servicing `GETMASK`, which must copy all bits).
+    mask_enabled: bool,
+}
+
+impl BitPlaneVrf {
+    /// Creates a VRF with `lanes` lanes and `regs` architectural vector
+    /// registers, all zeroed, mask fully enabled (all lanes on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`, `regs == 0`, or `regs > 64`.
+    pub fn new(lanes: usize, regs: usize) -> Self {
+        assert!(lanes > 0, "a VRF needs at least one lane");
+        assert!(regs > 0 && regs <= 64, "register count must be in 1..=64");
+        let words = lanes.div_ceil(64);
+        let n_planes = regs * DATA_BITS as usize + SCRATCH_PLANES + 4;
+        let mut vrf = Self {
+            lanes,
+            regs,
+            words,
+            storage: vec![0u64; n_planes * words],
+            mask_enabled: true,
+        };
+        // Mask starts all-enabled; const1 plane all ones.
+        vrf.fill_plane(Plane::Mask, true);
+        let c1 = vrf.plane_index(Plane::Const(true));
+        vrf.fill_raw(c1, true);
+        vrf
+    }
+
+    /// Number of lanes (vector elements) in this VRF.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of architectural vector registers.
+    pub fn regs(&self) -> usize {
+        self.regs
+    }
+
+    fn plane_index(&self, plane: Plane) -> usize {
+        let arch = self.regs * DATA_BITS as usize;
+        match plane {
+            Plane::Reg { reg, bit } => {
+                let (reg, bit) = (reg as usize, bit as usize);
+                assert!(reg < self.regs, "register {reg} out of range (VRF has {})", self.regs);
+                assert!(bit < DATA_BITS as usize, "bit {bit} out of range");
+                reg * DATA_BITS as usize + bit
+            }
+            Plane::Scratch(i) => {
+                assert!((i as usize) < SCRATCH_PLANES, "scratch plane {i} out of range");
+                arch + i as usize
+            }
+            Plane::Cond => arch + SCRATCH_PLANES,
+            Plane::Mask => arch + SCRATCH_PLANES + 1,
+            Plane::Const(false) => arch + SCRATCH_PLANES + 2,
+            Plane::Const(true) => arch + SCRATCH_PLANES + 3,
+        }
+    }
+
+    fn plane(&self, plane: Plane) -> &[u64] {
+        let i = self.plane_index(plane);
+        &self.storage[i * self.words..(i + 1) * self.words]
+    }
+
+    fn fill_raw(&mut self, index: usize, value: bool) {
+        let word = if value { !0u64 } else { 0u64 };
+        self.storage[index * self.words..(index + 1) * self.words].fill(word);
+        if value {
+            self.trim_tail(index);
+        }
+    }
+
+    /// Zeroes bits beyond `lanes` in the last word of a plane so that
+    /// whole-plane reductions (e.g. "any lane set") stay exact.
+    fn trim_tail(&mut self, index: usize) {
+        let extra = self.words * 64 - self.lanes;
+        if extra > 0 {
+            let last = index * self.words + self.words - 1;
+            self.storage[last] &= !0u64 >> extra;
+        }
+    }
+
+    /// True if writes to `plane` must be gated by the mask register.
+    fn is_masked_target(plane: Plane) -> bool {
+        matches!(plane, Plane::Reg { .. } | Plane::Cond)
+    }
+
+    /// Writes `new` into `out`, honouring lane masking when `out` is an
+    /// architectural or conditional plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is a constant plane.
+    fn commit(&mut self, out: Plane, new: Vec<u64>) {
+        assert!(!matches!(out, Plane::Const(_)), "constant planes are read-only");
+        let masked = self.mask_enabled && Self::is_masked_target(out);
+        let out_idx = self.plane_index(out);
+        if masked {
+            let mask_idx = self.plane_index(Plane::Mask);
+            for w in 0..self.words {
+                let m = self.storage[mask_idx * self.words + w];
+                let old = self.storage[out_idx * self.words + w];
+                self.storage[out_idx * self.words + w] = (new[w] & m) | (old & !m);
+            }
+        } else {
+            self.storage[out_idx * self.words..(out_idx + 1) * self.words]
+                .copy_from_slice(&new);
+        }
+        self.trim_tail(out_idx);
+    }
+
+    /// Applies a two-input boolean plane operation: `out = f(a, b)`.
+    pub fn apply2(&mut self, a: Plane, b: Plane, out: Plane, f: impl Fn(u64, u64) -> u64) {
+        let av = self.plane(a).to_vec();
+        let bv = self.plane(b);
+        let new: Vec<u64> = av.iter().zip(bv).map(|(&x, &y)| f(x, y)).collect();
+        self.commit(out, new);
+    }
+
+    /// Applies a three-input boolean plane operation: `out = f(a, b, c)`.
+    pub fn apply3(
+        &mut self,
+        a: Plane,
+        b: Plane,
+        c: Plane,
+        out: Plane,
+        f: impl Fn(u64, u64, u64) -> u64,
+    ) {
+        let av = self.plane(a).to_vec();
+        let bv = self.plane(b).to_vec();
+        let cv = self.plane(c);
+        let new: Vec<u64> =
+            av.iter().zip(&bv).zip(cv).map(|((&x, &y), &z)| f(x, y, z)).collect();
+        self.commit(out, new);
+    }
+
+    /// Copies plane `a` into `out` (a row-copy / buffered copy micro-op).
+    pub fn copy_plane(&mut self, a: Plane, out: Plane) {
+        let new = self.plane(a).to_vec();
+        self.commit(out, new);
+    }
+
+    /// Fills `out` with a constant bit (a preset / initialize micro-op).
+    pub fn fill_plane(&mut self, out: Plane, value: bool) {
+        let new = vec![if value { !0u64 } else { 0u64 }; self.words];
+        self.commit(out, new);
+    }
+
+    /// Reads one lane's bit from a plane.
+    pub fn lane_bit(&self, plane: Plane, lane: usize) -> bool {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        (self.plane(plane)[lane / 64] >> (lane % 64)) & 1 == 1
+    }
+
+    /// True if any lane of `plane` is set (the EFI's "any lane enabled"
+    /// reduction used by `JUMP_COND`).
+    pub fn any_lane_set(&self, plane: Plane) -> bool {
+        self.plane(plane).iter().any(|&w| w != 0)
+    }
+
+    /// Number of set lanes in `plane`.
+    pub fn count_lanes_set(&self, plane: Plane) -> usize {
+        self.plane(plane).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Reads the packed bitvector of a plane (words of 64 lanes).
+    pub fn plane_words(&self, plane: Plane) -> &[u64] {
+        self.plane(plane)
+    }
+
+    /// Overwrites a plane with packed lane bits, bypassing the mask (used
+    /// by the control path and by DMA-style transfers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from the plane word count.
+    pub fn set_plane_words(&mut self, plane: Plane, words: &[u64]) {
+        assert_eq!(words.len(), self.words, "plane word count mismatch");
+        let idx = self.plane_index(plane);
+        self.storage[idx * self.words..(idx + 1) * self.words].copy_from_slice(words);
+        self.trim_tail(idx);
+    }
+
+    /// Temporarily disables lane masking (control-path `GETMASK` path).
+    pub fn set_mask_enabled(&mut self, enabled: bool) {
+        self.mask_enabled = enabled;
+    }
+
+    /// Whether lane masking currently applies to architectural writes.
+    pub fn mask_enabled(&self) -> bool {
+        self.mask_enabled
+    }
+
+    /// Writes 64-bit element values into register `reg`, one per lane.
+    /// Bypasses the mask (this is the host/DMA data-load path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != lanes`.
+    pub fn write_lane_values(&mut self, reg: u8, values: &[u64]) {
+        assert_eq!(values.len(), self.lanes, "one value per lane required");
+        for bit in 0..DATA_BITS as u8 {
+            let idx = self.plane_index(Plane::Reg { reg, bit });
+            let base = idx * self.words;
+            for w in 0..self.words {
+                let mut packed = 0u64;
+                for l in 0..64 {
+                    let lane = w * 64 + l;
+                    if lane < self.lanes && (values[lane] >> bit) & 1 == 1 {
+                        packed |= 1 << l;
+                    }
+                }
+                self.storage[base + w] = packed;
+            }
+        }
+    }
+
+    /// Reads register `reg` back as 64-bit element values, one per lane.
+    pub fn read_lane_values(&self, reg: u8) -> Vec<u64> {
+        let mut values = vec![0u64; self.lanes];
+        for bit in 0..DATA_BITS as u8 {
+            let plane = self.plane(Plane::Reg { reg, bit });
+            for (lane, value) in values.iter_mut().enumerate() {
+                if (plane[lane / 64] >> (lane % 64)) & 1 == 1 {
+                    *value |= 1 << bit;
+                }
+            }
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_value_roundtrip() {
+        let mut vrf = BitPlaneVrf::new(100, 4);
+        let values: Vec<u64> =
+            (0..100).map(|i| (i as u64).wrapping_mul(0x1234_5678_9abc_def1)).collect();
+        vrf.write_lane_values(2, &values);
+        assert_eq!(vrf.read_lane_values(2), values);
+    }
+
+    #[test]
+    fn apply2_is_whole_plane_parallel() {
+        let mut vrf = BitPlaneVrf::new(130, 2);
+        let a: Vec<u64> = (0..130).map(|i| i as u64 & 1).collect();
+        let b: Vec<u64> = (0..130).map(|i| (i as u64 >> 1) & 1).collect();
+        vrf.write_lane_values(0, &a);
+        vrf.write_lane_values(1, &b);
+        // NOR of bit 0 planes.
+        vrf.apply2(
+            Plane::Reg { reg: 0, bit: 0 },
+            Plane::Reg { reg: 1, bit: 0 },
+            Plane::Scratch(0),
+            |x, y| !(x | y),
+        );
+        for lane in 0..130 {
+            let expect = !(a[lane] | b[lane]) & 1 == 1;
+            assert_eq!(vrf.lane_bit(Plane::Scratch(0), lane), expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn masked_writes_preserve_disabled_lanes() {
+        let mut vrf = BitPlaneVrf::new(64, 2);
+        vrf.write_lane_values(0, &[5u64; 64]);
+        // Disable odd lanes.
+        let mask: Vec<u64> = (0..64).map(|i| (i % 2 == 0) as u64).collect();
+        let mut packed = 0u64;
+        for (i, &m) in mask.iter().enumerate() {
+            packed |= m << i;
+        }
+        vrf.set_plane_words(Plane::Mask, &[packed]);
+        // Write constant 1 into bit 1 of reg 0 (value +2 where enabled).
+        vrf.fill_plane(Plane::Reg { reg: 0, bit: 1 }, true);
+        let vals = vrf.read_lane_values(0);
+        for (lane, &v) in vals.iter().enumerate() {
+            if lane % 2 == 0 {
+                assert_eq!(v, 7, "enabled lane {lane}");
+            } else {
+                assert_eq!(v, 5, "disabled lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_plane_writes_are_never_masked() {
+        let mut vrf = BitPlaneVrf::new(64, 1);
+        vrf.fill_plane(Plane::Mask, false); // all lanes off
+        vrf.fill_plane(Plane::Mask, true); // must still re-enable
+        assert_eq!(vrf.count_lanes_set(Plane::Mask), 64);
+    }
+
+    #[test]
+    fn const_planes_hold_their_values() {
+        let vrf = BitPlaneVrf::new(70, 1);
+        assert_eq!(vrf.count_lanes_set(Plane::Const(true)), 70);
+        assert_eq!(vrf.count_lanes_set(Plane::Const(false)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn const_planes_reject_writes() {
+        let mut vrf = BitPlaneVrf::new(64, 1);
+        vrf.fill_plane(Plane::Const(false), true);
+    }
+
+    #[test]
+    fn any_and_count_reductions_ignore_tail_bits() {
+        let mut vrf = BitPlaneVrf::new(65, 1);
+        vrf.fill_plane(Plane::Scratch(0), true);
+        assert_eq!(vrf.count_lanes_set(Plane::Scratch(0)), 65);
+        vrf.fill_plane(Plane::Scratch(0), false);
+        assert!(!vrf.any_lane_set(Plane::Scratch(0)));
+    }
+
+    #[test]
+    fn getmask_path_bypasses_masking() {
+        let mut vrf = BitPlaneVrf::new(64, 1);
+        vrf.set_plane_words(Plane::Mask, &[0x00ff_00ff_00ff_00ffu64]);
+        vrf.set_mask_enabled(false);
+        // Copy the mask into an architectural plane: all bits must copy.
+        vrf.copy_plane(Plane::Mask, Plane::Reg { reg: 0, bit: 0 });
+        vrf.set_mask_enabled(true);
+        assert_eq!(vrf.plane_words(Plane::Reg { reg: 0, bit: 0 })[0], 0x00ff_00ff_00ff_00ff);
+    }
+
+    #[test]
+    fn cond_writes_respect_mask() {
+        let mut vrf = BitPlaneVrf::new(64, 1);
+        vrf.fill_plane(Plane::Cond, true);
+        vrf.set_plane_words(Plane::Mask, &[0xffff_0000_0000_0000u64]);
+        vrf.fill_plane(Plane::Cond, false);
+        // Only the 16 enabled lanes were cleared.
+        assert_eq!(vrf.count_lanes_set(Plane::Cond), 48);
+    }
+
+    #[test]
+    fn display_plane_names() {
+        assert_eq!(Plane::Reg { reg: 3, bit: 7 }.to_string(), "r3.7");
+        assert_eq!(Plane::Scratch(2).to_string(), "s2");
+        assert_eq!(Plane::Cond.to_string(), "cond");
+        assert_eq!(Plane::Mask.to_string(), "mask");
+        assert_eq!(Plane::Const(true).to_string(), "const1");
+    }
+}

@@ -1,0 +1,68 @@
+//! # pum-backend — bitwise processing-using-memory datapath models
+//!
+//! The substrates underneath the MPU front end (paper §II, §IV): bit-plane
+//! vector register files, per-technology micro-operations, instruction →
+//! micro-op recipe synthesis, and calibrated models of the three evaluated
+//! datapaths (ReRAM RACER, DRAM MIMDRAM, SRAM Duality Cache), plus the
+//! power-density (Fig. 5), front-end area/power (Fig. 11), and Table I
+//! feature-matrix models.
+//!
+//! The functional model is *gate-exact*: executing a recipe's micro-ops on
+//! a [`BitPlaneVrf`] performs the actual column-parallel boolean physics of
+//! the memory (NOR voltage division, triple-row-activation majority votes,
+//! bitline logic), and property tests confirm the results match the ISA's
+//! architectural semantics for all three logic families.
+//!
+//! # Example: run an ADD through RACER's NOR-only datapath
+//!
+//! ```
+//! use mpu_isa::{BinaryOp, Instruction, RegId};
+//! use pum_backend::{BitPlaneVrf, DatapathModel};
+//!
+//! let racer = DatapathModel::racer();
+//! let add = Instruction::Binary {
+//!     op: BinaryOp::Add,
+//!     rs: RegId(0),
+//!     rt: RegId(1),
+//!     rd: RegId(2),
+//! };
+//! let recipe = racer.recipe(&add).expect("ADD is a compute instruction");
+//!
+//! let mut vrf = BitPlaneVrf::new(64, 16);
+//! vrf.write_lane_values(0, &[7; 64]);
+//! vrf.write_lane_values(1, &[35; 64]);
+//! for uop in recipe.ops() {
+//!     uop.apply(&mut vrf); // every micro-op is a NOR / copy / preset
+//! }
+//! assert_eq!(vrf.read_lane_values(2)[0], 42);
+//!
+//! // And the model prices it: issue cycles + energy across the lanes.
+//! let cycles = racer.recipe_cycles(&recipe);
+//! let picojoules = racer.recipe_energy_pj(&recipe, 64);
+//! assert!(cycles > 0 && picojoules > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+mod bitplane;
+mod datapath;
+mod features;
+mod logic;
+mod microop;
+pub mod power;
+pub mod recipe;
+
+pub use bitplane::{BitPlaneVrf, Plane, SCRATCH_PLANES};
+pub use datapath::{DatapathBuilder, DatapathKind, DatapathModel, Geometry};
+pub use features::{supports, Feature, Platform};
+pub use logic::{GateBuilder, LogicFamily};
+pub use microop::{MicroOp, MicroOpKind};
+pub use recipe::{build_recipe, semantics, Recipe, RecipeCtx};
+
+/// Bits per vector data element (mirrors [`mpu_isa::DATA_BITS`]).
+pub const DATA_BITS: u32 = mpu_isa::DATA_BITS;
+
+/// The MPU clock frequency (paper §VII: 1 GHz synthesized control path).
+pub const CLOCK_HZ: f64 = 1.0e9;

@@ -1,0 +1,535 @@
+//! Gate synthesis on top of technology micro-ops.
+//!
+//! Every backend natively supports one *logic family* (paper §II-B):
+//!
+//! * [`LogicFamily::Nor`] — ReRAM crossbars (RACER/OSCAR): NOR is the only
+//!   combinational primitive, plus buffered copies. Full adders use the
+//!   classic 9-NOR netlist.
+//! * [`LogicFamily::Maj`] — DRAM multiple-row activation (MIMDRAM/Ambit):
+//!   triple-row-activate majority votes, specialized to AND/OR with preset
+//!   rows, plus dual-contact-cell NOT and row copies.
+//! * [`LogicFamily::Bitline`] — SRAM bitline computing (Duality Cache):
+//!   native AND/OR/XOR/NOT plus a single-operation CMOS full adder.
+//!
+//! [`GateBuilder`] emits micro-op sequences for common gates using only the
+//! family's primitives; `crate::recipe` composes these into full
+//! instruction recipes. Tests verify each synthesized gate against its
+//! boolean truth table *by actually executing the micro-ops*.
+
+use crate::bitplane::{Plane, SCRATCH_PLANES};
+use crate::microop::{MicroOp, MicroOpKind};
+use serde::{Deserialize, Serialize};
+
+/// The combinational primitive set a backend exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicFamily {
+    /// NOR-complete (ReRAM crossbars).
+    Nor,
+    /// Majority/NOT-complete (DRAM triple-row activation).
+    Maj,
+    /// AND/OR/XOR/NOT plus CMOS full adder (SRAM bitline).
+    Bitline,
+}
+
+impl LogicFamily {
+    /// The micro-op kinds this family's synthesized recipes may contain.
+    pub fn supported_kinds(self) -> &'static [MicroOpKind] {
+        match self {
+            LogicFamily::Nor => {
+                &[MicroOpKind::Nor, MicroOpKind::Copy, MicroOpKind::Set]
+            }
+            LogicFamily::Maj => &[
+                MicroOpKind::Tra,
+                MicroOpKind::Not,
+                MicroOpKind::Copy,
+                MicroOpKind::Set,
+            ],
+            LogicFamily::Bitline => &[
+                MicroOpKind::And,
+                MicroOpKind::Or,
+                MicroOpKind::Xor,
+                MicroOpKind::Not,
+                MicroOpKind::FullAdd,
+                MicroOpKind::Copy,
+                MicroOpKind::Set,
+            ],
+        }
+    }
+}
+
+/// Emits micro-op sequences realizing boolean gates with one logic family's
+/// primitives, managing scratch-plane allocation.
+///
+/// Scratch planes `0..SCRATCH_PLANES-1` are allocatable; the last plane is
+/// reserved for [`MicroOp::FullAdd`]'s internal latch.
+#[derive(Debug)]
+pub struct GateBuilder {
+    family: LogicFamily,
+    ops: Vec<MicroOp>,
+    free: Vec<u16>,
+    high_water: usize,
+}
+
+impl GateBuilder {
+    /// Creates a builder for `family` with an empty op stream.
+    pub fn new(family: LogicFamily) -> Self {
+        // Last scratch plane is reserved for FullAdd's internal temp.
+        let free: Vec<u16> = (0..(SCRATCH_PLANES as u16 - 1)).rev().collect();
+        Self { family, ops: Vec::new(), free, high_water: 0 }
+    }
+
+    /// The family this builder synthesizes for.
+    pub fn family(&self) -> LogicFamily {
+        self.family
+    }
+
+    /// Consumes the builder, returning the emitted micro-op stream.
+    pub fn finish(self) -> Vec<MicroOp> {
+        self.ops
+    }
+
+    /// Number of micro-ops emitted so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Largest number of scratch planes simultaneously live (for sizing
+    /// buffer rows in hardware).
+    pub fn scratch_high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Allocates a scratch plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recipe exceeds the hardware's scratch/buffer budget —
+    /// a recipe bug, not a data-dependent condition.
+    pub fn alloc(&mut self) -> Plane {
+        let i = self.free.pop().expect("recipe exceeded scratch-plane budget");
+        let live = SCRATCH_PLANES - 1 - self.free.len();
+        self.high_water = self.high_water.max(live);
+        Plane::Scratch(i)
+    }
+
+    /// Releases a scratch plane allocated with [`GateBuilder::alloc`].
+    pub fn release(&mut self, plane: Plane) {
+        match plane {
+            Plane::Scratch(i) => self.free.push(i),
+            _ => panic!("released a non-scratch plane"),
+        }
+    }
+
+    /// Emits a raw micro-op (must belong to the family's supported kinds).
+    pub fn emit(&mut self, op: MicroOp) {
+        debug_assert!(
+            self.family.supported_kinds().contains(&op.kind()),
+            "{:?} not supported by {:?} family",
+            op.kind(),
+            self.family
+        );
+        self.ops.push(op);
+    }
+
+    /// `out = !a`.
+    pub fn not(&mut self, a: Plane, out: Plane) {
+        match self.family {
+            LogicFamily::Nor => self.emit(MicroOp::Nor { a, b: a, out }),
+            LogicFamily::Maj | LogicFamily::Bitline => self.emit(MicroOp::Not { a, out }),
+        }
+    }
+
+    /// `out = a & b`.
+    pub fn and(&mut self, a: Plane, b: Plane, out: Plane) {
+        match self.family {
+            LogicFamily::Nor => {
+                let na = self.alloc();
+                let nb = self.alloc();
+                self.not(a, na);
+                self.not(b, nb);
+                self.emit(MicroOp::Nor { a: na, b: nb, out });
+                self.release(nb);
+                self.release(na);
+            }
+            LogicFamily::Maj => {
+                self.emit(MicroOp::Tra { a, b, c: Plane::Const(false), out })
+            }
+            LogicFamily::Bitline => self.emit(MicroOp::And { a, b, out }),
+        }
+    }
+
+    /// `out = a | b`.
+    pub fn or(&mut self, a: Plane, b: Plane, out: Plane) {
+        match self.family {
+            LogicFamily::Nor => {
+                let t = self.alloc();
+                self.emit(MicroOp::Nor { a, b, out: t });
+                self.not(t, out);
+                self.release(t);
+            }
+            LogicFamily::Maj => self.emit(MicroOp::Tra { a, b, c: Plane::Const(true), out }),
+            LogicFamily::Bitline => self.emit(MicroOp::Or { a, b, out }),
+        }
+    }
+
+    /// `out = !(a | b)`.
+    pub fn nor(&mut self, a: Plane, b: Plane, out: Plane) {
+        match self.family {
+            LogicFamily::Nor => self.emit(MicroOp::Nor { a, b, out }),
+            LogicFamily::Maj | LogicFamily::Bitline => {
+                let t = self.alloc();
+                self.or(a, b, t);
+                self.not(t, out);
+                self.release(t);
+            }
+        }
+    }
+
+    /// `out = !(a & b)`.
+    pub fn nand(&mut self, a: Plane, b: Plane, out: Plane) {
+        let t = self.alloc();
+        self.and(a, b, t);
+        self.not(t, out);
+        self.release(t);
+    }
+
+    /// `out = a ^ b`.
+    pub fn xor(&mut self, a: Plane, b: Plane, out: Plane) {
+        match self.family {
+            LogicFamily::Nor => {
+                // out = NOR(NOR(a,b), AND(a,b)) — 5 NORs total.
+                let nab = self.alloc();
+                let aab = self.alloc();
+                self.emit(MicroOp::Nor { a, b, out: nab });
+                self.and(a, b, aab);
+                self.emit(MicroOp::Nor { a: nab, b: aab, out });
+                self.release(aab);
+                self.release(nab);
+            }
+            LogicFamily::Maj => {
+                // (a & !b) | (!a & b): 2 NOTs + 3 TRAs.
+                let na = self.alloc();
+                let nb = self.alloc();
+                let t1 = self.alloc();
+                let t2 = self.alloc();
+                self.not(a, na);
+                self.not(b, nb);
+                self.and(a, nb, t1);
+                self.and(na, b, t2);
+                self.or(t1, t2, out);
+                self.release(t2);
+                self.release(t1);
+                self.release(nb);
+                self.release(na);
+            }
+            LogicFamily::Bitline => self.emit(MicroOp::Xor { a, b, out }),
+        }
+    }
+
+    /// `out = !(a ^ b)`.
+    pub fn xnor(&mut self, a: Plane, b: Plane, out: Plane) {
+        let t = self.alloc();
+        self.xor(a, b, t);
+        self.not(t, out);
+        self.release(t);
+    }
+
+    /// `out = maj(a, b, c)`.
+    pub fn maj(&mut self, a: Plane, b: Plane, c: Plane, out: Plane) {
+        match self.family {
+            LogicFamily::Maj => self.emit(MicroOp::Tra { a, b, c, out }),
+            LogicFamily::Nor | LogicFamily::Bitline => {
+                // maj = ab | bc | ca.
+                let ab = self.alloc();
+                let bc = self.alloc();
+                let ca = self.alloc();
+                self.and(a, b, ab);
+                self.and(b, c, bc);
+                self.and(c, a, ca);
+                let t = self.alloc();
+                self.or(ab, bc, t);
+                self.or(t, ca, out);
+                self.release(t);
+                self.release(ca);
+                self.release(bc);
+                self.release(ab);
+            }
+        }
+    }
+
+    /// `out = (sel & x) | (!sel & y)` — a per-lane 2:1 multiplexer.
+    pub fn mux(&mut self, sel: Plane, x: Plane, y: Plane, out: Plane) {
+        let nsel = self.alloc();
+        let tx = self.alloc();
+        let ty = self.alloc();
+        self.not(sel, nsel);
+        self.and(sel, x, tx);
+        self.and(nsel, y, ty);
+        self.or(tx, ty, out);
+        self.release(ty);
+        self.release(tx);
+        self.release(nsel);
+    }
+
+    /// Copies `a` into `out` (buffered row copy).
+    pub fn copy(&mut self, a: Plane, out: Plane) {
+        self.emit(MicroOp::Copy { a, out });
+    }
+
+    /// Presets `out` to a constant.
+    pub fn set(&mut self, out: Plane, value: bool) {
+        self.emit(MicroOp::Set { out, value });
+    }
+
+    /// Full adder: `sum_out = a ^ b ^ carry`, `carry = maj(a, b, carry)`.
+    ///
+    /// The carry plane is read and then overwritten with the carry-out,
+    /// matching the ripple-carry usage pattern of bit-serial arithmetic.
+    /// `sum_out` may alias `a` or `b` (sum is staged through scratch), but
+    /// not `carry`.
+    pub fn full_add(&mut self, a: Plane, b: Plane, carry: Plane, sum_out: Plane) {
+        debug_assert!(sum_out != carry, "sum must not alias the carry plane");
+        match self.family {
+            LogicFamily::Nor => {
+                // Classic 9-NOR full adder.
+                let n1 = self.alloc();
+                let n2 = self.alloc();
+                let n3 = self.alloc();
+                let n4 = self.alloc();
+                let n5 = self.alloc();
+                let n6 = self.alloc();
+                let n7 = self.alloc();
+                let s = self.alloc();
+                self.emit(MicroOp::Nor { a, b, out: n1 });
+                self.emit(MicroOp::Nor { a, b: n1, out: n2 });
+                self.emit(MicroOp::Nor { a: b, b: n1, out: n3 });
+                self.emit(MicroOp::Nor { a: n2, b: n3, out: n4 }); // xnor(a,b)
+                self.emit(MicroOp::Nor { a: n4, b: carry, out: n5 });
+                self.emit(MicroOp::Nor { a: n4, b: n5, out: n6 });
+                self.emit(MicroOp::Nor { a: carry, b: n5, out: n7 });
+                self.emit(MicroOp::Nor { a: n6, b: n7, out: s });
+                self.emit(MicroOp::Nor { a: n1, b: n5, out: carry }); // carry-out
+                self.copy(s, sum_out);
+                self.release(s);
+                self.release(n7);
+                self.release(n6);
+                self.release(n5);
+                self.release(n4);
+                self.release(n3);
+                self.release(n2);
+                self.release(n1);
+            }
+            LogicFamily::Maj => {
+                // SIMDRAM-style majority-only adder:
+                //   cout = MAJ(a, b, cin)
+                //   sum  = MAJ(MAJ(a, b, !cout), cin, !cout)
+                // 3 TRAs + 1 NOT + 1 copy-back.
+                let cnew = self.alloc();
+                let ncnew = self.alloc();
+                let t = self.alloc();
+                self.emit(MicroOp::Tra { a, b, c: carry, out: cnew });
+                self.not(cnew, ncnew);
+                self.emit(MicroOp::Tra { a, b, c: ncnew, out: t });
+                self.emit(MicroOp::Tra { a: t, b: carry, c: ncnew, out: sum_out });
+                self.copy(cnew, carry);
+                self.release(t);
+                self.release(ncnew);
+                self.release(cnew);
+            }
+            LogicFamily::Bitline => {
+                self.emit(MicroOp::FullAdd { a, b, carry, sum: sum_out });
+            }
+        }
+    }
+
+    /// Half adder: `sum_out = a ^ carry`, `carry = a & carry` (used by
+    /// increments and carry propagation).
+    pub fn half_add(&mut self, a: Plane, carry: Plane, sum_out: Plane) {
+        debug_assert!(sum_out != carry, "sum must not alias the carry plane");
+        let s = self.alloc();
+        let c = self.alloc();
+        self.xor(a, carry, s);
+        self.and(a, carry, c);
+        self.copy(c, carry);
+        self.copy(s, sum_out);
+        self.release(c);
+        self.release(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitplane::BitPlaneVrf;
+
+    const FAMILIES: [LogicFamily; 3] =
+        [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline];
+
+    /// Executes the builder's ops on a fresh VRF whose scratch planes 20/21/22
+    /// hold all four (or eight) input combinations, then checks `out`.
+    fn check_gate2(
+        family: LogicFamily,
+        build: impl Fn(&mut GateBuilder, Plane, Plane, Plane),
+        truth: impl Fn(bool, bool) -> bool,
+    ) {
+        let a = Plane::Scratch(20);
+        let b = Plane::Scratch(21);
+        let out = Plane::Scratch(22);
+        let mut gb = GateBuilder::new(family);
+        build(&mut gb, a, b, out);
+        // Inputs must survive gate execution (non-destructive synthesis).
+        let mut vrf = BitPlaneVrf::new(64, 2);
+        vrf.set_plane_words(a, &[0b1010]);
+        vrf.set_plane_words(b, &[0b1100]);
+        for op in gb.finish() {
+            op.apply(&mut vrf);
+        }
+        for lane in 0..4 {
+            let ia = lane % 2 == 1;
+            let ib = lane >= 2;
+            assert_eq!(
+                vrf.lane_bit(out, lane),
+                truth(ia, ib),
+                "{family:?} lane {lane} (a={ia}, b={ib})"
+            );
+        }
+        assert_eq!(vrf.plane_words(a)[0] & 0xf, 0b1010, "{family:?} clobbered input a");
+        assert_eq!(vrf.plane_words(b)[0] & 0xf, 0b1100, "{family:?} clobbered input b");
+    }
+
+    #[test]
+    fn gate_truth_tables_all_families() {
+        for family in FAMILIES {
+            check_gate2(family, |g, a, b, o| g.and(a, b, o), |x, y| x & y);
+            check_gate2(family, |g, a, b, o| g.or(a, b, o), |x, y| x | y);
+            check_gate2(family, |g, a, b, o| g.xor(a, b, o), |x, y| x ^ y);
+            check_gate2(family, |g, a, b, o| g.nor(a, b, o), |x, y| !(x | y));
+            check_gate2(family, |g, a, b, o| g.nand(a, b, o), |x, y| !(x & y));
+            check_gate2(family, |g, a, b, o| g.xnor(a, b, o), |x, y| !(x ^ y));
+            check_gate2(family, |g, a, b, o| g.not(a, o), |x, _| !x);
+        }
+    }
+
+    #[test]
+    fn full_adder_all_families_all_inputs() {
+        for family in FAMILIES {
+            let a = Plane::Scratch(20);
+            let b = Plane::Scratch(21);
+            let c = Plane::Scratch(22);
+            let sum = Plane::Scratch(19);
+            let mut gb = GateBuilder::new(family);
+            gb.full_add(a, b, c, sum);
+            let ops = gb.finish();
+            // 8 lanes encode the 8 input combinations.
+            let mut vrf = BitPlaneVrf::new(64, 2);
+            vrf.set_plane_words(a, &[0b1010_1010]);
+            vrf.set_plane_words(b, &[0b1100_1100]);
+            vrf.set_plane_words(c, &[0b1111_0000]);
+            for op in &ops {
+                op.apply(&mut vrf);
+            }
+            for lane in 0..8 {
+                let ia = lane % 2;
+                let ib = (lane / 2) % 2;
+                let ic = lane / 4;
+                let total = ia + ib + ic;
+                assert_eq!(vrf.lane_bit(sum, lane), total % 2 == 1, "{family:?} sum lane {lane}");
+                assert_eq!(vrf.lane_bit(c, lane), total >= 2, "{family:?} carry lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn maj_and_mux_all_families() {
+        for family in FAMILIES {
+            // maj over 8 combinations.
+            let (a, b, c, out) = (
+                Plane::Scratch(20),
+                Plane::Scratch(21),
+                Plane::Scratch(22),
+                Plane::Scratch(19),
+            );
+            let mut gb = GateBuilder::new(family);
+            gb.maj(a, b, c, out);
+            let mut vrf = BitPlaneVrf::new(64, 2);
+            vrf.set_plane_words(a, &[0b1010_1010]);
+            vrf.set_plane_words(b, &[0b1100_1100]);
+            vrf.set_plane_words(c, &[0b1111_0000]);
+            for op in gb.finish() {
+                op.apply(&mut vrf);
+            }
+            for lane in 0..8 {
+                let bits = (lane % 2) + ((lane / 2) % 2) + (lane / 4);
+                assert_eq!(vrf.lane_bit(out, lane), bits >= 2, "{family:?} maj lane {lane}");
+            }
+
+            // mux over 8 combinations (sel, x, y).
+            let mut gb = GateBuilder::new(family);
+            gb.mux(a, b, c, out);
+            let mut vrf = BitPlaneVrf::new(64, 2);
+            vrf.set_plane_words(a, &[0b1010_1010]); // sel
+            vrf.set_plane_words(b, &[0b1100_1100]); // x
+            vrf.set_plane_words(c, &[0b1111_0000]); // y
+            for op in gb.finish() {
+                op.apply(&mut vrf);
+            }
+            for lane in 0..8 {
+                let sel = lane % 2 == 1;
+                let x = (lane / 2) % 2 == 1;
+                let y = lane / 4 == 1;
+                assert_eq!(vrf.lane_bit(out, lane), if sel { x } else { y }, "{family:?} mux {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn emitted_ops_stay_within_family() {
+        for family in FAMILIES {
+            let mut gb = GateBuilder::new(family);
+            let a = Plane::Scratch(20);
+            let b = Plane::Scratch(21);
+            let o = Plane::Scratch(22);
+            gb.xor(a, b, o);
+            gb.full_add(a, b, Plane::Scratch(19), o);
+            gb.maj(a, b, Plane::Scratch(19), o);
+            for op in gb.finish() {
+                assert!(
+                    family.supported_kinds().contains(&op.kind()),
+                    "{family:?} emitted unsupported {:?}",
+                    op.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_allocation_balances() {
+        let mut gb = GateBuilder::new(LogicFamily::Nor);
+        let before = gb.free.len();
+        let a = Plane::Scratch(20);
+        let b = Plane::Scratch(21);
+        let o = Plane::Scratch(22);
+        gb.xor(a, b, o);
+        gb.full_add(a, b, Plane::Scratch(19), o);
+        assert_eq!(gb.free.len(), before, "scratch planes leaked");
+        assert!(gb.scratch_high_water() > 0);
+    }
+
+    #[test]
+    fn nor_family_costs_match_textbook_counts() {
+        let a = Plane::Scratch(20);
+        let b = Plane::Scratch(21);
+        let o = Plane::Scratch(22);
+        let mut gb = GateBuilder::new(LogicFamily::Nor);
+        gb.xor(a, b, o);
+        assert_eq!(gb.len(), 5, "XOR should be 5 NORs");
+        let mut gb = GateBuilder::new(LogicFamily::Nor);
+        gb.full_add(a, b, Plane::Scratch(19), o);
+        assert_eq!(gb.len(), 10, "full adder should be 9 NORs + 1 copy");
+    }
+}

@@ -1,0 +1,313 @@
+//! Technology-level micro-operations.
+//!
+//! Every bitwise PUM technology exposes a small set of column-parallel
+//! primitives (paper §II-B): ReRAM crossbars perform NOR via state-dependent
+//! voltage division; DRAM performs a majority vote via triple-row activation
+//! (TRA), specialized to AND/OR with preset rows, plus NOT via dual-contact
+//! cells and row copies via AAP; SRAM bitline computing yields AND/OR/XOR,
+//! and Duality Cache adds single-cycle CMOS full adders at the sense amps.
+//!
+//! [`MicroOp`] is the union of these primitives; each backend reports which
+//! subset it natively supports ([`crate::Datapath::supports`]) and its
+//! recipes are synthesized from that subset only — this is checked by tests.
+
+use crate::bitplane::{BitPlaneVrf, Plane};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single column-parallel micro-operation applied to whole bit-planes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MicroOp {
+    /// ReRAM crossbar NOR: `out = !(a | b)` (OSCAR primitive).
+    Nor {
+        /// First input plane.
+        a: Plane,
+        /// Second input plane.
+        b: Plane,
+        /// Output plane.
+        out: Plane,
+    },
+    /// DRAM triple-row-activate majority vote: `out = maj(a, b, c)`.
+    Tra {
+        /// First input plane.
+        a: Plane,
+        /// Second input plane.
+        b: Plane,
+        /// Third input plane.
+        c: Plane,
+        /// Output plane.
+        out: Plane,
+    },
+    /// Bitwise NOT (dual-contact cell readout or inverting buffer).
+    Not {
+        /// Input plane.
+        a: Plane,
+        /// Output plane.
+        out: Plane,
+    },
+    /// SRAM bitline AND: `out = a & b`.
+    And {
+        /// First input plane.
+        a: Plane,
+        /// Second input plane.
+        b: Plane,
+        /// Output plane.
+        out: Plane,
+    },
+    /// SRAM bitline OR: `out = a | b`.
+    Or {
+        /// First input plane.
+        a: Plane,
+        /// Second input plane.
+        b: Plane,
+        /// Output plane.
+        out: Plane,
+    },
+    /// SRAM bitline XOR: `out = a ^ b`.
+    Xor {
+        /// First input plane.
+        a: Plane,
+        /// Second input plane.
+        b: Plane,
+        /// Output plane.
+        out: Plane,
+    },
+    /// Duality Cache CMOS full adder: `sum = a ^ b ^ cin`,
+    /// `cout = maj(a, b, cin)`, computed in a single operation.
+    FullAdd {
+        /// First addend plane.
+        a: Plane,
+        /// Second addend plane.
+        b: Plane,
+        /// Carry-in plane (also receives the carry-out).
+        carry: Plane,
+        /// Sum output plane.
+        sum: Plane,
+    },
+    /// Row copy (DRAM AAP, RACER buffer move, SRAM read/write-back).
+    Copy {
+        /// Source plane.
+        a: Plane,
+        /// Destination plane.
+        out: Plane,
+    },
+    /// Initialize a plane to a constant (preset row write).
+    Set {
+        /// Destination plane.
+        out: Plane,
+        /// Constant value.
+        value: bool,
+    },
+}
+
+/// The kind of a micro-op, used for capability checks and cost lookup.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MicroOpKind {
+    /// ReRAM NOR.
+    Nor,
+    /// DRAM triple-row-activate majority.
+    Tra,
+    /// Bitwise NOT.
+    Not,
+    /// Bitline AND.
+    And,
+    /// Bitline OR.
+    Or,
+    /// Bitline XOR.
+    Xor,
+    /// CMOS full adder.
+    FullAdd,
+    /// Row copy.
+    Copy,
+    /// Constant preset.
+    Set,
+}
+
+impl MicroOpKind {
+    /// All micro-op kinds.
+    pub const ALL: [MicroOpKind; 9] = [
+        MicroOpKind::Nor,
+        MicroOpKind::Tra,
+        MicroOpKind::Not,
+        MicroOpKind::And,
+        MicroOpKind::Or,
+        MicroOpKind::Xor,
+        MicroOpKind::FullAdd,
+        MicroOpKind::Copy,
+        MicroOpKind::Set,
+    ];
+}
+
+impl fmt::Display for MicroOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MicroOpKind::Nor => "NOR",
+            MicroOpKind::Tra => "TRA",
+            MicroOpKind::Not => "NOT",
+            MicroOpKind::And => "AND",
+            MicroOpKind::Or => "OR",
+            MicroOpKind::Xor => "XOR",
+            MicroOpKind::FullAdd => "FULLADD",
+            MicroOpKind::Copy => "COPY",
+            MicroOpKind::Set => "SET",
+        };
+        f.write_str(s)
+    }
+}
+
+impl MicroOp {
+    /// This micro-op's kind.
+    pub fn kind(&self) -> MicroOpKind {
+        match self {
+            MicroOp::Nor { .. } => MicroOpKind::Nor,
+            MicroOp::Tra { .. } => MicroOpKind::Tra,
+            MicroOp::Not { .. } => MicroOpKind::Not,
+            MicroOp::And { .. } => MicroOpKind::And,
+            MicroOp::Or { .. } => MicroOpKind::Or,
+            MicroOp::Xor { .. } => MicroOpKind::Xor,
+            MicroOp::FullAdd { .. } => MicroOpKind::FullAdd,
+            MicroOp::Copy { .. } => MicroOpKind::Copy,
+            MicroOp::Set { .. } => MicroOpKind::Set,
+        }
+    }
+
+    /// Applies this micro-op's functional semantics to a VRF. All lanes are
+    /// processed in parallel; writes to architectural planes honour the
+    /// lane mask (see [`BitPlaneVrf`]).
+    pub fn apply(&self, vrf: &mut BitPlaneVrf) {
+        match *self {
+            MicroOp::Nor { a, b, out } => vrf.apply2(a, b, out, |x, y| !(x | y)),
+            MicroOp::Tra { a, b, c, out } => {
+                vrf.apply3(a, b, c, out, |x, y, z| (x & y) | (y & z) | (x & z))
+            }
+            MicroOp::Not { a, out } => {
+                // Unary NOT via apply2 with the input on both ports.
+                vrf.apply2(a, a, out, |x, _| !x)
+            }
+            MicroOp::And { a, b, out } => vrf.apply2(a, b, out, |x, y| x & y),
+            MicroOp::Or { a, b, out } => vrf.apply2(a, b, out, |x, y| x | y),
+            MicroOp::Xor { a, b, out } => vrf.apply2(a, b, out, |x, y| x ^ y),
+            MicroOp::FullAdd { a, b, carry, sum } => {
+                // sum = a^b^cin, cout = maj(a,b,cin). The sum must be
+                // computed before the carry plane is overwritten, and both
+                // land atomically as in the CMOS adder latch.
+                vrf.apply3(a, b, carry, Plane::Scratch(crate::bitplane::SCRATCH_PLANES as u16 - 1), |x, y, z| x ^ y ^ z);
+                vrf.apply3(a, b, carry, carry, |x, y, z| (x & y) | (y & z) | (x & z));
+                vrf.copy_plane(Plane::Scratch(crate::bitplane::SCRATCH_PLANES as u16 - 1), sum);
+            }
+            MicroOp::Copy { a, out } => vrf.copy_plane(a, out),
+            MicroOp::Set { out, value } => vrf.fill_plane(out, value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vrf() -> BitPlaneVrf {
+        BitPlaneVrf::new(64, 4)
+    }
+
+    fn s(i: u16) -> Plane {
+        Plane::Scratch(i)
+    }
+
+    #[test]
+    fn nor_truth_table() {
+        let mut v = vrf();
+        // lanes 0..4 encode the four input combinations via two planes.
+        v.set_plane_words(s(0), &[0b1010]);
+        v.set_plane_words(s(1), &[0b1100]);
+        MicroOp::Nor { a: s(0), b: s(1), out: s(2) }.apply(&mut v);
+        let got = v.plane_words(s(2))[0] & 0b1111;
+        // NOR: only lane 0 (a=0, b=0) yields 1.
+        assert_eq!(got, 0b0001);
+    }
+
+    #[test]
+    fn tra_is_majority() {
+        let mut v = vrf();
+        v.set_plane_words(s(0), &[0b0101_0101]); // a
+        v.set_plane_words(s(1), &[0b0011_0011]); // b
+        v.set_plane_words(s(2), &[0b0000_1111]); // c
+        MicroOp::Tra { a: s(0), b: s(1), c: s(2), out: s(3) }.apply(&mut v);
+        let got = v.plane_words(s(3))[0] & 0xff;
+        // maj per lane of (a,b,c) bits above.
+        let mut expect = 0u64;
+        for lane in 0..8 {
+            let a = (0b0101_0101u64 >> lane) & 1;
+            let b = (0b0011_0011u64 >> lane) & 1;
+            let c = (0b0000_1111u64 >> lane) & 1;
+            if a + b + c >= 2 {
+                expect |= 1 << lane;
+            }
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tra_with_preset_rows_gives_and_or() {
+        let mut v = vrf();
+        v.set_plane_words(s(0), &[0b0101]);
+        v.set_plane_words(s(1), &[0b0011]);
+        MicroOp::Tra { a: s(0), b: s(1), c: Plane::Const(false), out: s(2) }.apply(&mut v);
+        assert_eq!(v.plane_words(s(2))[0] & 0b1111, 0b0001 & (0b0101 & 0b0011)); // AND
+        MicroOp::Tra { a: s(0), b: s(1), c: Plane::Const(true), out: s(3) }.apply(&mut v);
+        assert_eq!(v.plane_words(s(3))[0] & 0b1111, 0b0101 | 0b0011); // OR
+    }
+
+    #[test]
+    fn full_add_computes_sum_and_carry() {
+        let mut v = vrf();
+        v.set_plane_words(s(0), &[0b0101_0101]);
+        v.set_plane_words(s(1), &[0b0011_0011]);
+        v.set_plane_words(s(2), &[0b0000_1111]); // carry-in
+        MicroOp::FullAdd { a: s(0), b: s(1), carry: s(2), sum: s(3) }.apply(&mut v);
+        for lane in 0..8 {
+            let a = (0b0101_0101u64 >> lane) & 1;
+            let b = (0b0011_0011u64 >> lane) & 1;
+            let c = (0b0000_1111u64 >> lane) & 1;
+            let total = a + b + c;
+            assert_eq!(v.lane_bit(s(3), lane), total & 1 == 1, "sum lane {lane}");
+            assert_eq!(v.lane_bit(s(2), lane), total >= 2, "carry lane {lane}");
+        }
+    }
+
+    #[test]
+    fn not_and_copy_and_set() {
+        let mut v = vrf();
+        v.set_plane_words(s(0), &[0xf0f0]);
+        MicroOp::Not { a: s(0), out: s(1) }.apply(&mut v);
+        assert_eq!(v.plane_words(s(1))[0], !0xf0f0u64);
+        MicroOp::Copy { a: s(1), out: s(2) }.apply(&mut v);
+        assert_eq!(v.plane_words(s(2))[0], !0xf0f0u64);
+        MicroOp::Set { out: s(2), value: false }.apply(&mut v);
+        assert_eq!(v.plane_words(s(2))[0], 0);
+    }
+
+    #[test]
+    fn bitline_ops() {
+        let mut v = vrf();
+        v.set_plane_words(s(0), &[0b0101]);
+        v.set_plane_words(s(1), &[0b0011]);
+        MicroOp::And { a: s(0), b: s(1), out: s(2) }.apply(&mut v);
+        assert_eq!(v.plane_words(s(2))[0] & 0b1111, 0b0001);
+        MicroOp::Or { a: s(0), b: s(1), out: s(2) }.apply(&mut v);
+        assert_eq!(v.plane_words(s(2))[0] & 0b1111, 0b0111);
+        MicroOp::Xor { a: s(0), b: s(1), out: s(2) }.apply(&mut v);
+        assert_eq!(v.plane_words(s(2))[0] & 0b1111, 0b0110);
+    }
+
+    #[test]
+    fn kinds_are_reported() {
+        assert_eq!(MicroOp::Set { out: s(0), value: true }.kind(), MicroOpKind::Set);
+        assert_eq!(
+            MicroOp::FullAdd { a: s(0), b: s(1), carry: s(2), sum: s(3) }.kind(),
+            MicroOpKind::FullAdd
+        );
+        assert_eq!(MicroOpKind::ALL.len(), 9);
+    }
+}

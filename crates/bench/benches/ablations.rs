@@ -1,0 +1,119 @@
+//! Ablation benchmarks for the design choices DESIGN.md §6 lists. Each
+//! bench also *prints* the simulated-cycle effect once (the architectural
+//! result), then measures host wall time of the ablated simulation.
+
+use bench::BENCH_N;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mastodon::SimConfig;
+use pum_backend::{DatapathBuilder, DatapathKind, LogicFamily, MicroOpKind};
+use std::hint::black_box;
+use workloads::{all_kernels, run_kernel};
+
+/// RACER with bit-pipelining disabled (strictly serial bit-serial issue).
+fn racer_unpipelined() -> SimConfig {
+    let dp = DatapathBuilder::new("RACER-nopipe", LogicFamily::Nor)
+        .lanes_per_vrf(64)
+        .active_vrfs_per_rfh(1)
+        .mpus_per_chip(497)
+        .uop(MicroOpKind::Nor, 2, 0.020)
+        .uop(MicroOpKind::Copy, 2, 0.025)
+        .uop(MicroOpKind::Set, 2, 0.012)
+        .build();
+    SimConfig::new(dp, mastodon::ExecutionMode::Mpu)
+}
+
+/// RACER with the footnote-2 relaxed thermal limit (2 active VRFs/RFH).
+fn racer_thermal2() -> SimConfig {
+    let dp = DatapathBuilder::new("RACER-2active", LogicFamily::Nor)
+        .lanes_per_vrf(64)
+        .active_vrfs_per_rfh(2)
+        .mpus_per_chip(497)
+        .uop(MicroOpKind::Nor, 2, 0.020)
+        .uop(MicroOpKind::Copy, 2, 0.025)
+        .uop(MicroOpKind::Set, 2, 0.012)
+        .bit_pipelined(64)
+        .build();
+    SimConfig::new(dp, mastodon::ExecutionMode::Mpu)
+}
+
+fn ablation_pipelining(c: &mut Criterion) {
+    // Pipelining pays off on back-to-back instruction streams, so use the
+    // 20-instruction sobel body rather than a single ADD.
+    let kernels = all_kernels();
+    let vecadd = kernels.iter().find(|k| k.name() == "sobel").unwrap();
+    let base = SimConfig::mpu(DatapathKind::Racer);
+    let nopipe = racer_unpipelined();
+    let with_pipe = run_kernel(vecadd.as_ref(), &base, BENCH_N, 1).unwrap();
+    let without = run_kernel(vecadd.as_ref(), &nopipe, BENCH_N, 1).unwrap();
+    println!(
+        "[ablation] bit-pipelining: {} vs {} simulated wave cycles ({}x)",
+        with_pipe.wave.cycles,
+        without.wave.cycles,
+        without.wave.cycles as f64 / with_pipe.wave.cycles as f64
+    );
+    let mut group = c.benchmark_group("ablation_pipelining");
+    group.sample_size(10);
+    group.bench_function("racer_pipelined", |b| {
+        b.iter(|| run_kernel(vecadd.as_ref(), black_box(&base), BENCH_N, 1).unwrap());
+    });
+    group.bench_function("racer_unpipelined", |b| {
+        b.iter(|| run_kernel(vecadd.as_ref(), black_box(&nopipe), BENCH_N, 1).unwrap());
+    });
+    group.finish();
+}
+
+fn ablation_thermal_limit(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let vecadd = kernels.iter().find(|k| k.name() == "vecadd").unwrap();
+    let one = SimConfig::mpu(DatapathKind::Racer);
+    let two = racer_thermal2();
+    let r1 = run_kernel(vecadd.as_ref(), &one, 1 << 20, 1).unwrap();
+    let r2 = run_kernel(vecadd.as_ref(), &two, 1 << 20, 1).unwrap();
+    println!(
+        "[ablation] thermal limit 1 -> 2 active VRFs/RFH: chip time {:.0} -> {:.0} ns \
+         ({:.2}x, paper footnote 2 reports ~2x)",
+        r1.time_ns,
+        r2.time_ns,
+        r1.time_ns / r2.time_ns
+    );
+    let mut group = c.benchmark_group("ablation_thermal");
+    group.sample_size(10);
+    group.bench_function("active1", |b| {
+        b.iter(|| run_kernel(vecadd.as_ref(), black_box(&one), BENCH_N, 1).unwrap());
+    });
+    group.bench_function("active2", |b| {
+        b.iter(|| run_kernel(vecadd.as_ref(), black_box(&two), BENCH_N, 1).unwrap());
+    });
+    group.finish();
+}
+
+fn ablation_recipe_cache(c: &mut Criterion) {
+    // Template-lookup capacity 1 (decode-per-issue) vs 1024 (Table III).
+    let kernels = all_kernels();
+    let crc = kernels.iter().find(|k| k.name() == "crc32").unwrap();
+    let cached = SimConfig::mpu(DatapathKind::Racer);
+    let mut uncached = SimConfig::mpu(DatapathKind::Racer);
+    uncached.template_entries = 1;
+    let hit = run_kernel(crc.as_ref(), &cached, BENCH_N, 1).unwrap();
+    let miss = run_kernel(crc.as_ref(), &uncached, BENCH_N, 1).unwrap();
+    println!(
+        "[ablation] recipe cache 1024 vs 1 entries on crc32: hit rate {:.2} vs {:.2}, \
+         wave cycles {} vs {}",
+        hit.wave.recipe_hit_rate(),
+        miss.wave.recipe_hit_rate(),
+        hit.wave.cycles,
+        miss.wave.cycles
+    );
+    let mut group = c.benchmark_group("ablation_recipe_cache");
+    group.sample_size(10);
+    group.bench_function("cache1024", |b| {
+        b.iter(|| run_kernel(crc.as_ref(), black_box(&cached), BENCH_N, 1).unwrap());
+    });
+    group.bench_function("cache1", |b| {
+        b.iter(|| run_kernel(crc.as_ref(), black_box(&uncached), BENCH_N, 1).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_pipelining, ablation_thermal_limit, ablation_recipe_cache);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Recipe-synthesis and ISA-toolchain benchmarks: how fast the I2M
+//! template path, the ezpim assembler, and the binary codec run on the
+//! host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ezpim::{Cond, EzProgram};
+use mastodon::RecipeCache;
+use mpu_isa::{BinaryOp, Instruction, Program, RegId};
+use pum_backend::{DatapathKind, DatapathModel};
+use std::hint::black_box;
+
+fn bench_recipe_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recipe_synthesis");
+    for kind in DatapathKind::EVALUATED {
+        let dp = DatapathModel::for_kind(kind);
+        for (label, op) in [("add", BinaryOp::Add), ("mul", BinaryOp::Mul), ("qdiv", BinaryOp::QDiv)]
+        {
+            let instr =
+                Instruction::Binary { op, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
+            group.bench_function(format!("{label}_{}", dp.name()), |b| {
+                b.iter(|| black_box(dp.recipe(&instr)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_recipe_cache(c: &mut Criterion) {
+    let dp = DatapathModel::racer();
+    let instr = Instruction::Binary {
+        op: BinaryOp::QDiv,
+        rs: RegId(0),
+        rt: RegId(1),
+        rd: RegId(2),
+    };
+    c.bench_function("recipe_cache_hit_path", |b| {
+        let mut cache = RecipeCache::new(1024);
+        cache.lookup(&dp, &instr);
+        b.iter(|| black_box(cache.lookup(&dp, &instr)));
+    });
+}
+
+fn bench_ezpim_assembly(c: &mut Criterion) {
+    c.bench_function("ezpim_assemble_nested_program", |b| {
+        b.iter(|| {
+            let mut ez = EzProgram::new();
+            ez.ensemble(&[(0, 0), (1, 0)], |body| {
+                body.while_loop(Cond::Gt(RegId(0), RegId(1)), |body| {
+                    body.if_else(
+                        Cond::Eq(RegId(2), RegId(3)),
+                        |body| {
+                            body.add(RegId(0), RegId(4), RegId(0));
+                        },
+                        |body| {
+                            body.sub(RegId(0), RegId(4), RegId(0));
+                        },
+                    );
+                });
+            })
+            .unwrap();
+            black_box(ez.assemble().unwrap())
+        });
+    });
+}
+
+fn bench_binary_codec(c: &mut Criterion) {
+    let program = Program::from_instructions(
+        (0..1024)
+            .map(|i| Instruction::Binary {
+                op: BinaryOp::ALL[i % BinaryOp::ALL.len()],
+                rs: RegId((i % 10) as u16),
+                rt: RegId(((i + 1) % 10) as u16),
+                rd: RegId(((i + 2) % 10) as u16),
+            })
+            .collect(),
+    );
+    let words = program.encode();
+    c.bench_function("encode_1k_instructions", |b| {
+        b.iter(|| black_box(program.encode()));
+    });
+    c.bench_function("decode_1k_instructions", |b| {
+        b.iter(|| black_box(Program::decode(&words).unwrap()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_recipe_synthesis,
+    bench_recipe_cache,
+    bench_ezpim_assembly,
+    bench_binary_codec
+);
+criterion_main!(benches);

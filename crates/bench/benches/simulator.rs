@@ -1,0 +1,105 @@
+//! Simulator-throughput benchmarks: micro-op application on the bit-plane
+//! substrate, single-wave kernel execution per backend, and multi-MPU
+//! system runs.
+
+use bench::BENCH_N;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ezpim::{Cond, EzProgram};
+use mastodon::{run_single, SimConfig};
+use mpu_isa::RegId;
+use pum_backend::{BitPlaneVrf, DatapathKind, DatapathModel, MicroOp, Plane};
+use std::hint::black_box;
+use workloads::{all_kernels, run_kernel};
+
+fn bench_microops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microops");
+    for lanes in [64usize, 512] {
+        let mut vrf = BitPlaneVrf::new(lanes, 16);
+        let op = MicroOp::Nor {
+            a: Plane::Reg { reg: 0, bit: 0 },
+            b: Plane::Reg { reg: 1, bit: 0 },
+            out: Plane::Scratch(0),
+        };
+        group.bench_function(format!("nor_{lanes}_lanes"), |b| {
+            b.iter(|| op.apply(black_box(&mut vrf)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_recipe_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recipe_exec");
+    group.sample_size(20);
+    for kind in DatapathKind::EVALUATED {
+        let dp = DatapathModel::for_kind(kind);
+        let add = dp
+            .recipe(&mpu_isa::Instruction::Binary {
+                op: mpu_isa::BinaryOp::Add,
+                rs: RegId(0),
+                rt: RegId(1),
+                rd: RegId(2),
+            })
+            .unwrap();
+        let mut vrf = BitPlaneVrf::new(dp.geometry().lanes_per_vrf, 16);
+        group.bench_function(format!("add_{}", dp.name()), |b| {
+            b.iter(|| {
+                for op in add.ops() {
+                    op.apply(black_box(&mut vrf));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_waves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_wave");
+    group.sample_size(10);
+    let kernels = all_kernels();
+    for name in ["vecadd", "crc32", "jacobi1d"] {
+        let kernel = kernels.iter().find(|k| k.name() == name).unwrap();
+        let cfg = SimConfig::mpu(DatapathKind::Racer);
+        group.bench_function(format!("{name}_racer"), |b| {
+            b.iter(|| run_kernel(kernel.as_ref(), black_box(&cfg), BENCH_N, 1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamic_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_loop");
+    group.sample_size(20);
+    let mut ez = EzProgram::new();
+    ez.ensemble(&[(0, 0)], |b| {
+        b.while_loop(Cond::Gt(RegId(0), RegId(1)), |b| {
+            b.sub(RegId(0), RegId(2), RegId(0));
+        });
+    })
+    .unwrap();
+    let program = ez.assemble().unwrap();
+    let cfg = SimConfig::mpu(DatapathKind::Racer);
+    group.bench_function("countdown_racer", |b| {
+        b.iter(|| {
+            run_single(
+                black_box(cfg.clone()),
+                &program,
+                &[
+                    ((0, 0, 0), vec![16; 64]),
+                    ((0, 0, 1), vec![0; 64]),
+                    ((0, 0, 2), vec![1; 64]),
+                ],
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_microops,
+    bench_recipe_execution,
+    bench_kernel_waves,
+    bench_dynamic_loop
+);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # bench — Criterion benchmarks for the MPU reproduction
+//!
+//! Wall-clock benchmarks of the simulator itself (how fast MASTODON
+//! executes micro-ops and kernels on the host) plus ablation measurements
+//! of the design choices DESIGN.md §6 calls out (recipe caching,
+//! bit-pipelining, thermal limits), reported via Criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mastodon::SimConfig;
+use pum_backend::DatapathKind;
+
+/// A small problem size that keeps individual bench iterations fast.
+pub const BENCH_N: u64 = 1 << 12;
+
+/// The three evaluated MPU configurations.
+pub fn mpu_configs() -> Vec<SimConfig> {
+    DatapathKind::EVALUATED.iter().map(|&k| SimConfig::mpu(k)).collect()
+}

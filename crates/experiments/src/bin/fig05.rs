@@ -1,0 +1,51 @@
+//! Figure 5: power density vs. number of active memory arrays for the PUM
+//! datapaths, against the air-cooling limit — the motivation for RF
+//! holders and thermal-aware scheduling.
+
+use experiments::print_table;
+use pum_backend::power::{
+    fig5_sweep, floatpim_like, thermal_active_limit, AIR_COOLING_LIMIT_W_PER_CM2,
+};
+use pum_backend::{DatapathKind, DatapathModel};
+
+fn main() {
+    let mut models = vec![
+        DatapathModel::racer(),
+        DatapathModel::mimdram(),
+        DatapathModel::duality_cache(),
+        floatpim_like(),
+    ];
+    let _ = DatapathKind::EVALUATED;
+
+    let actives = [1usize, 2, 4, 8, 16, 32, 64];
+    let mut rows = Vec::new();
+    for active in actives {
+        let mut row = vec![active.to_string()];
+        for m in &models {
+            let sweep = fig5_sweep(m);
+            let point = sweep.iter().find(|p| p.active_arrays == active);
+            row.push(match point {
+                Some(p) => format!("{:.1}", p.w_per_cm2),
+                None => "-".to_string(),
+            });
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 5 — power density (W/cm2) vs active arrays per RFH footprint",
+        &["active", "RACER", "MIMDRAM", "DualityCache", "FloatPIM"],
+        &rows,
+    );
+    println!("\nair-cooling limit: {AIR_COOLING_LIMIT_W_PER_CM2} W/cm2");
+    for m in models.drain(..) {
+        println!(
+            "{:>13}: thermally safe active VRFs/RFH = {}",
+            m.name(),
+            thermal_active_limit(&m)
+        );
+    }
+    println!(
+        "\nPaper reference: RACER limited to ~1 active pipeline per cluster; \
+         Duality Cache never thermally throttles."
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 12: speedup (top) and energy savings (bottom) of MPU:X over
+//! Baseline:X for all 21 kernels, X ∈ {RACER, MIMDRAM, DualityCache}.
+
+use experiments::{fmt_ratio, geomean, kernel_matrix, print_table, KERNEL_N, SEED};
+use pum_backend::DatapathKind;
+use workloads::KernelGroup;
+
+fn main() {
+    let kinds = DatapathKind::EVALUATED;
+    let matrices: Vec<_> = kinds.iter().map(|&k| kernel_matrix(k, KERNEL_N, SEED)).collect();
+
+    for metric in ["speedup", "energy savings"] {
+        let mut rows = Vec::new();
+        let mut last_group = None;
+        for i in 0..matrices[0].len() {
+            let group = matrices[0][i].group;
+            if last_group != Some(group) {
+                last_group = Some(group);
+                rows.push(vec![format!("[{}]", group.label())]);
+            }
+            let mut row = vec![matrices[0][i].kernel.to_string()];
+            for m in &matrices {
+                let v = match metric {
+                    "speedup" => m[i].mpu_speedup_vs_baseline(),
+                    _ => m[i].mpu_energy_savings_vs_baseline(),
+                };
+                row.push(fmt_ratio(v));
+            }
+            rows.push(row);
+        }
+        // Group and overall means.
+        for group in KernelGroup::ALL {
+            let mut row = vec![format!("mean({})", group.label())];
+            for m in &matrices {
+                let vals = m.iter().filter(|r| r.group == group).map(|r| match metric {
+                    "speedup" => r.mpu_speedup_vs_baseline(),
+                    _ => r.mpu_energy_savings_vs_baseline(),
+                });
+                row.push(fmt_ratio(geomean(vals)));
+            }
+            rows.push(row);
+        }
+        let mut row = vec!["MEAN(all 21)".to_string()];
+        for m in &matrices {
+            let vals = m.iter().map(|r| match metric {
+                "speedup" => r.mpu_speedup_vs_baseline(),
+                _ => r.mpu_energy_savings_vs_baseline(),
+            });
+            row.push(fmt_ratio(geomean(vals)));
+        }
+        rows.push(row);
+
+        print_table(
+            &format!("Fig. 12 — MPU:X {metric} over Baseline:X (n = {KERNEL_N})"),
+            &["kernel", "RACER", "MIMDRAM", "DualityCache"],
+            &rows,
+        );
+    }
+    println!(
+        "\nPaper reference: average speedups 1.79x / 1.70x / 1.12x and energy savings \
+         3.23x / 2.34x / 4.07x for RACER / MIMDRAM / DualityCache; basic kernels show \
+         slight slowdowns (iso-area capacity loss), stencil+complex gain ~4.4x on RACER."
+    );
+}

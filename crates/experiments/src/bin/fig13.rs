@@ -1,0 +1,64 @@
+//! Figure 13: speedup (top) and energy savings (bottom) of Baseline:X and
+//! MPU:X over the GPU, X ∈ {RACER, MIMDRAM}, for all 21 kernels; plus the
+//! paper's footnote on MPU:DualityCache.
+
+use experiments::{fmt_ratio, geomean, kernel_matrix, print_table, KERNEL_N, SEED};
+use pum_backend::DatapathKind;
+
+fn main() {
+    let racer = kernel_matrix(DatapathKind::Racer, KERNEL_N, SEED);
+    let mimdram = kernel_matrix(DatapathKind::Mimdram, KERNEL_N, SEED);
+    let dc = kernel_matrix(DatapathKind::DualityCache, KERNEL_N, SEED);
+
+    for metric in ["speedup", "energy savings"] {
+        let mut rows = Vec::new();
+        for i in 0..racer.len() {
+            let pick = |r: &experiments::KernelComparison, who: &str| match (metric, who) {
+                ("speedup", "base") => r.baseline_speedup_vs_gpu(),
+                ("speedup", _) => r.mpu_speedup_vs_gpu(),
+                (_, "base") => r.baseline_energy_savings_vs_gpu(),
+                (_, _) => r.mpu_energy_savings_vs_gpu(),
+            };
+            rows.push(vec![
+                racer[i].kernel.to_string(),
+                fmt_ratio(pick(&racer[i], "base")),
+                fmt_ratio(pick(&racer[i], "mpu")),
+                fmt_ratio(pick(&mimdram[i], "base")),
+                fmt_ratio(pick(&mimdram[i], "mpu")),
+            ]);
+        }
+        let mean = |m: &[experiments::KernelComparison], who: &str| {
+            fmt_ratio(geomean(m.iter().map(|r| match (metric, who) {
+                ("speedup", "base") => r.baseline_speedup_vs_gpu(),
+                ("speedup", _) => r.mpu_speedup_vs_gpu(),
+                (_, "base") => r.baseline_energy_savings_vs_gpu(),
+                (_, _) => r.mpu_energy_savings_vs_gpu(),
+            })))
+        };
+        rows.push(vec![
+            "MEAN(all 21)".to_string(),
+            mean(&racer, "base"),
+            mean(&racer, "mpu"),
+            mean(&mimdram, "base"),
+            mean(&mimdram, "mpu"),
+        ]);
+        print_table(
+            &format!("Fig. 13 — {metric} vs GPU (RTX 4090 model), log-scale data"),
+            &["kernel", "Base:RACER", "MPU:RACER", "Base:MIMDRAM", "MPU:MIMDRAM"],
+            &rows,
+        );
+    }
+
+    let dc_speed = geomean(dc.iter().map(|r| r.mpu_speedup_vs_gpu()));
+    let dc_energy = geomean(dc.iter().map(|r| r.mpu_energy_savings_vs_gpu()));
+    println!(
+        "\nMPU:DualityCache vs GPU (not plotted in the paper): {} speedup, {} energy \
+         savings (paper: 1.6x / 3.6x, capacity-limited).",
+        fmt_ratio(dc_speed),
+        fmt_ratio(dc_energy)
+    );
+    println!(
+        "Paper reference: MPU:RACER 67x / 47x and MPU:MIMDRAM 156x / 35x mean \
+         speedup / energy savings over the GPU."
+    );
+}

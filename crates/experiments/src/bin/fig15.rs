@@ -1,0 +1,33 @@
+//! Figure 15: execution-time breakdown — MPU computation, on-chip
+//! inter-MPU communication, and off-chip CPU communication — for the
+//! end-to-end applications under MPU and Baseline.
+
+use experiments::{app_matrix, print_table, SEED};
+
+fn main() {
+    let apps = app_matrix(SEED);
+    let mut rows = Vec::new();
+    for a in &apps {
+        for (cfg_idx, name) in [(0usize, "RACER"), (1, "MIMDRAM")] {
+            for (mode, run) in [("MPU", &a.mpu[cfg_idx]), ("Baseline", &a.baseline[cfg_idx])] {
+                let (compute, inter, offchip) = run.stats.time_breakdown();
+                rows.push(vec![
+                    a.app.to_string(),
+                    format!("{mode}:{name}"),
+                    format!("{:.1}%", 100.0 * compute),
+                    format!("{:.1}%", 100.0 * inter),
+                    format!("{:.1}%", 100.0 * offchip),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Fig. 15 — execution-time breakdown",
+        &["application", "config", "MPU compute", "inter-MPU", "off-chip CPU"],
+        &rows,
+    );
+    println!(
+        "\nPaper reference: MPU configurations have zero off-chip time; Baseline \
+         EditDistance is almost entirely off-chip communication (7.72x worse than GPU)."
+    );
+}

@@ -1,0 +1,25 @@
+//! Table I: MPU features vs. prior PUM datapaths, CPUs, and GPUs.
+
+use experiments::print_table;
+use pum_backend::{supports, Feature, Platform};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut last_section = "";
+    for feature in Feature::ALL {
+        if feature.section() != last_section {
+            last_section = feature.section();
+            rows.push(vec![format!("[{last_section}]")]);
+        }
+        let mut row = vec![feature.label().to_string()];
+        for platform in Platform::ALL {
+            row.push(if supports(platform, feature) { "*" } else { "." }.to_string());
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table I — supported features (* = supported)",
+        &["feature", "LS", "DC", "MD", "RC", "CPU", "GPU", "MPU"],
+        &rows,
+    );
+}

@@ -1,0 +1,39 @@
+//! Table III: system parameters for the three MPU configurations.
+
+use experiments::print_table;
+use mastodon::SimConfig;
+use pum_backend::DatapathKind;
+
+fn main() {
+    let configs = [
+        SimConfig::mpu(DatapathKind::Racer),
+        SimConfig::mpu(DatapathKind::Mimdram),
+        SimConfig::mpu(DatapathKind::DualityCache),
+    ];
+    let keys: Vec<String> = configs[0].table3_rows().iter().map(|(k, _)| k.clone()).collect();
+    let rows: Vec<Vec<String>> = keys
+        .iter()
+        .map(|key| {
+            let mut row = vec![key.clone()];
+            for cfg in &configs {
+                let value = cfg
+                    .table3_rows()
+                    .into_iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .unwrap_or_default();
+                row.push(value);
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Table III — system parameters",
+        &["parameter", "MPU:RACER", "MPU:MIMDRAM", "MPU:DualityCache"],
+        &rows,
+    );
+    println!(
+        "\nHost CPU (Baseline offload target): 16-core x86 OoO (Xeon Gold 6544Y-class), \
+         8 GB DDR3L."
+    );
+}

@@ -1,0 +1,360 @@
+//! Textual assembly: `Display` for instructions and a line-oriented parser.
+//!
+//! The format follows Table II: mnemonic followed by whitespace-separated
+//! operands with conventional prefixes (`r` registers, `v` VRFs, `h` RF
+//! holders, `mpu` MPUs, `@` line targets). `#` starts a comment. This is
+//! the *basic* assembler; the `ezpim` crate layers loops, branches and
+//! subroutine syntax on top.
+
+use crate::ids::{LineNum, MpuId, RegId, RfhId, VrfId};
+use crate::instr::{BinaryOp, CompareOp, InitValue, Instruction, UnaryOp};
+use crate::program::Program;
+use std::fmt;
+use std::str::FromStr;
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Compute { rfh, vrf } => write!(f, "COMPUTE {rfh} {vrf}"),
+            Instruction::ComputeDone => f.write_str("COMPUTE_DONE"),
+            Instruction::MpuSync => f.write_str("MPU_SYNC"),
+            Instruction::Move { src, dst } => write!(f, "MOVE {src} {dst}"),
+            Instruction::MoveDone => f.write_str("MOVE_DONE"),
+            Instruction::Send { dst } => write!(f, "SEND {dst}"),
+            Instruction::SendDone => f.write_str("SEND_DONE"),
+            Instruction::Recv { src } => write!(f, "RECV {src}"),
+            Instruction::GetMask { rd } => write!(f, "GETMASK {rd}"),
+            Instruction::SetMask { rs } => write!(f, "SETMASK {rs}"),
+            Instruction::Unmask => f.write_str("UNMASK"),
+            Instruction::JumpCond { target } => write!(f, "JUMP_COND {target}"),
+            Instruction::Jump { target } => write!(f, "JUMP {target}"),
+            Instruction::Return => f.write_str("RETURN"),
+            Instruction::Nop => f.write_str("NOP"),
+            Instruction::Binary { op, rs, rt, rd } => write!(f, "{op} {rs} {rt} {rd}"),
+            Instruction::Unary { op, rs, rd } => write!(f, "{op} {rs} {rd}"),
+            Instruction::Compare { op, rs, rt } => write!(f, "{op} {rs} {rt}"),
+            Instruction::Fuzzy { rs, rt, rd } => write!(f, "FUZZY {rs} {rt} {rd}"),
+            Instruction::Cas { rs, rt } => write!(f, "CAS {rs} {rt}"),
+            Instruction::Init { value, rd } => match value {
+                InitValue::Zero => write!(f, "INIT0 {rd}"),
+                InitValue::One => write!(f, "INIT1 {rd}"),
+            },
+            Instruction::Memcpy { src_vrf, rs, dst_vrf, rd } => {
+                write!(f, "MEMCPY {src_vrf} {rs} {dst_vrf} {rd}")
+            }
+        }
+    }
+}
+
+/// Error parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// One-based source line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asm line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn parse_prefixed(tok: &str, prefix: &str, what: &str) -> Result<u32, String> {
+    let digits = tok
+        .strip_prefix(prefix)
+        .ok_or_else(|| format!("expected {what} like `{prefix}0`, found `{tok}`"))?;
+    digits.parse::<u32>().map_err(|_| format!("invalid {what} index in `{tok}`"))
+}
+
+fn reg(tok: &str) -> Result<RegId, String> {
+    parse_prefixed(tok, "r", "register").map(|v| RegId(v as u16))
+}
+fn vrf(tok: &str) -> Result<VrfId, String> {
+    parse_prefixed(tok, "v", "VRF").map(|v| VrfId(v as u16))
+}
+fn rfh(tok: &str) -> Result<RfhId, String> {
+    parse_prefixed(tok, "h", "RF holder").map(|v| RfhId(v as u16))
+}
+fn mpu(tok: &str) -> Result<MpuId, String> {
+    parse_prefixed(tok, "mpu", "MPU").map(|v| MpuId(v as u16))
+}
+fn line_num(tok: &str) -> Result<LineNum, String> {
+    // Accept both `@5` and bare `5` (Table II shows bare line numbers).
+    let digits = tok.strip_prefix('@').unwrap_or(tok);
+    digits
+        .parse::<u32>()
+        .map(LineNum)
+        .map_err(|_| format!("invalid line number in `{tok}`"))
+}
+
+impl FromStr for Instruction {
+    type Err = String;
+
+    /// Parses a single Table II-style instruction line (no comments).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut toks = s.split_whitespace();
+        let mnemonic = toks.next().ok_or_else(|| "empty instruction".to_string())?;
+        let mn = mnemonic.to_ascii_uppercase();
+        let rest: Vec<&str> = toks.collect();
+        let argc = |n: usize| -> Result<(), String> {
+            if rest.len() == n {
+                Ok(())
+            } else {
+                Err(format!("{mn} expects {n} operand(s), found {}", rest.len()))
+            }
+        };
+
+        if let Some(op) = BinaryOp::ALL.iter().find(|o| o.mnemonic() == mn) {
+            argc(3)?;
+            return Ok(Instruction::Binary {
+                op: *op,
+                rs: reg(rest[0])?,
+                rt: reg(rest[1])?,
+                rd: reg(rest[2])?,
+            });
+        }
+        if let Some(op) = UnaryOp::ALL.iter().find(|o| o.mnemonic() == mn) {
+            argc(2)?;
+            return Ok(Instruction::Unary { op: *op, rs: reg(rest[0])?, rd: reg(rest[1])? });
+        }
+        if let Some(op) = CompareOp::ALL.iter().find(|o| o.mnemonic() == mn) {
+            argc(2)?;
+            return Ok(Instruction::Compare { op: *op, rs: reg(rest[0])?, rt: reg(rest[1])? });
+        }
+
+        match mn.as_str() {
+            "COMPUTE" => {
+                argc(2)?;
+                Ok(Instruction::Compute { rfh: rfh(rest[0])?, vrf: vrf(rest[1])? })
+            }
+            "COMPUTE_DONE" => {
+                argc(0)?;
+                Ok(Instruction::ComputeDone)
+            }
+            "MPU_SYNC" => {
+                argc(0)?;
+                Ok(Instruction::MpuSync)
+            }
+            "MOVE" => {
+                argc(2)?;
+                Ok(Instruction::Move { src: rfh(rest[0])?, dst: rfh(rest[1])? })
+            }
+            "MOVE_DONE" => {
+                argc(0)?;
+                Ok(Instruction::MoveDone)
+            }
+            "SEND" => {
+                argc(1)?;
+                Ok(Instruction::Send { dst: mpu(rest[0])? })
+            }
+            "SEND_DONE" => {
+                argc(0)?;
+                Ok(Instruction::SendDone)
+            }
+            "RECV" => {
+                argc(1)?;
+                Ok(Instruction::Recv { src: mpu(rest[0])? })
+            }
+            "GETMASK" => {
+                argc(1)?;
+                Ok(Instruction::GetMask { rd: reg(rest[0])? })
+            }
+            "SETMASK" => {
+                argc(1)?;
+                Ok(Instruction::SetMask { rs: reg(rest[0])? })
+            }
+            "UNMASK" => {
+                argc(0)?;
+                Ok(Instruction::Unmask)
+            }
+            "JUMP_COND" => {
+                argc(1)?;
+                Ok(Instruction::JumpCond { target: line_num(rest[0])? })
+            }
+            "JUMP" => {
+                argc(1)?;
+                Ok(Instruction::Jump { target: line_num(rest[0])? })
+            }
+            "RETURN" => {
+                argc(0)?;
+                Ok(Instruction::Return)
+            }
+            "NOP" => {
+                argc(0)?;
+                Ok(Instruction::Nop)
+            }
+            "FUZZY" => {
+                argc(3)?;
+                Ok(Instruction::Fuzzy { rs: reg(rest[0])?, rt: reg(rest[1])?, rd: reg(rest[2])? })
+            }
+            "CAS" => {
+                argc(2)?;
+                Ok(Instruction::Cas { rs: reg(rest[0])?, rt: reg(rest[1])? })
+            }
+            "INIT0" => {
+                argc(1)?;
+                Ok(Instruction::Init { value: InitValue::Zero, rd: reg(rest[0])? })
+            }
+            "INIT1" => {
+                argc(1)?;
+                Ok(Instruction::Init { value: InitValue::One, rd: reg(rest[0])? })
+            }
+            "MEMCPY" => {
+                argc(4)?;
+                Ok(Instruction::Memcpy {
+                    src_vrf: vrf(rest[0])?,
+                    rs: reg(rest[1])?,
+                    dst_vrf: vrf(rest[2])?,
+                    rd: reg(rest[3])?,
+                })
+            }
+            other => Err(format!("unknown mnemonic `{other}`")),
+        }
+    }
+}
+
+impl Program {
+    /// Parses Table II-style assembly text into a program.
+    ///
+    /// Blank lines and `#` comments are skipped; an optional leading
+    /// `N:` line-number label (as printed by [`Program`]'s `Display`) is
+    /// ignored, so `parse_asm(p.to_string())` round-trips.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseAsmError`] locating the first malformed line.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpu_isa::Program;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p = Program::parse_asm(
+    ///     "COMPUTE h0 v0\n\
+    ///      ADD r0 r1 r2   # body\n\
+    ///      COMPUTE_DONE",
+    /// )?;
+    /// assert_eq!(p.len(), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse_asm(text: &str) -> Result<Program, ParseAsmError> {
+        let mut instructions = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let no_comment = raw.split('#').next().unwrap_or("");
+            let mut body = no_comment.trim();
+            // Strip a leading `N:` label if present.
+            if let Some(colon) = body.find(':') {
+                if body[..colon].chars().all(|c| c.is_ascii_digit()) && colon > 0 {
+                    body = body[colon + 1..].trim_start();
+                }
+            }
+            if body.is_empty() {
+                continue;
+            }
+            let instr = body
+                .parse::<Instruction>()
+                .map_err(|message| ParseAsmError { line: line_no, message })?;
+            instructions.push(instr);
+        }
+        Ok(Program::from_instructions(instructions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_table_ii_syntax() {
+        let i = Instruction::Binary {
+            op: BinaryOp::Add,
+            rs: RegId(0),
+            rt: RegId(1),
+            rd: RegId(2),
+        };
+        assert_eq!(i.to_string(), "ADD r0 r1 r2");
+        assert_eq!(
+            Instruction::Compute { rfh: RfhId(1), vrf: VrfId(1) }.to_string(),
+            "COMPUTE h1 v1"
+        );
+        assert_eq!(
+            Instruction::Memcpy {
+                src_vrf: VrfId(0),
+                rs: RegId(1),
+                dst_vrf: VrfId(2),
+                rd: RegId(3)
+            }
+            .to_string(),
+            "MEMCPY v0 r1 v2 r3"
+        );
+        assert_eq!(Instruction::JumpCond { target: LineNum(4) }.to_string(), "JUMP_COND @4");
+    }
+
+    #[test]
+    fn parse_accepts_comments_blanks_and_labels() {
+        let p = Program::parse_asm(
+            "# a program\n\
+             \n\
+             0: COMPUTE h0 v1\n\
+             ADD r0 r1 r2 # add\n\
+             COMPUTE_DONE\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let p = Program::from_instructions(vec![
+            Instruction::Compute { rfh: RfhId(2), vrf: VrfId(5) },
+            Instruction::Init { value: InitValue::One, rd: RegId(1) },
+            Instruction::Compare { op: CompareOp::Lt, rs: RegId(1), rt: RegId(2) },
+            Instruction::SetMask { rs: RegId(63) },
+            Instruction::JumpCond { target: LineNum(1) },
+            Instruction::Unmask,
+            Instruction::ComputeDone,
+        ]);
+        let text = p.to_string();
+        let back = Program::parse_asm(&text).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn parse_rejects_bad_operand_counts() {
+        let e = Program::parse_asm("ADD r0 r1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_mnemonic() {
+        let e = Program::parse_asm("FROB r0").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_prefix() {
+        let e = Program::parse_asm("ADD v0 r1 r2").unwrap_err();
+        assert!(e.message.contains("expected register"));
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_on_mnemonics() {
+        let p = Program::parse_asm("nop\nmpu_sync").unwrap();
+        assert_eq!(p[0], Instruction::Nop);
+        assert_eq!(p[1], Instruction::MpuSync);
+    }
+
+    #[test]
+    fn bare_line_numbers_accepted_for_jumps() {
+        let p = Program::parse_asm("JUMP 0").unwrap();
+        assert_eq!(p[0], Instruction::Jump { target: LineNum(0) });
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the MPU ISA: encode/decode and text round-trips
+//! over arbitrary instructions, and decoder totality over arbitrary words.
+
+use mpu_isa::{
+    BinaryOp, CompareOp, InitValue, Instruction, LineNum, MpuId, Program, RegId, RfhId, VrfId,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = RegId> {
+    (0..=RegId::MAX).prop_map(RegId)
+}
+fn arb_vrf() -> impl Strategy<Value = VrfId> {
+    (0..=VrfId::MAX).prop_map(VrfId)
+}
+fn arb_rfh() -> impl Strategy<Value = RfhId> {
+    (0..=RfhId::MAX).prop_map(RfhId)
+}
+fn arb_mpu() -> impl Strategy<Value = MpuId> {
+    (0..=MpuId::MAX).prop_map(MpuId)
+}
+fn arb_line() -> impl Strategy<Value = LineNum> {
+    (0..=LineNum::MAX).prop_map(LineNum)
+}
+
+fn arb_binary_op() -> impl Strategy<Value = BinaryOp> {
+    prop::sample::select(BinaryOp::ALL.to_vec())
+}
+fn arb_unary_op() -> impl Strategy<Value = mpu_isa::UnaryOp> {
+    prop::sample::select(mpu_isa::UnaryOp::ALL.to_vec())
+}
+fn arb_compare_op() -> impl Strategy<Value = CompareOp> {
+    prop::sample::select(CompareOp::ALL.to_vec())
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_rfh(), arb_vrf()).prop_map(|(rfh, vrf)| Instruction::Compute { rfh, vrf }),
+        Just(Instruction::ComputeDone),
+        Just(Instruction::MpuSync),
+        (arb_rfh(), arb_rfh()).prop_map(|(src, dst)| Instruction::Move { src, dst }),
+        Just(Instruction::MoveDone),
+        arb_mpu().prop_map(|dst| Instruction::Send { dst }),
+        Just(Instruction::SendDone),
+        arb_mpu().prop_map(|src| Instruction::Recv { src }),
+        arb_reg().prop_map(|rd| Instruction::GetMask { rd }),
+        arb_reg().prop_map(|rs| Instruction::SetMask { rs }),
+        Just(Instruction::Unmask),
+        arb_line().prop_map(|target| Instruction::JumpCond { target }),
+        arb_line().prop_map(|target| Instruction::Jump { target }),
+        Just(Instruction::Return),
+        Just(Instruction::Nop),
+        (arb_binary_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rs, rt, rd)| Instruction::Binary { op, rs, rt, rd }),
+        (arb_unary_op(), arb_reg(), arb_reg())
+            .prop_map(|(op, rs, rd)| Instruction::Unary { op, rs, rd }),
+        (arb_compare_op(), arb_reg(), arb_reg())
+            .prop_map(|(op, rs, rt)| Instruction::Compare { op, rs, rt }),
+        (arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(rs, rt, rd)| Instruction::Fuzzy { rs, rt, rd }),
+        (arb_reg(), arb_reg()).prop_map(|(rs, rt)| Instruction::Cas { rs, rt }),
+        (prop::bool::ANY, arb_reg()).prop_map(|(one, rd)| Instruction::Init {
+            value: if one { InitValue::One } else { InitValue::Zero },
+            rd
+        }),
+        (arb_vrf(), arb_reg(), arb_vrf(), arb_reg()).prop_map(|(src_vrf, rs, dst_vrf, rd)| {
+            Instruction::Memcpy { src_vrf, rs, dst_vrf, rd }
+        }),
+    ]
+}
+
+proptest! {
+    /// Binary encoding is lossless and canonical for every instruction.
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instruction()) {
+        let word = instr.encode();
+        let back = Instruction::decode(word).expect("decode of encoded word");
+        prop_assert_eq!(instr, back);
+        prop_assert_eq!(back.encode(), word);
+    }
+
+    /// Textual assembly round-trips through Display + parse.
+    #[test]
+    fn text_roundtrip(instr in arb_instruction()) {
+        let text = instr.to_string();
+        let back: Instruction = text.parse().map_err(|e: String| {
+            TestCaseError::fail(format!("parse of `{text}` failed: {e}"))
+        })?;
+        prop_assert_eq!(instr, back);
+    }
+
+    /// The decoder never panics: every 32-bit word either decodes or
+    /// produces a structured error.
+    #[test]
+    fn decoder_is_total(word in any::<u32>()) {
+        let _ = Instruction::decode(word);
+    }
+
+    /// Program-level encode/decode round-trips for arbitrary instruction
+    /// sequences (structure not required for codec correctness).
+    #[test]
+    fn program_roundtrip(instrs in prop::collection::vec(arb_instruction(), 0..64)) {
+        let p = Program::from_instructions(instrs);
+        let words = p.encode();
+        prop_assert_eq!(Program::decode(&words).expect("decode"), p);
+    }
+
+    /// Program text round-trips through Display + parse_asm.
+    #[test]
+    fn program_text_roundtrip(instrs in prop::collection::vec(arb_instruction(), 0..32)) {
+        let p = Program::from_instructions(instrs);
+        let text = p.to_string();
+        let back = Program::parse_asm(&text).expect("parse_asm");
+        prop_assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,64 @@
+//! # mastodon — a cycle-accurate MPU simulator
+//!
+//! A reproduction of the paper's MASTODON (*Memory Array Simulation
+//! Testbed for Organization, Data, Operations, and Networks*): it executes
+//! MPU ISA binaries on modeled bitwise PUM datapaths with the full control
+//! path of the paper's §VI —
+//!
+//! * **precoder/fetcher** walking the binary and distributing ensembles,
+//! * **compute controller** with playback-buffer replay, an I2M decoder
+//!   backed by a capacity-bounded recipe cache (template lookup, Fig. 9),
+//!   per-VRF mask registers and the EFI for `JUMP_COND`,
+//! * **thermal-aware scheduler** forming per-RFH activation waves (Fig. 10),
+//! * **data transfer controller** for move blocks and `SEND`/`RECV`
+//!   message passing over a mesh NoC ([`System`]),
+//! * a **Baseline mode** in which control-flow instructions trigger host
+//!   CPU round trips over the off-chip bus — the configuration the paper
+//!   compares against.
+//!
+//! Execution is functionally exact (vector state lives in bit-plane VRFs
+//! and every instruction runs via its micro-op recipe), so simulations
+//! produce checkable results along with cycle/energy statistics.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mastodon::{run_single, SimConfig};
+//! use mpu_isa::Program;
+//! use pum_backend::DatapathKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Program::parse_asm(
+//!     "COMPUTE h0 v0\n\
+//!      MUL r0 r1 r2\n\
+//!      COMPUTE_DONE",
+//! )?;
+//! let (stats, mut mpu) = run_single(
+//!     SimConfig::mpu(DatapathKind::Racer),
+//!     &program,
+//!     &[((0, 0, 0), vec![6; 64]), ((0, 0, 1), vec![7; 64])],
+//! )?;
+//! assert_eq!(mpu.read_register(0, 0, 2)?[0], 42);
+//! println!("{} cycles, {} µops", stats.cycles, stats.uops);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autotune;
+mod config;
+mod machine;
+mod noc;
+mod recipe_cache;
+mod stats;
+mod system;
+
+pub use autotune::{autotune, EnsembleShape, TuneResult};
+pub use config::{ControlCosts, ExecutionMode, NocParams, OffloadParams, SimConfig};
+pub use machine::{run_single, Message, Mpu, RemoteWrite, SimError, StepEvent};
+pub use noc::MeshNoc;
+pub use recipe_cache::RecipeCache;
+pub use stats::{EnergyStats, Stats};
+pub use system::{System, SystemError};

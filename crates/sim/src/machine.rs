@@ -1,0 +1,1133 @@
+//! The single-MPU execution engine: precoder/fetcher walk, compute
+//! controller with playback-buffer replay and thermal-wave scheduling
+//! (paper Fig. 10), EFI-backed control flow, the data transfer controller,
+//! and the Baseline host-offload model.
+//!
+//! Execution is *functionally exact*: vector state lives in
+//! [`BitPlaneVrf`]s and every compute instruction runs by applying its
+//! micro-op recipe, so kernels produce real results that tests check
+//! against reference implementations. Timing and energy accumulate from
+//! the datapath model and control-path cost table as the program runs.
+
+use crate::config::{ExecutionMode, SimConfig};
+use crate::recipe_cache::RecipeCache;
+use crate::stats::Stats;
+use mpu_isa::{Instruction, MpuId, Program, COND_REG};
+use pum_backend::{BitPlaneVrf, Plane, Recipe};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An error raised while executing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program is structurally invalid (validator message).
+    InvalidProgram(String),
+    /// A VRF or RFH index exceeds the datapath geometry.
+    GeometryExceeded {
+        /// Offending instruction index.
+        line: usize,
+        /// Description of the violation.
+        what: String,
+    },
+    /// A `RETURN` executed with an empty return-address stack inside an
+    /// ensemble body.
+    ReturnUnderflow {
+        /// Offending instruction index.
+        line: usize,
+    },
+    /// Top-level execution reached a compute instruction outside any
+    /// ensemble (fell into a subroutine body; end `main` with `RETURN`).
+    StrayInstruction {
+        /// Offending instruction index.
+        line: usize,
+        /// Mnemonic of the stray instruction.
+        mnemonic: &'static str,
+    },
+    /// `SEND`/`RECV` executed on a lone machine outside a
+    /// [`crate::System`].
+    CommOutsideSystem {
+        /// Offending instruction index.
+        line: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidProgram(m) => write!(f, "invalid program: {m}"),
+            SimError::GeometryExceeded { line, what } => {
+                write!(f, "line {line}: geometry exceeded: {what}")
+            }
+            SimError::ReturnUnderflow { line } => {
+                write!(f, "line {line}: RETURN with empty return-address stack")
+            }
+            SimError::StrayInstruction { line, mnemonic } => {
+                write!(f, "line {line}: {mnemonic} reached outside any ensemble")
+            }
+            SimError::CommOutsideSystem { line } => {
+                write!(f, "line {line}: SEND/RECV requires a multi-MPU System")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One register's worth of data shipped to another MPU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemoteWrite {
+    /// Destination RF holder.
+    pub rfh: u16,
+    /// Destination VRF within the holder.
+    pub vrf: u16,
+    /// Destination register.
+    pub reg: u8,
+    /// Element values, one per lane.
+    pub values: Vec<u64>,
+}
+
+/// An inter-MPU message produced by a `SEND` block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Sender.
+    pub src: MpuId,
+    /// Receiver.
+    pub dst: MpuId,
+    /// Register payloads to apply at the receiver.
+    pub writes: Vec<RemoteWrite>,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Sender-local cycle at which the message left the MPU.
+    pub departure_cycle: u64,
+}
+
+/// Outcome of advancing a machine to its next communication boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepEvent {
+    /// The program ran to completion (or a top-level `RETURN` halt).
+    Completed,
+    /// A `SEND` block finished; deliver this message, then call step again.
+    Sent(Box<Message>),
+    /// Execution is blocked on `RECV` from the named MPU; deliver a
+    /// message with [`Mpu::deliver`] and step again.
+    AwaitingRecv {
+        /// The expected sender.
+        src: MpuId,
+    },
+}
+
+/// A single memory processing unit: control path + its slice of the PUM
+/// datapath.
+///
+/// # Example
+///
+/// ```
+/// use mastodon::{Mpu, SimConfig};
+/// use mpu_isa::Program;
+/// use pum_backend::DatapathKind;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut mpu = Mpu::new(SimConfig::mpu(DatapathKind::Racer), 0.into());
+/// mpu.write_register(0, 0, 0, &vec![2; 64])?;
+/// mpu.write_register(0, 0, 1, &vec![40; 64])?;
+/// let program = Program::parse_asm(
+///     "COMPUTE h0 v0\n\
+///      ADD r0 r1 r2\n\
+///      COMPUTE_DONE",
+/// )?;
+/// let stats = mpu.run(&program)?;
+/// assert_eq!(mpu.read_register(0, 0, 2)?[0], 42);
+/// assert!(stats.cycles > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Mpu {
+    config: SimConfig,
+    id: MpuId,
+    vrfs: HashMap<(u16, u16), BitPlaneVrf>,
+    cache: RecipeCache,
+    stats: Stats,
+    pc: usize,
+    halted: bool,
+    inbox: Vec<Message>,
+}
+
+impl Mpu {
+    /// Creates an MPU with empty (zeroed) VRFs.
+    pub fn new(config: SimConfig, id: MpuId) -> Self {
+        let cache = RecipeCache::new(config.template_entries);
+        Self {
+            config,
+            id,
+            vrfs: HashMap::new(),
+            cache,
+            stats: Stats::default(),
+            pc: 0,
+            halted: false,
+            inbox: Vec::new(),
+        }
+    }
+
+    /// This MPU's identifier.
+    pub fn id(&self) -> MpuId {
+        self.id
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn check_geometry(&self, line: usize, rfh: u16, vrf: u16) -> Result<(), SimError> {
+        let g = self.config.datapath.geometry();
+        if (rfh as usize) >= g.rfhs_per_mpu {
+            return Err(SimError::GeometryExceeded {
+                line,
+                what: format!("RFH {rfh} >= {}", g.rfhs_per_mpu),
+            });
+        }
+        if (vrf as usize) >= g.vrfs_per_rfh {
+            return Err(SimError::GeometryExceeded {
+                line,
+                what: format!("VRF {vrf} >= {}", g.vrfs_per_rfh),
+            });
+        }
+        Ok(())
+    }
+
+    fn vrf_mut(&mut self, rfh: u16, vrf: u16) -> &mut BitPlaneVrf {
+        let g = self.config.datapath.geometry();
+        self.vrfs
+            .entry((rfh, vrf))
+            .or_insert_with(|| BitPlaneVrf::new(g.lanes_per_vrf, g.regs_per_vrf))
+    }
+
+    /// Host/DMA path: loads element values into a register (untimed; the
+    /// paper's workloads assume data resident in PUM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::GeometryExceeded`] for out-of-range indices.
+    pub fn write_register(
+        &mut self,
+        rfh: u16,
+        vrf: u16,
+        reg: u8,
+        values: &[u64],
+    ) -> Result<(), SimError> {
+        self.check_geometry(0, rfh, vrf)?;
+        let lanes = self.config.datapath.geometry().lanes_per_vrf;
+        let mut padded = values.to_vec();
+        padded.resize(lanes, 0);
+        self.vrf_mut(rfh, vrf).write_lane_values(reg, &padded);
+        Ok(())
+    }
+
+    /// Host/DMA path: reads a register back as element values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::GeometryExceeded`] for out-of-range indices.
+    pub fn read_register(&mut self, rfh: u16, vrf: u16, reg: u8) -> Result<Vec<u64>, SimError> {
+        self.check_geometry(0, rfh, vrf)?;
+        Ok(self.vrf_mut(rfh, vrf).read_lane_values(reg))
+    }
+
+    /// Runs a complete program that performs no inter-MPU communication.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid programs, geometry violations, or `SEND`/`RECV`
+    /// (which need a [`crate::System`]).
+    pub fn run(&mut self, program: &Program) -> Result<Stats, SimError> {
+        self.reset_pc();
+        match self.step(program)? {
+            StepEvent::Completed => Ok(self.finish()),
+            StepEvent::Sent(_) | StepEvent::AwaitingRecv { .. } => {
+                Err(SimError::CommOutsideSystem { line: self.pc })
+            }
+        }
+    }
+
+    /// Rewinds the PC for a fresh run (VRF data is preserved).
+    pub fn reset_pc(&mut self) {
+        self.pc = 0;
+        self.halted = false;
+    }
+
+    /// Finalizes end-of-run energy (front-end power in MPU mode, CPU idle
+    /// power in Baseline mode) and returns a snapshot of the statistics.
+    pub fn finish(&mut self) -> Stats {
+        match self.config.mode {
+            ExecutionMode::Mpu => {
+                self.stats.energy.frontend_pj += (self.config.frontend_dynamic_mw
+                    + self.config.frontend_static_mw)
+                    * self.stats.cycles as f64;
+            }
+            ExecutionMode::Baseline => {
+                let non_offload = self.stats.cycles.saturating_sub(self.stats.offload_cycles);
+                self.stats.energy.cpu_pj +=
+                    self.config.offload.cpu_idle_mw * non_offload as f64;
+            }
+        }
+        self.stats
+    }
+
+    /// Queues an incoming message (applied when `RECV` executes).
+    pub fn deliver(&mut self, message: Message, arrival_cycle: u64) {
+        // The receiver cannot see the message before it arrives.
+        self.stats.cycles = self.stats.cycles.max(arrival_cycle);
+        self.inbox.push(message);
+    }
+
+    /// Advances execution until completion or the next communication
+    /// boundary. See [`StepEvent`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn step(&mut self, program: &Program) -> Result<StepEvent, SimError> {
+        if self.pc == 0 && !self.halted {
+            program.validate().map_err(|e| SimError::InvalidProgram(e.to_string()))?;
+        }
+        let len = program.len();
+        while self.pc < len && !self.halted {
+            let line = self.pc;
+            match program[line] {
+                Instruction::Compute { .. } => self.exec_compute_ensemble(program)?,
+                Instruction::Move { .. } => self.exec_transfer_block(program, None)?,
+                Instruction::MpuSync => {
+                    // One compute controller → ensembles already serialized;
+                    // the fence costs a marker.
+                    self.stats.cycles += self.config.control.ensemble_marker;
+                    self.stats.control_cycles += self.config.control.ensemble_marker;
+                    self.stats.instructions += 1;
+                    self.pc += 1;
+                }
+                Instruction::Send { dst } => {
+                    // Baseline datapaths have no inter-MPU message passing:
+                    // the host CPU mediates every collective step.
+                    let msg = self.exec_send_block(program, dst)?;
+                    self.offload_comm(msg.bytes);
+                    return Ok(StepEvent::Sent(Box::new(msg)));
+                }
+                Instruction::Recv { src } => {
+                    if let Some(pos) = self.inbox.iter().position(|m| m.src == src) {
+                        let msg = self.inbox.remove(pos);
+                        if self.config.mode == ExecutionMode::Baseline {
+                            // CPU-mediated delivery over the off-chip bus.
+                            self.offload_comm(msg.bytes);
+                        }
+                        self.apply_message(&msg);
+                        self.stats.instructions += 1;
+                        self.pc += 1;
+                    } else {
+                        return Ok(StepEvent::AwaitingRecv { src });
+                    }
+                }
+                Instruction::Return => {
+                    // Top-level RETURN is the halt convention (end of main;
+                    // subroutine bodies follow).
+                    self.halted = true;
+                    self.stats.instructions += 1;
+                }
+                Instruction::Nop => {
+                    self.stats.cycles += self.config.control.nop;
+                    self.stats.control_cycles += self.config.control.nop;
+                    self.stats.instructions += 1;
+                    self.pc += 1;
+                }
+                ref other => {
+                    return Err(SimError::StrayInstruction {
+                        line,
+                        mnemonic: other.mnemonic(),
+                    });
+                }
+            }
+        }
+        Ok(StepEvent::Completed)
+    }
+
+    // ----- compute ensembles ------------------------------------------
+
+    /// Executes one compute ensemble starting at `self.pc` (its first
+    /// `COMPUTE` header instruction), including thermal-wave replay.
+    fn exec_compute_ensemble(&mut self, program: &Program) -> Result<(), SimError> {
+        let marker = self.config.control.ensemble_marker;
+        // Collect the contiguous COMPUTE header.
+        let mut members: Vec<(u16, u16)> = Vec::new();
+        while let Instruction::Compute { rfh, vrf } = program[self.pc] {
+            self.check_geometry(self.pc, rfh.0, vrf.0)?;
+            members.push((rfh.0, vrf.0));
+            self.stats.cycles += marker;
+            self.stats.control_cycles += marker;
+            self.stats.instructions += 1;
+            self.pc += 1;
+        }
+        let body_start = self.pc;
+
+        // Thermal-aware wave formation (Fig. 10): per-RFH queues, at most
+        // `active_vrfs_per_rfh` of each RFH's VRFs per wave.
+        let waves = form_waves(&members, self.config.datapath.geometry().active_vrfs_per_rfh);
+        self.stats.scheduler_waves += waves.len() as u64;
+
+        let mut end_pc = body_start;
+        for wave in &waves {
+            end_pc = self.run_body(program, body_start, wave)?;
+        }
+        if waves.is_empty() {
+            // Headerless (empty) ensemble: skip to the footer.
+            end_pc = self.run_body(program, body_start, &[])?;
+        }
+        // Footer.
+        self.stats.cycles += marker;
+        self.stats.control_cycles += marker;
+        self.stats.instructions += 1;
+        self.pc = end_pc + 1;
+        Ok(())
+    }
+
+    /// Interprets an ensemble body once for one wave of VRFs; returns the
+    /// index of the terminating `COMPUTE_DONE`.
+    fn run_body(
+        &mut self,
+        program: &Program,
+        body_start: usize,
+        wave: &[(u16, u16)],
+    ) -> Result<usize, SimError> {
+        let mut pc = body_start;
+        let mut return_stack: Vec<usize> = Vec::new();
+        // RACER bit-pipelining: consecutive compute instructions overlap
+        // across bit-stages; the first instruction after a (re)fill pays
+        // full serial latency, later ones only their stage time.
+        let mut pipeline_warm = false;
+        // Baseline offload batching: one host round trip services a
+        // contiguous run of control instructions; a compute instruction
+        // ends the batch.
+        let mut offload_batch = false;
+        // Playback-buffer occupancy: bodies longer than the buffer incur
+        // refills.
+        let mut playback_used = 0usize;
+
+        // Reset masks: an ensemble starts with all lanes enabled.
+        for &(rfh, vrf) in wave {
+            self.vrf_mut(rfh, vrf).fill_plane(Plane::Mask, true);
+        }
+
+        loop {
+            let line = pc;
+            let instr = program[line];
+            playback_used += 1;
+            if playback_used > self.config.playback_entries {
+                playback_used = 1;
+                self.charge_control(self.config.control.playback_refill);
+            }
+            match instr {
+                Instruction::ComputeDone => {
+                    // Leave predication clean for the next ensemble.
+                    for &(rfh, vrf) in wave {
+                        self.vrf_mut(rfh, vrf).fill_plane(Plane::Mask, true);
+                    }
+                    return Ok(line);
+                }
+                Instruction::Binary { .. }
+                | Instruction::Unary { .. }
+                | Instruction::Compare { .. }
+                | Instruction::Fuzzy { .. }
+                | Instruction::Cas { .. }
+                | Instruction::Init { .. } => {
+                    // In Baseline mode the CPU stays engaged across the
+                    // whole control region (it issues these datapath ops
+                    // remotely), so an open offload batch persists.
+                    self.exec_compute_instr(&instr, wave, &mut pipeline_warm)?;
+                    pc += 1;
+                }
+                Instruction::SetMask { rs } => {
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch);
+                    self.charge_control(self.config.control.mask_update);
+                    for &(rfh, vrf) in wave {
+                        let v = self.vrf_mut(rfh, vrf);
+                        if rs == COND_REG {
+                            v.copy_plane(Plane::Cond, Plane::Mask);
+                        } else {
+                            v.copy_plane(Plane::Reg { reg: rs.0 as u8, bit: 0 }, Plane::Mask);
+                        }
+                    }
+                    self.stats.instructions += 1;
+                    pc += 1;
+                }
+                Instruction::GetMask { rd } => {
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch);
+                    self.charge_control(self.config.control.mask_readout);
+                    for &(rfh, vrf) in wave {
+                        let v = self.vrf_mut(rfh, vrf);
+                        v.set_mask_enabled(false);
+                        v.copy_plane(Plane::Mask, Plane::Reg { reg: rd.0 as u8, bit: 0 });
+                        for bit in 1..64 {
+                            v.fill_plane(Plane::Reg { reg: rd.0 as u8, bit }, false);
+                        }
+                        v.set_mask_enabled(true);
+                    }
+                    self.stats.instructions += 1;
+                    pc += 1;
+                }
+                Instruction::Unmask => {
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch);
+                    self.charge_control(self.config.control.mask_update);
+                    for &(rfh, vrf) in wave {
+                        self.vrf_mut(rfh, vrf).fill_plane(Plane::Mask, true);
+                    }
+                    self.stats.instructions += 1;
+                    pc += 1;
+                }
+                Instruction::JumpCond { target } => {
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch);
+                    // The branch decision hands control back to the PUM
+                    // fetcher: the CPU visit ends here.
+                    offload_batch = false;
+                    self.charge_control(self.config.control.efi_eval);
+                    // EFI: jump back (continue the loop) while any lane of
+                    // any wave VRF remains enabled (§VI-B semantics).
+                    let any_enabled = wave
+                        .iter()
+                        .any(|&(rfh, vrf)| self.vrf_mut(rfh, vrf).any_lane_set(Plane::Mask));
+                    self.stats.instructions += 1;
+                    pc = if any_enabled { target.index() } else { pc + 1 };
+                }
+                Instruction::Jump { target } => {
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch);
+                    self.charge_control(self.config.control.jump);
+                    self.stats.instructions += 1;
+                    return_stack.push(pc + 1);
+                    pc = target.index();
+                }
+                Instruction::Return => {
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch);
+                    self.charge_control(self.config.control.jump);
+                    self.stats.instructions += 1;
+                    pc = return_stack.pop().ok_or(SimError::ReturnUnderflow { line })?;
+                }
+                Instruction::Nop => {
+                    self.charge_control(self.config.control.nop);
+                    self.stats.instructions += 1;
+                    pc += 1;
+                }
+                ref other => {
+                    return Err(SimError::StrayInstruction {
+                        line,
+                        mnemonic: other.mnemonic(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Issues one compute instruction to every VRF of the wave.
+    fn exec_compute_instr(
+        &mut self,
+        instr: &Instruction,
+        wave: &[(u16, u16)],
+        pipeline_warm: &mut bool,
+    ) -> Result<(), SimError> {
+        let (recipe, hit) = match self.cache.lookup(&self.config.datapath, instr) {
+            Some(r) => r,
+            None => return Ok(()), // unreachable for compute instructions
+        };
+        let recipe: Rc<Recipe> = recipe;
+        // Decode cost: MPU caches templates; Baseline decodes every time.
+        match self.config.mode {
+            ExecutionMode::Mpu => {
+                if hit {
+                    self.stats.recipe_hits += 1;
+                } else {
+                    self.stats.recipe_misses += 1;
+                    self.charge_control(self.config.control.recipe_miss_penalty);
+                }
+            }
+            ExecutionMode::Baseline => {
+                self.stats.recipe_misses += 1;
+                self.charge_control(self.config.control.recipe_miss_penalty);
+            }
+        }
+
+        // Timing: micro-ops are broadcast to all wave VRFs, so issue time
+        // does not scale with wave size. RACER overlaps consecutive
+        // instructions across bit-stages once the pipeline is warm.
+        let serial = self.config.datapath.recipe_cycles(&recipe);
+        let cycles = if self.config.datapath.bit_pipelined() && *pipeline_warm {
+            self.config.datapath.recipe_stage_cycles(&recipe)
+        } else {
+            serial
+        };
+        *pipeline_warm = true;
+        self.stats.cycles += cycles;
+        self.stats.compute_cycles += cycles;
+        self.stats.instructions += 1;
+        self.stats.uops += recipe.len() as u64;
+
+        // Functional execution + datapath energy (only enabled lanes burn
+        // switching energy — the mask power-gates the drivers).
+        let mut energy = 0.0;
+        for &(rfh, vrf) in wave {
+            let v = self.vrf_mut(rfh, vrf);
+            let enabled = v.count_lanes_set(Plane::Mask);
+            for op in recipe.ops() {
+                op.apply(v);
+            }
+            energy += self.config.datapath.recipe_energy_pj(&recipe, enabled);
+        }
+        self.stats.energy.datapath_pj += energy;
+        Ok(())
+    }
+
+    /// Charges the Baseline host round trip for a control-flow instruction
+    /// (no-op in MPU mode) and drains the bit pipeline. One round trip
+    /// services a contiguous batch of control instructions (the CPU
+    /// evaluates the whole mask/branch sequence in one visit); follow-on
+    /// instructions within a batch only pay the bus transfer and a short
+    /// CPU handling time.
+    fn control_or_offload(
+        &mut self,
+        wave: &[(u16, u16)],
+        pipeline_warm: &mut bool,
+        offload_batch: &mut bool,
+    ) {
+        if self.config.mode != ExecutionMode::Baseline {
+            return;
+        }
+        *pipeline_warm = false; // offload drains the pipeline
+        let lanes = self.config.datapath.geometry().lanes_per_vrf;
+        let bytes = (wave.len().max(1) * lanes).div_ceil(8) as f64;
+        let off = &self.config.offload;
+        let bus_cycles = (bytes / off.bus_bytes_per_cycle).ceil() as u64;
+        let cycles = if *offload_batch {
+            // Already at the CPU: per-instruction handling + data movement.
+            64 + bus_cycles
+        } else {
+            self.stats.offload_events += 1;
+            off.round_trip_cycles + bus_cycles
+        };
+        *offload_batch = true;
+        self.stats.cycles += cycles;
+        self.stats.offload_cycles += cycles;
+        self.stats.energy.offload_bus_pj += bytes * off.bus_pj_per_byte;
+        self.stats.energy.cpu_pj += off.cpu_active_mw * cycles as f64;
+    }
+
+    fn charge_control(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+        self.stats.control_cycles += cycles;
+    }
+
+    /// Baseline-mode CPU mediation of inter-MPU communication: one host
+    /// round trip plus moving `bytes` across the off-chip bus twice
+    /// (PUM → CPU → PUM). No-op in MPU mode.
+    fn offload_comm(&mut self, bytes: u64) {
+        if self.config.mode != ExecutionMode::Baseline {
+            return;
+        }
+        let off = &self.config.offload;
+        let bus = ((2 * bytes) as f64 / off.bus_bytes_per_cycle).ceil() as u64;
+        let cycles = off.round_trip_cycles + bus;
+        self.stats.cycles += cycles;
+        self.stats.offload_cycles += cycles;
+        self.stats.offload_events += 1;
+        self.stats.energy.offload_bus_pj += 2.0 * bytes as f64 * off.bus_pj_per_byte;
+        self.stats.energy.cpu_pj += off.cpu_active_mw * cycles as f64;
+    }
+
+    // ----- transfer ensembles ------------------------------------------
+
+    /// Executes a move block. With `message` set, the block belongs to a
+    /// `SEND` and the copies become remote writes instead of local ones.
+    fn exec_transfer_block(
+        &mut self,
+        program: &Program,
+        mut message: Option<&mut Message>,
+    ) -> Result<(), SimError> {
+        let marker = self.config.control.ensemble_marker;
+        // Header: source/destination RFH pairs → the DTC's target map.
+        let mut pairs: Vec<(u16, u16)> = Vec::new();
+        while let Instruction::Move { src, dst } = program[self.pc] {
+            pairs.push((src.0, dst.0));
+            self.stats.cycles += marker;
+            self.stats.control_cycles += marker;
+            self.stats.instructions += 1;
+            self.pc += 1;
+        }
+        let lanes = self.config.datapath.geometry().lanes_per_vrf;
+        let words = lanes as u64; // one 64-bit word per lane per register
+        loop {
+            match program[self.pc] {
+                Instruction::MoveDone => {
+                    self.stats.cycles += marker;
+                    self.stats.control_cycles += marker;
+                    self.stats.instructions += 1;
+                    self.pc += 1;
+                    return Ok(());
+                }
+                Instruction::Memcpy { src_vrf, rs, dst_vrf, rd } => {
+                    let line = self.pc;
+                    for &(src_rfh, dst_rfh) in &pairs {
+                        self.check_geometry(line, src_rfh, src_vrf.0)?;
+                        let values = {
+                            let v = self.vrf_mut(src_rfh, src_vrf.0);
+                            v.read_lane_values(rs.0 as u8)
+                        };
+                        match message.as_deref_mut() {
+                            Some(msg) => {
+                                msg.writes.push(RemoteWrite {
+                                    rfh: dst_rfh,
+                                    vrf: dst_vrf.0,
+                                    reg: rd.0 as u8,
+                                    values,
+                                });
+                                msg.bytes += words * 8;
+                            }
+                            None => {
+                                self.check_geometry(line, dst_rfh, dst_vrf.0)?;
+                                let padded = values;
+                                self.vrf_mut(dst_rfh, dst_vrf.0)
+                                    .write_lane_values(rd.0 as u8, &padded);
+                            }
+                        }
+                        // Sequential-consistency: transfers execute one at
+                        // a time, in order.
+                        let cycles = words * self.config.datapath.transfer_cycles_per_word();
+                        self.stats.cycles += cycles;
+                        self.stats.transfer_cycles += cycles;
+                        self.stats.energy.transfer_pj += words as f64
+                            * self.config.datapath.transfer_energy_pj_per_word();
+                    }
+                    self.stats.instructions += 1;
+                    self.pc += 1;
+                }
+                ref other => {
+                    return Err(SimError::StrayInstruction {
+                        line: self.pc,
+                        mnemonic: other.mnemonic(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Executes a `SEND` block, returning the message to deliver.
+    fn exec_send_block(&mut self, program: &Program, dst: MpuId) -> Result<Message, SimError> {
+        let marker = self.config.control.ensemble_marker;
+        self.stats.cycles += marker;
+        self.stats.control_cycles += marker;
+        self.stats.instructions += 1;
+        self.pc += 1; // past SEND
+        let mut msg = Message {
+            src: self.id,
+            dst,
+            writes: Vec::new(),
+            bytes: 0,
+            departure_cycle: 0,
+        };
+        while !matches!(program[self.pc], Instruction::SendDone) {
+            match program[self.pc] {
+                Instruction::Move { .. } => {
+                    self.exec_transfer_block(program, Some(&mut msg))?
+                }
+                ref other => {
+                    return Err(SimError::StrayInstruction {
+                        line: self.pc,
+                        mnemonic: other.mnemonic(),
+                    });
+                }
+            }
+        }
+        // SEND_DONE.
+        self.stats.cycles += marker;
+        self.stats.control_cycles += marker;
+        self.stats.instructions += 1;
+        self.pc += 1;
+        self.stats.messages_sent += 1;
+        self.stats.noc_bytes += msg.bytes;
+        msg.departure_cycle = self.stats.cycles;
+        Ok(msg)
+    }
+
+    fn apply_message(&mut self, msg: &Message) {
+        for w in &msg.writes {
+            let lanes = self.config.datapath.geometry().lanes_per_vrf;
+            let mut padded = w.values.clone();
+            padded.resize(lanes, 0);
+            self.vrf_mut(w.rfh, w.vrf).write_lane_values(w.reg, &padded);
+        }
+    }
+
+    /// Local cycle count (used by the multi-MPU system loop).
+    pub fn local_cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Advances the local clock (NoC delays, rendezvous waits).
+    pub fn advance_to(&mut self, cycle: u64) {
+        self.stats.cycles = self.stats.cycles.max(cycle);
+    }
+}
+
+/// Forms thermal-aware scheduling waves (Fig. 10): per-RFH queues, at most
+/// `limit` VRFs of each RFH per wave.
+fn form_waves(members: &[(u16, u16)], limit: usize) -> Vec<Vec<(u16, u16)>> {
+    let limit = limit.max(1);
+    let mut queues: HashMap<u16, Vec<(u16, u16)>> = HashMap::new();
+    let mut rfh_order: Vec<u16> = Vec::new();
+    for &(rfh, vrf) in members {
+        if !queues.contains_key(&rfh) {
+            rfh_order.push(rfh);
+        }
+        queues.entry(rfh).or_default().push((rfh, vrf));
+    }
+    let mut waves = Vec::new();
+    loop {
+        let mut wave = Vec::new();
+        for rfh in &rfh_order {
+            let queue = queues.get_mut(rfh).expect("rfh present");
+            let take = limit.min(queue.len());
+            wave.extend(queue.drain(..take));
+        }
+        if wave.is_empty() {
+            break;
+        }
+        waves.push(wave);
+    }
+    waves
+}
+
+/// Convenience: run `program` on a fresh MPU with initial register data and
+/// return `(stats, machine)` for inspection.
+///
+/// `inputs` maps `(rfh, vrf, reg)` to lane values.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from setup and execution.
+pub fn run_single(
+    config: SimConfig,
+    program: &Program,
+    inputs: &[((u16, u16, u8), Vec<u64>)],
+) -> Result<(Stats, Mpu), SimError> {
+    let mut mpu = Mpu::new(config, MpuId(0));
+    for ((rfh, vrf, reg), values) in inputs {
+        mpu.write_register(*rfh, *vrf, *reg, values)?;
+    }
+    let stats = mpu.run(program)?;
+    Ok((stats, mpu))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpu_isa::{BinaryOp, CompareOp, LineNum, RegId, UnaryOp, VrfId};
+    use pum_backend::DatapathKind;
+
+    fn asm(text: &str) -> Program {
+        Program::parse_asm(text).expect("valid asm")
+    }
+
+    fn racer() -> SimConfig {
+        SimConfig::mpu(DatapathKind::Racer)
+    }
+
+    #[test]
+    fn simple_add_runs_and_is_correct() {
+        let p = asm("COMPUTE h0 v0\nADD r0 r1 r2\nCOMPUTE_DONE");
+        let (stats, mut mpu) =
+            run_single(racer(), &p, &[((0, 0, 0), vec![5; 64]), ((0, 0, 1), vec![9; 64])])
+                .unwrap();
+        assert_eq!(mpu.read_register(0, 0, 2).unwrap(), vec![14; 64]);
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.uops, 641);
+        assert_eq!(stats.offload_events, 0);
+    }
+
+    #[test]
+    fn ensemble_broadcasts_to_all_vrfs() {
+        let p = asm(
+            "COMPUTE h0 v0\nCOMPUTE h1 v0\nINC r0 r1\nCOMPUTE_DONE",
+        );
+        let (_, mut mpu) =
+            run_single(racer(), &p, &[((0, 0, 0), vec![1; 64]), ((1, 0, 0), vec![10; 64])])
+                .unwrap();
+        assert_eq!(mpu.read_register(0, 0, 1).unwrap()[0], 2);
+        assert_eq!(mpu.read_register(1, 0, 1).unwrap()[0], 11);
+    }
+
+    #[test]
+    fn thermal_waves_replay_for_same_rfh_vrfs() {
+        // RACER allows 1 active VRF per RFH: two VRFs of the same RFH in
+        // one ensemble must execute in two waves, with identical results.
+        let p = asm(
+            "COMPUTE h0 v0\nCOMPUTE h0 v1\nINC r0 r1\nCOMPUTE_DONE",
+        );
+        let (stats, mut mpu) =
+            run_single(racer(), &p, &[((0, 0, 0), vec![1; 64]), ((0, 1, 0), vec![7; 64])])
+                .unwrap();
+        assert_eq!(stats.scheduler_waves, 2);
+        assert_eq!(mpu.read_register(0, 0, 1).unwrap()[0], 2);
+        assert_eq!(mpu.read_register(0, 1, 1).unwrap()[0], 8);
+
+        // MIMDRAM can activate both at once: one wave, same results.
+        let (stats, _) = run_single(
+            SimConfig::mpu(DatapathKind::Mimdram),
+            &p,
+            &[((0, 0, 0), vec![1; 512]), ((0, 1, 0), vec![7; 512])],
+        )
+        .unwrap();
+        assert_eq!(stats.scheduler_waves, 1);
+    }
+
+    #[test]
+    fn dynamic_loop_terminates_via_efi() {
+        // r0 counts down from lane index; loop decrements until all zero.
+        // while (r0 > r1): r0 -= r2  (r1 = 0, r2 = 1)
+        let p = Program::from_instructions(vec![
+            Instruction::Compute { rfh: 0.into(), vrf: VrfId(0) },
+            // loop head (line 1): cond = r0 > r1
+            Instruction::Compare { op: CompareOp::Gt, rs: RegId(0), rt: RegId(1) },
+            Instruction::SetMask { rs: COND_REG },
+            Instruction::Binary {
+                op: BinaryOp::Sub,
+                rs: RegId(0),
+                rt: RegId(2),
+                rd: RegId(0),
+            },
+            Instruction::JumpCond { target: LineNum(1) },
+            Instruction::Unmask,
+            Instruction::ComputeDone,
+        ]);
+        let init: Vec<u64> = (0..64).map(|i| i % 5).collect();
+        let (stats, mut mpu) = run_single(
+            racer(),
+            &p,
+            &[((0, 0, 0), init), ((0, 0, 1), vec![0; 64]), ((0, 0, 2), vec![1; 64])],
+        )
+        .unwrap();
+        assert_eq!(mpu.read_register(0, 0, 0).unwrap(), vec![0; 64]);
+        // 4 iterations (max initial value), data-driven.
+        assert!(stats.instructions > 10);
+        assert_eq!(stats.offload_events, 0, "MPU mode needs no CPU");
+    }
+
+    #[test]
+    fn baseline_mode_offloads_control_flow() {
+        let p = Program::from_instructions(vec![
+            Instruction::Compute { rfh: 0.into(), vrf: VrfId(0) },
+            Instruction::Compare { op: CompareOp::Gt, rs: RegId(0), rt: RegId(1) },
+            Instruction::SetMask { rs: COND_REG },
+            Instruction::Binary {
+                op: BinaryOp::Sub,
+                rs: RegId(0),
+                rt: RegId(2),
+                rd: RegId(0),
+            },
+            Instruction::JumpCond { target: LineNum(1) },
+            Instruction::Unmask,
+            Instruction::ComputeDone,
+        ]);
+        let inputs: [((u16, u16, u8), Vec<u64>); 3] =
+            [((0, 0, 0), vec![3; 64]), ((0, 0, 1), vec![0; 64]), ((0, 0, 2), vec![1; 64])];
+        let (mpu_stats, mut m1) =
+            run_single(SimConfig::mpu(DatapathKind::Racer), &p, &inputs).unwrap();
+        let (base_stats, mut m2) =
+            run_single(SimConfig::baseline(DatapathKind::Racer), &p, &inputs).unwrap();
+        // Same architectural result...
+        assert_eq!(
+            m1.read_register(0, 0, 0).unwrap(),
+            m2.read_register(0, 0, 0).unwrap()
+        );
+        // ...but Baseline pays CPU round trips.
+        assert!(base_stats.offload_events > 0);
+        assert!(base_stats.cycles > 3 * mpu_stats.cycles, "offloads dominate");
+        assert!(base_stats.energy.cpu_pj > 0.0);
+        assert_eq!(mpu_stats.offload_events, 0);
+        assert!(mpu_stats.energy.cpu_pj == 0.0);
+    }
+
+    #[test]
+    fn branches_predicate_lanes() {
+        // if (r0 == r1) r2 = r0 + r1 else r2 = r0 - r1, via mask + inverse.
+        let p = Program::from_instructions(vec![
+            Instruction::Compute { rfh: 0.into(), vrf: VrfId(0) },
+            Instruction::Compare { op: CompareOp::Eq, rs: RegId(0), rt: RegId(1) },
+            Instruction::SetMask { rs: COND_REG },
+            Instruction::Binary {
+                op: BinaryOp::Add,
+                rs: RegId(0),
+                rt: RegId(1),
+                rd: RegId(2),
+            },
+            // Invert the mask: getmask → r3, unmask, r3 = (r3 == 0), setmask.
+            Instruction::GetMask { rd: RegId(3) },
+            Instruction::Unmask,
+            Instruction::Init { value: mpu_isa::InitValue::Zero, rd: RegId(4) },
+            Instruction::Compare { op: CompareOp::Eq, rs: RegId(3), rt: RegId(4) },
+            Instruction::SetMask { rs: COND_REG },
+            Instruction::Binary {
+                op: BinaryOp::Sub,
+                rs: RegId(0),
+                rt: RegId(1),
+                rd: RegId(2),
+            },
+            Instruction::Unmask,
+            Instruction::ComputeDone,
+        ]);
+        let a: Vec<u64> = (0..64).map(|i| i).collect();
+        let b: Vec<u64> = (0..64).map(|i| if i % 2 == 0 { i } else { 1 }).collect();
+        let (_, mut mpu) =
+            run_single(racer(), &p, &[((0, 0, 0), a.clone()), ((0, 0, 1), b.clone())]).unwrap();
+        let got = mpu.read_register(0, 0, 2).unwrap();
+        for i in 0..64 {
+            let expect =
+                if a[i] == b[i] { a[i] + b[i] } else { a[i].wrapping_sub(b[i]) };
+            assert_eq!(got[i], expect, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn subroutine_call_and_halt_convention() {
+        // main: call subroutine at line 4, halt; sub: r1 = r0 + r0.
+        let p = Program::from_instructions(vec![
+            Instruction::Compute { rfh: 0.into(), vrf: VrfId(0) },
+            Instruction::Jump { target: LineNum(4) },
+            Instruction::ComputeDone,
+            Instruction::Return, // top-level halt (never reached: pc skips)
+            Instruction::Binary {
+                op: BinaryOp::Add,
+                rs: RegId(0),
+                rt: RegId(0),
+                rd: RegId(1),
+            },
+            Instruction::Return,
+        ]);
+        let (_, mut mpu) = run_single(racer(), &p, &[((0, 0, 0), vec![21; 64])]).unwrap();
+        assert_eq!(mpu.read_register(0, 0, 1).unwrap()[0], 42);
+    }
+
+    #[test]
+    fn transfer_block_moves_registers_between_vrfs() {
+        let p = asm("MOVE h0 h1\nMEMCPY v0 r0 v0 r1\nMOVE_DONE");
+        let (stats, mut mpu) = run_single(racer(), &p, &[((0, 0, 0), vec![77; 64])]).unwrap();
+        assert_eq!(mpu.read_register(1, 0, 1).unwrap()[0], 77);
+        assert!(stats.transfer_cycles > 0);
+        assert!(stats.energy.transfer_pj > 0.0);
+    }
+
+    #[test]
+    fn multi_pair_move_applies_to_every_pair() {
+        let p = asm("MOVE h0 h1\nMOVE h2 h3\nMEMCPY v0 r0 v0 r0\nMOVE_DONE");
+        let (_, mut mpu) = run_single(
+            racer(),
+            &p,
+            &[((0, 0, 0), vec![5; 64]), ((2, 0, 0), vec![6; 64])],
+        )
+        .unwrap();
+        assert_eq!(mpu.read_register(1, 0, 0).unwrap()[0], 5);
+        assert_eq!(mpu.read_register(3, 0, 0).unwrap()[0], 6);
+    }
+
+    #[test]
+    fn send_outside_system_is_an_error() {
+        let p = asm("SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE");
+        let err = run_single(racer(), &p, &[]).unwrap_err();
+        assert!(matches!(err, SimError::CommOutsideSystem { .. }));
+    }
+
+    #[test]
+    fn geometry_violations_are_reported() {
+        let p = asm("COMPUTE h9 v0\nNOP\nCOMPUTE_DONE");
+        let err = run_single(racer(), &p, &[]).unwrap_err();
+        assert!(matches!(err, SimError::GeometryExceeded { .. }));
+    }
+
+    #[test]
+    fn recipe_cache_hits_on_repeated_instructions() {
+        let p = asm(
+            "COMPUTE h0 v0\nADD r0 r1 r2\nADD r0 r1 r2\nADD r0 r1 r2\nCOMPUTE_DONE",
+        );
+        let (stats, _) = run_single(racer(), &p, &[]).unwrap();
+        assert_eq!(stats.recipe_misses, 1);
+        assert_eq!(stats.recipe_hits, 2);
+    }
+
+    #[test]
+    fn pipelining_makes_consecutive_instructions_cheaper() {
+        // Two identical RACER programs; the one with more back-to-back
+        // instructions should cost much less than proportionally more.
+        let p1 = asm("COMPUTE h0 v0\nADD r0 r1 r2\nCOMPUTE_DONE");
+        let p8 = asm(
+            "COMPUTE h0 v0\n\
+             ADD r0 r1 r2\nADD r0 r1 r2\nADD r0 r1 r2\nADD r0 r1 r2\n\
+             ADD r0 r1 r2\nADD r0 r1 r2\nADD r0 r1 r2\nADD r0 r1 r2\n\
+             COMPUTE_DONE",
+        );
+        let (s1, _) = run_single(racer(), &p1, &[]).unwrap();
+        let (s8, _) = run_single(racer(), &p8, &[]).unwrap();
+        assert!(
+            (s8.compute_cycles as f64) < 3.0 * s1.compute_cycles as f64,
+            "8 pipelined ADDs ({}) should cost < 3x one ADD ({})",
+            s8.compute_cycles,
+            s1.compute_cycles
+        );
+    }
+
+    #[test]
+    fn mask_resets_between_ensembles() {
+        // First ensemble masks everything off; second must still write.
+        let p = Program::from_instructions(vec![
+            Instruction::Compute { rfh: 0.into(), vrf: VrfId(0) },
+            Instruction::Init { value: mpu_isa::InitValue::Zero, rd: RegId(3) },
+            Instruction::SetMask { rs: RegId(3) }, // all lanes off
+            Instruction::ComputeDone,
+            Instruction::Compute { rfh: 0.into(), vrf: VrfId(0) },
+            Instruction::Unary { op: UnaryOp::Inc, rs: RegId(0), rd: RegId(1) },
+            Instruction::ComputeDone,
+        ]);
+        let (_, mut mpu) = run_single(racer(), &p, &[((0, 0, 0), vec![1; 64])]).unwrap();
+        assert_eq!(mpu.read_register(0, 0, 1).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn stray_instruction_detected() {
+        let p = Program::from_instructions(vec![Instruction::Unmask]);
+        let err = run_single(racer(), &p, &[]).unwrap_err();
+        assert!(matches!(err, SimError::StrayInstruction { .. }));
+    }
+
+    #[test]
+    fn wave_formation_respects_limits() {
+        let members = vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)];
+        let waves = form_waves(&members, 1);
+        assert_eq!(waves.len(), 3);
+        assert_eq!(waves[0], vec![(0, 0), (1, 0)]);
+        assert_eq!(waves[1], vec![(0, 1), (1, 1)]);
+        assert_eq!(waves[2], vec![(0, 2)]);
+        let waves = form_waves(&members, 8);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 5);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = SimError::ReturnUnderflow { line: 7 };
+        assert!(e.to_string().contains("line 7"));
+        let e = SimError::StrayInstruction { line: 3, mnemonic: "MEMCPY" };
+        assert!(e.to_string().contains("MEMCPY"));
+    }
+}

@@ -1,0 +1,135 @@
+//! The I2M decoder's template lookup: a recipe cache (paper Fig. 9).
+//!
+//! The recipe table can only hold a few thousand micro-op templates, so the
+//! control path dynamically caches recipes as instructions are issued. We
+//! model a capacity-bounded cache keyed by the encoded instruction word
+//! (operands included — the template filler's work is folded into the
+//! cached entry), with LRU replacement and hit/miss counters. Baseline
+//! datapaths decode every instruction from scratch.
+
+use mpu_isa::Instruction;
+use pum_backend::{DatapathModel, Recipe};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A bounded LRU cache of synthesized recipes.
+#[derive(Debug)]
+pub struct RecipeCache {
+    capacity: usize,
+    entries: HashMap<u32, (Rc<Recipe>, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl RecipeCache {
+    /// Creates a cache with room for `capacity` recipes (Table III: 1024).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), entries: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Looks up (or synthesizes and caches) the recipe for `instr`,
+    /// reporting whether it was a hit. Returns `None` for control-path
+    /// instructions that have no recipe.
+    pub fn lookup(
+        &mut self,
+        datapath: &DatapathModel,
+        instr: &Instruction,
+    ) -> Option<(Rc<Recipe>, bool)> {
+        self.tick += 1;
+        let key = instr.encode();
+        if let Some((recipe, stamp)) = self.entries.get_mut(&key) {
+            *stamp = self.tick;
+            self.hits += 1;
+            return Some((Rc::clone(recipe), true));
+        }
+        let recipe = Rc::new(datapath.recipe(instr)?);
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            // Evict the least recently used template.
+            if let Some((&victim, _)) =
+                self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (Rc::clone(&recipe), self.tick));
+        Some((recipe, false))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached templates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpu_isa::{BinaryOp, RegId};
+
+    fn add(rd: u16) -> Instruction {
+        Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(rd) }
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let dp = DatapathModel::racer();
+        let mut cache = RecipeCache::new(4);
+        let (_, hit) = cache.lookup(&dp, &add(2)).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.lookup(&dp, &add(2)).unwrap();
+        assert!(hit);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn different_operands_are_different_templates() {
+        // The cached entry includes filled-in operands, so ADD r0 r1 r2 and
+        // ADD r0 r1 r3 occupy separate slots.
+        let dp = DatapathModel::racer();
+        let mut cache = RecipeCache::new(4);
+        cache.lookup(&dp, &add(2)).unwrap();
+        let (_, hit) = cache.lookup(&dp, &add(3)).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let dp = DatapathModel::racer();
+        let mut cache = RecipeCache::new(2);
+        cache.lookup(&dp, &add(2)).unwrap();
+        cache.lookup(&dp, &add(3)).unwrap();
+        cache.lookup(&dp, &add(2)).unwrap(); // refresh r2
+        cache.lookup(&dp, &add(4)).unwrap(); // evicts r3
+        let (_, hit) = cache.lookup(&dp, &add(2)).unwrap();
+        assert!(hit, "recently used entry survived");
+        let (_, hit) = cache.lookup(&dp, &add(3)).unwrap();
+        assert!(!hit, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn control_instructions_have_no_recipe() {
+        let dp = DatapathModel::racer();
+        let mut cache = RecipeCache::new(2);
+        assert!(cache.lookup(&dp, &Instruction::Nop).is_none());
+        assert!(cache.is_empty());
+    }
+}

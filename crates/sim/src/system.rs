@@ -1,0 +1,310 @@
+//! Multi-MPU system simulation: per-MPU programs, `SEND`/`RECV` message
+//! passing over the mesh NoC, and deadlock-free rendezvous scheduling.
+//!
+//! The paper avoids deadlock by forcing lower-ID MPUs to `SEND` first
+//! (§V-B); our driver executes MPUs in ID order, re-running any that were
+//! blocked on `RECV` whenever new messages arrive, and reports a deadlock
+//! error if no progress is possible.
+
+use crate::config::SimConfig;
+use crate::machine::{Message, Mpu, SimError, StepEvent};
+use crate::noc::MeshNoc;
+use crate::stats::Stats;
+use mpu_isa::{MpuId, Program};
+
+/// A chip-level simulation of multiple MPUs running coupled programs.
+///
+/// # Example
+///
+/// ```
+/// use mastodon::{SimConfig, System};
+/// use mpu_isa::Program;
+/// use pum_backend::DatapathKind;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut system = System::new(SimConfig::mpu(DatapathKind::Racer), 2);
+/// system.set_program(0, Program::parse_asm(
+///     "SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE")?);
+/// system.set_program(1, Program::parse_asm("RECV mpu0")?);
+/// system.mpu_mut(0).write_register(0, 0, 0, &vec![99; 64])?;
+/// let stats = system.run()?;
+/// assert_eq!(system.mpu_mut(1).read_register(0, 0, 0)?[0], 99);
+/// assert!(stats.messages_sent == 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct System {
+    mpus: Vec<Mpu>,
+    programs: Vec<Program>,
+    noc: MeshNoc,
+}
+
+/// A deadlock or per-MPU failure in a system run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// One MPU's execution failed.
+    Mpu {
+        /// Which MPU failed.
+        id: u16,
+        /// The underlying error.
+        error: SimError,
+    },
+    /// No MPU can make progress (all blocked on `RECV`).
+    Deadlock {
+        /// IDs of the blocked MPUs and the sender each is waiting on.
+        waiting: Vec<(u16, u16)>,
+    },
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Mpu { id, error } => write!(f, "MPU {id}: {error}"),
+            SystemError::Deadlock { waiting } => {
+                write!(f, "deadlock: blocked RECVs {waiting:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl System {
+    /// Creates a system of `count` MPUs sharing one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the chip's MPU budget.
+    pub fn new(config: SimConfig, count: usize) -> Self {
+        assert!(count > 0, "a system needs at least one MPU");
+        let budget = config.datapath.geometry().mpus_per_chip;
+        assert!(
+            count <= budget,
+            "{count} MPUs exceed the iso-area chip budget of {budget}"
+        );
+        let noc = MeshNoc::new(count, config.noc);
+        let mpus = (0..count).map(|i| Mpu::new(config.clone(), MpuId(i as u16))).collect();
+        Self { mpus, programs: vec![Program::new(); count], noc }
+    }
+
+    /// Number of MPUs.
+    pub fn len(&self) -> usize {
+        self.mpus.len()
+    }
+
+    /// True if the system has no MPUs (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.mpus.is_empty()
+    }
+
+    /// Assigns the program MPU `id` will run.
+    pub fn set_program(&mut self, id: usize, program: Program) {
+        self.programs[id] = program;
+    }
+
+    /// Mutable access to one MPU (data setup / result readout).
+    pub fn mpu_mut(&mut self, id: usize) -> &mut Mpu {
+        &mut self.mpus[id]
+    }
+
+    /// Runs all programs to completion.
+    ///
+    /// Elapsed time is the maximum across MPUs (they run in parallel);
+    /// work counters and energy sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Deadlock`] if every unfinished MPU is blocked
+    /// on a `RECV` with no matching message in flight.
+    pub fn run(&mut self) -> Result<Stats, SystemError> {
+        let n = self.mpus.len();
+        let mut done = vec![false; n];
+        let mut blocked: Vec<Option<u16>> = vec![None; n];
+        for mpu in &mut self.mpus {
+            mpu.reset_pc();
+        }
+        loop {
+            let mut progressed = false;
+            for i in 0..n {
+                if done[i] {
+                    continue;
+                }
+                // Re-step a blocked MPU only if something arrived.
+                let program = self.programs[i].clone();
+                let event = self.mpus[i]
+                    .step(&program)
+                    .map_err(|error| SystemError::Mpu { id: i as u16, error })?;
+                match event {
+                    StepEvent::Completed => {
+                        done[i] = true;
+                        blocked[i] = None;
+                        progressed = true;
+                    }
+                    StepEvent::Sent(msg) => {
+                        self.route(*msg);
+                        blocked[i] = None;
+                        progressed = true;
+                    }
+                    StepEvent::AwaitingRecv { src } => {
+                        // Progress only counts if this is a new blockage.
+                        if blocked[i] != Some(src.0) {
+                            progressed = true;
+                        }
+                        blocked[i] = Some(src.0);
+                    }
+                }
+            }
+            if done.iter().all(|&d| d) {
+                break;
+            }
+            if !progressed {
+                let waiting = (0..n)
+                    .filter(|&i| !done[i])
+                    .map(|i| (i as u16, blocked[i].unwrap_or(u16::MAX)))
+                    .collect();
+                return Err(SystemError::Deadlock { waiting });
+            }
+        }
+        let mut total = Stats::default();
+        for mpu in &mut self.mpus {
+            total.merge_parallel(&mpu.finish());
+        }
+        Ok(total)
+    }
+
+    /// Routes a message through the NoC to its destination's inbox.
+    fn route(&mut self, msg: Message) {
+        let src = msg.src.index();
+        let dst = msg.dst.index();
+        let latency = self.noc.latency_cycles(src, dst, msg.bytes);
+        let energy = self.noc.energy_pj(src, dst, msg.bytes);
+        let arrival = msg.departure_cycle + latency;
+        let dst_mpu = &mut self.mpus[dst];
+        dst_mpu.deliver(msg, arrival);
+        // Receiver pays the wire time & energy (avoids double counting).
+        let s = dst_mpu.stats_mut();
+        s.transfer_cycles += latency;
+        s.energy.transfer_pj += energy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pum_backend::DatapathKind;
+
+    fn asm(text: &str) -> Program {
+        Program::parse_asm(text).expect("valid asm")
+    }
+
+    fn two_mpu_system() -> System {
+        System::new(SimConfig::mpu(DatapathKind::Racer), 2)
+    }
+
+    #[test]
+    fn point_to_point_message_delivers_data() {
+        let mut sys = two_mpu_system();
+        sys.set_program(
+            0,
+            asm("SEND mpu1\nMOVE h0 h2\nMEMCPY v0 r0 v1 r3\nMOVE_DONE\nSEND_DONE"),
+        );
+        sys.set_program(1, asm("RECV mpu0"));
+        sys.mpu_mut(0).write_register(0, 0, 0, &vec![123; 64]).unwrap();
+        let stats = sys.run().unwrap();
+        assert_eq!(sys.mpu_mut(1).read_register(2, 1, 3).unwrap()[0], 123);
+        assert_eq!(stats.messages_sent, 1);
+        assert!(stats.noc_bytes >= 64 * 8);
+        assert!(stats.transfer_cycles > 0);
+    }
+
+    #[test]
+    fn receiver_computes_on_received_data() {
+        let mut sys = two_mpu_system();
+        sys.set_program(
+            0,
+            asm("SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE"),
+        );
+        sys.set_program(
+            1,
+            asm("RECV mpu0\nCOMPUTE h0 v0\nINC r0 r1\nCOMPUTE_DONE"),
+        );
+        sys.mpu_mut(0).write_register(0, 0, 0, &vec![41; 64]).unwrap();
+        sys.run().unwrap();
+        assert_eq!(sys.mpu_mut(1).read_register(0, 0, 1).unwrap()[0], 42);
+    }
+
+    #[test]
+    fn lower_id_sends_first_avoids_deadlock() {
+        // Exchange: 0 sends to 1 and receives from 1; 1 receives then sends.
+        let mut sys = two_mpu_system();
+        sys.set_program(
+            0,
+            asm("SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE\nRECV mpu1"),
+        );
+        sys.set_program(
+            1,
+            asm("RECV mpu0\nSEND mpu0\nMOVE h1 h1\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE"),
+        );
+        sys.mpu_mut(0).write_register(0, 0, 0, &vec![7; 64]).unwrap();
+        sys.mpu_mut(1).write_register(1, 0, 0, &vec![9; 64]).unwrap();
+        sys.run().unwrap();
+        assert_eq!(sys.mpu_mut(1).read_register(0, 0, 0).unwrap()[0], 7);
+        assert_eq!(sys.mpu_mut(0).read_register(1, 0, 0).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut sys = two_mpu_system();
+        sys.set_program(0, asm("RECV mpu1"));
+        sys.set_program(1, asm("RECV mpu0"));
+        let err = sys.run().unwrap_err();
+        assert!(matches!(err, SystemError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn broadcast_to_many_receivers() {
+        let mut sys = System::new(SimConfig::mpu(DatapathKind::Racer), 4);
+        sys.set_program(
+            0,
+            asm("SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE\n\
+                 SEND mpu2\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE\n\
+                 SEND mpu3\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE"),
+        );
+        for i in 1..4 {
+            sys.set_program(i, asm("RECV mpu0"));
+        }
+        sys.mpu_mut(0).write_register(0, 0, 0, &vec![5; 64]).unwrap();
+        let stats = sys.run().unwrap();
+        for i in 1..4 {
+            assert_eq!(sys.mpu_mut(i).read_register(0, 0, 0).unwrap()[0], 5);
+        }
+        assert_eq!(stats.messages_sent, 3);
+    }
+
+    #[test]
+    fn parallel_time_is_max_not_sum() {
+        let mut sys = two_mpu_system();
+        sys.set_program(0, asm("COMPUTE h0 v0\nADD r0 r1 r2\nCOMPUTE_DONE"));
+        sys.set_program(
+            1,
+            asm("COMPUTE h0 v0\nADD r0 r1 r2\nADD r2 r1 r3\nADD r3 r1 r4\nCOMPUTE_DONE"),
+        );
+        let stats = sys.run().unwrap();
+        let t1 = {
+            let mut solo = System::new(SimConfig::mpu(DatapathKind::Racer), 1);
+            solo.set_program(
+                0,
+                asm("COMPUTE h0 v0\nADD r0 r1 r2\nADD r2 r1 r3\nADD r3 r1 r4\nCOMPUTE_DONE"),
+            );
+            solo.run().unwrap().cycles
+        };
+        assert_eq!(stats.cycles, t1, "system time equals the slowest MPU");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the iso-area chip budget")]
+    fn chip_budget_is_enforced() {
+        System::new(SimConfig::mpu(DatapathKind::DualityCache), 500);
+    }
+}

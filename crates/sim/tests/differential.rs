@@ -1,0 +1,129 @@
+//! Differential testing: random MPU programs must produce identical
+//! architectural results on all three backends (the portability guarantee
+//! the MPU ISA makes), and identical results between MPU and Baseline
+//! modes (offloading changes cost, never semantics).
+
+use mastodon::{run_single, SimConfig};
+use mpu_isa::{BinaryOp, CompareOp, Instruction, Program, RegId, UnaryOp, COND_REG};
+use proptest::prelude::*;
+use pum_backend::DatapathKind;
+
+/// Registers r0..r7 are data; multi-step ops write r8/r9 to avoid aliasing.
+fn arb_body_instr() -> impl Strategy<Value = Instruction> {
+    let data_reg = || (0u16..8).prop_map(RegId);
+    let safe_dst = || (8u16..10).prop_map(RegId);
+    prop_oneof![
+        // Single-step binaries: any operands.
+        (
+            prop::sample::select(vec![
+                BinaryOp::Add,
+                BinaryOp::Sub,
+                BinaryOp::And,
+                BinaryOp::Or,
+                BinaryOp::Xor,
+                BinaryOp::Xnor,
+                BinaryOp::Nand,
+                BinaryOp::Nor,
+                BinaryOp::Max,
+                BinaryOp::Min,
+            ]),
+            data_reg(),
+            data_reg(),
+            data_reg()
+        )
+            .prop_map(|(op, rs, rt, rd)| Instruction::Binary { op, rs, rt, rd }),
+        // Multi-step binaries: destination outside the source range.
+        (
+            prop::sample::select(vec![
+                BinaryOp::Mul,
+                BinaryOp::Mac,
+                BinaryOp::QDiv,
+                BinaryOp::RDiv,
+            ]),
+            data_reg(),
+            data_reg(),
+            safe_dst()
+        )
+            .prop_map(|(op, rs, rt, rd)| Instruction::Binary { op, rs, rt, rd }),
+        (prop::sample::select(UnaryOp::ALL.to_vec()), data_reg(), data_reg())
+            .prop_map(|(op, rs, rd)| Instruction::Unary { op, rs, rd }),
+        (prop::sample::select(CompareOp::ALL.to_vec()), data_reg(), data_reg())
+            .prop_map(|(op, rs, rt)| Instruction::Compare { op, rs, rt }),
+        (data_reg(), data_reg()).prop_map(|(rs, rt)| Instruction::Cas { rs, rt }),
+        // Predication toggles: SETMASK from the conditional register, then
+        // later UNMASK (emitted in pairs by construction below).
+        Just(Instruction::SetMask { rs: COND_REG }),
+        Just(Instruction::Unmask),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_body_instr(), 1..24).prop_map(|body| {
+        let mut instrs = vec![Instruction::Compute { rfh: 0.into(), vrf: 0.into() }];
+        instrs.extend(body);
+        // Ensure the program leaves predication enabled at the end.
+        instrs.push(Instruction::Unmask);
+        instrs.push(Instruction::ComputeDone);
+        Program::from_instructions(instrs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The same binary + data produce identical register files on RACER,
+    /// MIMDRAM, and Duality Cache (over the 64 lanes they all share).
+    #[test]
+    fn backends_agree(program in arb_program(), seed in any::<u64>()) {
+        let mut results: Vec<Vec<Vec<u64>>> = Vec::new();
+        for kind in [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache] {
+            let cfg = SimConfig::mpu(kind);
+            let lanes = cfg.datapath.geometry().lanes_per_vrf;
+            // Deterministic pseudo-random data, identical in shared lanes.
+            let inputs: Vec<((u16, u16, u8), Vec<u64>)> = (0..8u8)
+                .map(|r| {
+                    let values = (0..lanes as u64)
+                        .map(|l| {
+                            (seed ^ (r as u64).wrapping_mul(0x9e3779b97f4a7c15))
+                                .wrapping_mul(l.wrapping_add(3))
+                        })
+                        .collect();
+                    ((0, 0, r), values)
+                })
+                .collect();
+            let (_, mut mpu) = run_single(cfg, &program, &inputs).expect("run");
+            let regs: Vec<Vec<u64>> = (0..10u8)
+                .map(|r| mpu.read_register(0, 0, r).unwrap()[..64].to_vec())
+                .collect();
+            results.push(regs);
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[1], &results[2]);
+    }
+
+    /// Baseline mode is slower but never changes results.
+    #[test]
+    fn baseline_agrees_with_mpu(program in arb_program(), seed in any::<u64>()) {
+        let inputs: Vec<((u16, u16, u8), Vec<u64>)> = (0..8u8)
+            .map(|r| {
+                let values = (0..64u64)
+                    .map(|l| seed.wrapping_add((r as u64) << 32).wrapping_mul(l | 1))
+                    .collect();
+                ((0, 0, r), values)
+            })
+            .collect();
+        let (fast, mut m1) =
+            run_single(SimConfig::mpu(DatapathKind::Racer), &program, &inputs).expect("mpu");
+        let (slow, mut m2) =
+            run_single(SimConfig::baseline(DatapathKind::Racer), &program, &inputs)
+                .expect("baseline");
+        for r in 0..10u8 {
+            prop_assert_eq!(
+                m1.read_register(0, 0, r).unwrap(),
+                m2.read_register(0, 0, r).unwrap(),
+                "register r{}", r
+            );
+        }
+        prop_assert!(slow.cycles >= fast.cycles);
+    }
+}

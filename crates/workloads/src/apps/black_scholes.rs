@@ -1,0 +1,215 @@
+//! BlackScholes: fixed-point European option pricing (paper §VIII-D).
+//!
+//! The paper's BlackScholes relies on CORDIC-class software subroutines
+//! for `sqrt`, `exp`, and the normal CDF — exactly the operation mix that
+//! makes it slow on PUM (the GPU's special-function units win) yet much
+//! faster under the MPU than under Baseline (the subroutines are full of
+//! control flow). Our integer rendition keeps that mix:
+//!
+//! 1. `σ√T` via a Newton-iteration integer square root **subroutine**
+//!    (data-driven `while` loop);
+//! 2. moneyness and deviation in Q16 fixed point (divisions);
+//! 3. `exp` via a shift **loop** (`2^d`, dynamic trip count);
+//! 4. a rational logistic CDF `(e << 8) / (e + 1)`;
+//! 5. price `= S · CDF(d) >> 8`;
+//! 6. the two MPUs exchange prices and aggregate (the "CDF" collective).
+
+use super::{App, BuiltApp, Table4Row};
+use crate::kernel::{gen_values, WorkProfile};
+use ezpim::{Cond, EzProgram};
+use mastodon::SimConfig;
+use mpu_isa::RegId;
+
+/// The BlackScholes application (2 MPUs in the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlackScholes;
+
+fn r(i: u16) -> RegId {
+    RegId(i)
+}
+
+const MEMBERS: [(u16, u16); 8] =
+    [(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (5, 0), (6, 0), (7, 0)];
+const K_STRIKE: u64 = 65536;
+const EXP_CAP: u64 = 20;
+
+/// Golden per-lane price, mirroring the MPU program's integer algorithm.
+fn golden_price(s: u64, var_t: u64) -> u64 {
+    // Newton integer sqrt (matches the isqrt subroutine).
+    let n = var_t;
+    let mut x = n;
+    let mut y = (x + n / x) / 2;
+    while y < x {
+        x = y;
+        y = (x + n / x) / 2;
+    }
+    let sq = x;
+    let m = (s << 16) / K_STRIKE;
+    let dev = m.abs_diff(K_STRIKE);
+    let d = (dev / sq.max(1)).min(EXP_CAP);
+    let e = 1u64 << d;
+    let cdf = (e << 8) / (e + 1);
+    (s * cdf) >> 8
+}
+
+fn compute_body(ez: &mut EzProgram) {
+    ez.ensemble(&MEMBERS, |b| {
+        b.call("isqrt"); // r3 = isqrt(r2)
+        // m = (S << 16) / K.
+        b.mov(r(0), r(4));
+        b.repeat(16, |b| {
+            b.lshift(r(4), r(4));
+        });
+        b.qdiv(r(4), r(1), r(5));
+        // dev = |m - K|.
+        b.max(r(5), r(1), r(4));
+        b.min(r(5), r(1), r(5));
+        b.sub(r(4), r(5), r(4));
+        // d = dev / max(sqrt, 1), capped.
+        b.init1(r(6));
+        b.max(r(3), r(6), r(6));
+        b.qdiv(r(4), r(6), r(5));
+        b.min(r(5), r(9), r(5));
+        // e = 2^d (dynamic shift loop — the "exp" step).
+        b.init1(r(6));
+        b.for_loop(r(4), r(5), |b| {
+            b.lshift(r(6), r(6));
+        });
+        // cdf = (e << 8) / (e + 1) — rational logistic CDF.
+        b.inc(r(6), r(5));
+        b.mov(r(6), r(4));
+        b.repeat(8, |b| {
+            b.lshift(r(4), r(4));
+        });
+        b.qdiv(r(4), r(5), r(6));
+        // price = (S * cdf) >> 8.
+        b.mul(r(0), r(6), r(4));
+        b.init1(r(5));
+        b.repeat(8, |b| {
+            b.lshift(r(5), r(5));
+        });
+        b.qdiv(r(4), r(5), r(8));
+    })
+    .expect("BlackScholes compute body");
+}
+
+fn isqrt_subroutine(ez: &mut EzProgram) {
+    // r3 = floor(sqrt(r2)); temps r4..r6, constant 2 in r7.
+    ez.subroutine("isqrt", |b| {
+        b.mov(r(2), r(3));
+        b.qdiv(r(2), r(3), r(4));
+        b.add(r(3), r(4), r(5));
+        b.qdiv(r(5), r(7), r(6));
+        b.while_loop(Cond::Lt(r(6), r(3)), |b| {
+            b.mov(r(6), r(3));
+            b.qdiv(r(2), r(3), r(4));
+            b.add(r(3), r(4), r(5));
+            b.qdiv(r(5), r(7), r(6));
+        });
+    })
+    .expect("isqrt subroutine");
+}
+
+impl App for BlackScholes {
+    fn name(&self) -> &'static str {
+        "BlackScholes"
+    }
+
+    fn table4(&self) -> Table4Row {
+        Table4Row {
+            name: "BlackScholes",
+            compute_steps: "sqrt, exp, norm",
+            collectives: "CDF",
+            paper_mpus: 2,
+        }
+    }
+
+    fn default_mpus(&self) -> usize {
+        2
+    }
+
+    fn profile(&self) -> WorkProfile {
+        // On a GPU this is ~30 FLOPs with hardware sqrt/exp/CDF — the
+        // special-function units the paper credits for the GPU's win here.
+        WorkProfile {
+            ops_per_elem: 30.0,
+            bytes_per_elem: 24.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.9,
+            avg_trip_count: 1.0,
+        }
+    }
+
+    fn elements(&self, config: &SimConfig, mpus: usize) -> u64 {
+        (config.datapath.geometry().lanes_per_vrf * MEMBERS.len() * mpus) as u64
+    }
+
+    fn build(&self, config: &SimConfig, mpus: usize, seed: u64) -> BuiltApp {
+        assert!(mpus >= 2, "BlackScholes uses two cooperating MPUs");
+        let lanes = config.datapath.geometry().lanes_per_vrf;
+
+        // MPU 0: price its options, then ship prices to MPU 1.
+        let mut ez0 = EzProgram::new();
+        compute_body(&mut ez0);
+        ez0.send(1, |s| {
+            let pairs: Vec<(u16, u16)> = MEMBERS.iter().map(|&(h, _)| (h, h)).collect();
+            s.transfer(&pairs, |t| {
+                t.memcpy(0, r(8), 0, r(9));
+            });
+        });
+        isqrt_subroutine(&mut ez0);
+        let p0 = ez0.assemble().expect("MPU0 program");
+
+        // MPU 1: price its options, receive MPU 0's, aggregate.
+        let mut ez1 = EzProgram::new();
+        compute_body(&mut ez1);
+        ez1.recv(0);
+        ez1.ensemble(&MEMBERS, |b| {
+            b.add(r(8), r(9), r(10));
+        })
+        .expect("aggregation ensemble");
+        isqrt_subroutine(&mut ez1);
+        let p1 = ez1.assemble().expect("MPU1 program");
+
+        // Idle MPUs (if any) run empty programs.
+        let mut programs = vec![p0, p1];
+        programs.resize(mpus, mpu_isa::Program::new());
+
+        let mut inputs = Vec::new();
+        let mut expected = Vec::new();
+        let mut prices: Vec<Vec<Vec<u64>>> = Vec::new(); // [mpu][member][lane]
+        for mpu in 0..2usize {
+            let mut per_member = Vec::new();
+            for (mi, &(rfh, vrf)) in MEMBERS.iter().enumerate() {
+                let s_seed = seed ^ ((mpu as u64) << 32) ^ ((mi as u64) << 16);
+                let spot: Vec<u64> =
+                    gen_values(s_seed, lanes, 1 << 14).iter().map(|v| v + (1 << 14)).collect();
+                let var_t: Vec<u64> =
+                    gen_values(s_seed ^ 0xabcd, lanes, (1 << 20) - 1).iter().map(|v| v + 1).collect();
+                inputs.push((mpu, (rfh, vrf, 0), spot.clone()));
+                inputs.push((mpu, (rfh, vrf, 2), var_t.clone()));
+                inputs.push((mpu, (rfh, vrf, 1), vec![K_STRIKE; lanes]));
+                inputs.push((mpu, (rfh, vrf, 7), vec![2; lanes]));
+                inputs.push((mpu, (rfh, vrf, 9), vec![EXP_CAP; lanes]));
+                let price: Vec<u64> =
+                    spot.iter().zip(&var_t).map(|(&s, &v)| golden_price(s, v)).collect();
+                expected.push((mpu, (rfh, vrf, 8), price.clone()));
+                per_member.push(price);
+            }
+            prices.push(per_member);
+        }
+        // MPU 1 aggregates its member-m price with MPU 0's member-m price.
+        for (mi, &(rfh, vrf)) in MEMBERS.iter().enumerate() {
+            let agg: Vec<u64> = prices[1][mi]
+                .iter()
+                .zip(&prices[0][mi])
+                .map(|(&a, &b)| a.wrapping_add(b))
+                .collect();
+            expected.push((1, (rfh, vrf, 10), agg));
+        }
+
+        let ezpim_statements = ez0.statements() + ez1.statements();
+        let isa_instructions = programs.iter().map(|p| p.len()).sum();
+        BuiltApp { programs, inputs, expected, ezpim_statements, isa_instructions }
+    }
+}

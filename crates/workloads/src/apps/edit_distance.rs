@@ -1,0 +1,211 @@
+//! EditDistance: bitap-style genome read comparison with a 2-D systolic
+//! stream of reads through an MPU grid (paper §VIII-D).
+//!
+//! Each lane of each MPU holds a resident 32-symbol read `A` (2 bits per
+//! symbol, packed into 64 bits). Two read streams flow through the grid —
+//! one rightward along rows, one downward along columns. Every systolic
+//! step, an MPU compares `A` against both streaming reads with bitwise
+//! XOR + POPC alignment sweeps (the bitap core) and keeps the minimum
+//! distance, then forwards the streams. This reproduces the paper's
+//! communication-dominated behaviour: almost all Baseline time goes to
+//! synchronizing the systolic steps through the host CPU.
+
+use super::{App, BuiltApp, Table4Row};
+use crate::kernel::{gen_values, WorkProfile};
+use ezpim::EzProgram;
+use mastodon::SimConfig;
+use mpu_isa::RegId;
+
+/// The EditDistance application (23 MPUs in the paper; we use the largest
+/// square grid that fits the requested MPU count).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EditDistance;
+
+fn r(i: u16) -> RegId {
+    RegId(i)
+}
+
+/// All eight RFHs carry an (identically-seeded) systolic plane, so each
+/// control step amortizes over `8 x lanes` resident reads.
+const MEMBERS: [(u16, u16); 8] =
+    [(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (5, 0), (6, 0), (7, 0)];
+const STREAM_PAIRS: [(u16, u16); 8] =
+    [(0, 0), (1, 1), (2, 2), (3, 3), (4, 4), (5, 5), (6, 6), (7, 7)];
+
+/// Alignment distance: minimum bit mismatches over the identity and
+/// 1-symbol (2-bit) shift alignments of `b`, plus the column stream `c`.
+fn golden_distance(a: u64, b: u64, c: u64) -> u64 {
+    let d0 = (a ^ b).count_ones() as u64;
+    let d1 = (a ^ (b << 2)).count_ones() as u64;
+    let d2 = (a ^ c).count_ones() as u64;
+    d0.min(d1).min(d2)
+}
+
+/// Emits the per-step compare body. With `first`, initializes the best
+/// register instead of folding into it.
+fn compare_body(b: &mut ezpim::Body<'_>, first: bool) {
+    // Row stream r1: identity and 2-bit-shift alignments.
+    b.xor(r(0), r(1), r(9));
+    b.popc(r(9), r(9));
+    b.mov(r(1), r(2));
+    b.lshift(r(2), r(2));
+    b.lshift(r(2), r(2));
+    b.xor(r(0), r(2), r(3));
+    b.popc(r(3), r(3));
+    b.min(r(9), r(3), r(9));
+    // Column stream r4.
+    b.xor(r(0), r(4), r(2));
+    b.popc(r(2), r(2));
+    b.min(r(9), r(2), r(9));
+    if first {
+        b.mov(r(9), r(8));
+    } else {
+        b.min(r(8), r(9), r(8));
+    }
+}
+
+impl App for EditDistance {
+    fn name(&self) -> &'static str {
+        "EditDistance"
+    }
+
+    fn table4(&self) -> Table4Row {
+        Table4Row {
+            name: "EditDistance",
+            compute_steps: "bitwise comparisons",
+            collectives: "2-D systolic",
+            paper_mpus: 23,
+        }
+    }
+
+    fn default_mpus(&self) -> usize {
+        9 // 3×3 grid
+    }
+
+    fn profile(&self) -> WorkProfile {
+        WorkProfile {
+            ops_per_elem: 40.0,
+            bytes_per_elem: 24.0,
+            kernel_launches: 4,
+            gpu_efficiency: 0.2, // bit-twiddling + fine-grained sync
+            avg_trip_count: 1.0,
+        }
+    }
+
+    fn elements(&self, config: &SimConfig, mpus: usize) -> u64 {
+        let side = (mpus as f64).sqrt().floor() as u64;
+        config.datapath.geometry().lanes_per_vrf as u64
+            * MEMBERS.len() as u64
+            * side
+            * side
+    }
+
+    fn build(&self, config: &SimConfig, mpus: usize, seed: u64) -> BuiltApp {
+        let side = (mpus as f64).sqrt().floor() as usize;
+        assert!(side >= 2, "EditDistance needs at least a 2x2 grid");
+        let lanes = config.datapath.geometry().lanes_per_vrf;
+        let grid = side * side;
+        let steps = side - 1;
+        let id = |row: usize, col: usize| row * side + col;
+
+        let mut programs = Vec::new();
+        let mut ezpim_statements = 0;
+        for row in 0..side {
+            for col in 0..side {
+                let mut ez = EzProgram::new();
+                ez.ensemble(&MEMBERS, |b| compare_body(b, true))
+                    .expect("initial compare");
+                for _ in 0..steps {
+                    // Forward streams (sends precede receives to keep the
+                    // lower-ID-first discipline deadlock-free).
+                    if col + 1 < side {
+                        ez.send(id(row, col + 1) as u16, |s| {
+                            s.transfer(&STREAM_PAIRS, |t| {
+                                t.memcpy(0, r(1), 0, r(1));
+                            });
+                        });
+                    }
+                    if row + 1 < side {
+                        ez.send(id(row + 1, col) as u16, |s| {
+                            s.transfer(&STREAM_PAIRS, |t| {
+                                t.memcpy(0, r(4), 0, r(4));
+                            });
+                        });
+                    }
+                    if col > 0 {
+                        ez.recv(id(row, col - 1) as u16);
+                    }
+                    if row > 0 {
+                        ez.recv(id(row - 1, col) as u16);
+                    }
+                    ez.ensemble(&MEMBERS, |b| compare_body(b, false))
+                        .expect("step compare");
+                }
+                ezpim_statements += ez.statements();
+                programs.push(ez.assemble().expect("grid program"));
+            }
+        }
+        programs.resize(mpus, mpu_isa::Program::new());
+
+        // Data + golden model.
+        let gen = |mpu: usize, reg: u64| {
+            gen_values(seed ^ ((mpu as u64) << 24) ^ (reg << 8), lanes, u64::MAX)
+        };
+        let mut a = Vec::new();
+        let mut b_stream = Vec::new();
+        let mut c_stream = Vec::new();
+        let mut best: Vec<Vec<u64>> = Vec::new();
+        for mpu in 0..grid {
+            a.push(gen(mpu, 0));
+            b_stream.push(gen(mpu, 1));
+            c_stream.push(gen(mpu, 4));
+            best.push(vec![0; lanes]);
+        }
+        for mpu in 0..grid {
+            for lane in 0..lanes {
+                best[mpu][lane] =
+                    golden_distance(a[mpu][lane], b_stream[mpu][lane], c_stream[mpu][lane]);
+            }
+        }
+        for _ in 0..steps {
+            // Streams advance: right along rows, down along columns;
+            // boundary MPUs re-inject their current value.
+            let prev_b = b_stream.clone();
+            let prev_c = c_stream.clone();
+            for row in 0..side {
+                for col in 0..side {
+                    if col > 0 {
+                        b_stream[id(row, col)] = prev_b[id(row, col - 1)].clone();
+                    }
+                    if row > 0 {
+                        c_stream[id(row, col)] = prev_c[id(row - 1, col)].clone();
+                    }
+                }
+            }
+            for mpu in 0..grid {
+                for lane in 0..lanes {
+                    let d = golden_distance(
+                        a[mpu][lane],
+                        b_stream[mpu][lane],
+                        c_stream[mpu][lane],
+                    );
+                    best[mpu][lane] = best[mpu][lane].min(d);
+                }
+            }
+        }
+
+        let mut inputs = Vec::new();
+        let mut expected = Vec::new();
+        for mpu in 0..grid {
+            for &(rfh, vrf) in &MEMBERS {
+                inputs.push((mpu, (rfh, vrf, 0), a[mpu].clone()));
+                inputs.push((mpu, (rfh, vrf, 1), gen(mpu, 1)));
+                inputs.push((mpu, (rfh, vrf, 4), gen(mpu, 4)));
+                expected.push((mpu, (rfh, vrf, 8), best[mpu].clone()));
+            }
+        }
+
+        let isa_instructions = programs.iter().map(|p| p.len()).sum();
+        BuiltApp { programs, inputs, expected, ezpim_statements, isa_instructions }
+    }
+}

@@ -1,0 +1,285 @@
+//! LLMEncode: a transformer encoder layer slice (paper §VIII-D).
+//!
+//! Tokens live one per lane across worker MPUs; MPU 0 coordinates. The
+//! phases mirror Table IV's compute steps and collectives:
+//!
+//! 1. **broadcast** — MPU 0 ships the (structured) weight scalars to every
+//!    worker;
+//! 2. **scatter** — MPU 0 ships per-worker bias vectors;
+//! 3. **matmul** — `h_i = w1·x_i + w2·(Σx − x_i) + bias`, the rank-1
+//!    structured 4×4 weight matrix (diagonal `w1`, off-diagonal `w2`)
+//!    computed with MAC-class ops, followed by **ReLU**;
+//! 4. **softmax** — `2^h` exponentials via per-lane dynamic shift loops,
+//!    then Q8 normalization (divisions);
+//! 5. **layernorm** — mean-centering of the softmax outputs;
+//! 6. **P2P** — neighbouring workers exchange boundary activations;
+//! 7. **gather** — workers return results to MPU 0.
+
+use super::{App, BuiltApp, Table4Row};
+use crate::kernel::{gen_values, WorkProfile};
+use ezpim::EzProgram;
+use mastodon::SimConfig;
+use mpu_isa::RegId;
+
+/// The LLMEncode application (130 MPUs in the paper; 1 coordinator +
+/// workers here).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LlmEncode;
+
+fn r(i: u16) -> RegId {
+    RegId(i)
+}
+
+const W1: u64 = 2;
+const W2: u64 = 1;
+
+/// Tokens occupy all eight RFHs of each worker, so every control step
+/// amortizes over `8 x lanes` tokens (chip-scale behaviour).
+const WORKER_MEMBERS: [(u16, u16); 8] =
+    [(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (5, 0), (6, 0), (7, 0)];
+
+/// Golden per-lane forward pass: returns the centered activation.
+fn golden_forward(x: &[u64; 4], bias: u64) -> u64 {
+    let s: u64 = x.iter().sum();
+    let mut h = [0u64; 4];
+    for i in 0..4 {
+        h[i] = W1 * x[i] + W2 * (s - x[i]) + bias; // matmul row + bias
+                                                   // ReLU: values are non-negative already.
+    }
+    let e: Vec<u64> = h.iter().map(|&v| 1u64 << v).collect();
+    let es: u64 = e.iter().sum();
+    let out: Vec<u64> = e.iter().map(|&v| (v << 8) / es).collect();
+    let mean = out.iter().sum::<u64>() / 4;
+    out[0].abs_diff(mean)
+}
+
+fn worker_compute(ez: &mut EzProgram) {
+    ez.ensemble(&WORKER_MEMBERS, |b| {
+        // s = Σ x.
+        b.add(r(0), r(1), r(4));
+        b.add(r(4), r(2), r(4));
+        b.add(r(4), r(3), r(4));
+        // h_i = w1·x_i + w2·(s − x_i) + bias, then ReLU, back into x_i.
+        for i in 0..4u16 {
+            b.sub(r(4), r(i), r(5));
+            b.mul(r(8), r(i), r(10));
+            b.mul(r(9), r(5), r(11));
+            b.add(r(10), r(11), r(10));
+            b.add(r(10), r(6), r(10));
+            b.relu(r(10), r(10));
+            b.mov(r(10), r(i));
+        }
+        // softmax: e_i = 2^{h_i} (dynamic loops), s = Σ e, out = (e<<8)/s.
+        for i in 0..4u16 {
+            b.init1(r(4 + i));
+            b.for_loop(r(9), r(i), |b| {
+                b.lshift(r(4 + i), r(4 + i));
+            });
+        }
+        b.init0(r(8));
+        for i in 0..4u16 {
+            b.add(r(8), r(4 + i), r(8));
+        }
+        for i in 0..4u16 {
+            b.repeat(8, |b| {
+                b.lshift(r(4 + i), r(4 + i));
+            });
+            b.qdiv(r(4 + i), r(8), r(i));
+        }
+        // layernorm-style centering of out[0].
+        b.add(r(0), r(1), r(9));
+        b.add(r(9), r(2), r(9));
+        b.add(r(9), r(3), r(9));
+        b.init1(r(10));
+        b.lshift(r(10), r(10));
+        b.lshift(r(10), r(10)); // 4
+        b.qdiv(r(9), r(10), r(11)); // mean
+        b.max(r(0), r(11), r(9));
+        b.min(r(0), r(11), r(10));
+        b.sub(r(9), r(10), r(9)); // |out0 − mean|
+        // Clear the P2P landing register: only RFH 0 will receive a real
+        // neighbour activation; other members must add zero.
+        b.init0(r(5));
+    })
+    .expect("worker compute");
+}
+
+impl App for LlmEncode {
+    fn name(&self) -> &'static str {
+        "LLMEncode"
+    }
+
+    fn table4(&self) -> Table4Row {
+        Table4Row {
+            name: "LLMEncode",
+            compute_steps: "matmul, softmax, layernorm, relu",
+            collectives: "gather, scatter, P2P, broadcast",
+            paper_mpus: 130,
+        }
+    }
+
+    fn default_mpus(&self) -> usize {
+        9 // coordinator + 8 workers
+    }
+
+    fn profile(&self) -> WorkProfile {
+        WorkProfile {
+            ops_per_elem: 80.0,
+            bytes_per_elem: 80.0,
+            kernel_launches: 4,
+            gpu_efficiency: 0.7, // GPUs are excellent at the mat-mul bulk
+            avg_trip_count: 20.0,
+        }
+    }
+
+    fn elements(&self, config: &SimConfig, mpus: usize) -> u64 {
+        config.datapath.geometry().lanes_per_vrf as u64
+            * WORKER_MEMBERS.len() as u64
+            * (mpus.saturating_sub(1)) as u64
+    }
+
+    fn build(&self, config: &SimConfig, mpus: usize, seed: u64) -> BuiltApp {
+        assert!(mpus >= 3, "LLMEncode needs a coordinator and >= 2 workers");
+        let lanes = config.datapath.geometry().lanes_per_vrf;
+        let workers = mpus - 1;
+
+        // --- coordinator (MPU 0): broadcast weights, scatter biases,
+        // gather results.
+        let mut ez0 = EzProgram::new();
+        for k in 1..=workers {
+            // Broadcast: same source registers to every worker RFH.
+            let fanout: Vec<(u16, u16)> = (0..8u16).map(|h| (0, h)).collect();
+            ez0.send(k as u16, move |s| {
+                s.transfer(&fanout, |t| {
+                    t.memcpy(0, r(8), 0, r(8));
+                    t.memcpy(0, r(9), 0, r(9));
+                });
+            });
+        }
+        for k in 1..=workers {
+            // Scatter: per-worker bias from a distinct coordinator RFH,
+            // fanned out to all of the worker's RFHs.
+            let src_rfh = ((k - 1) % 8) as u16;
+            let fanout: Vec<(u16, u16)> = (0..8u16).map(|h| (src_rfh, h)).collect();
+            ez0.send(k as u16, move |s| {
+                s.transfer(&fanout, |t| {
+                    t.memcpy(1, r(6), 0, r(6));
+                });
+            });
+        }
+        for k in 1..=workers {
+            ez0.recv(k as u16);
+        }
+        let p0 = ez0.assemble().expect("coordinator program");
+
+        // --- workers.
+        let mut programs = vec![p0];
+        let mut total_statements = ez0.statements();
+        for k in 1..=workers {
+            let mut ez = EzProgram::new();
+            ez.recv(0); // broadcast (w1, w2)
+            ez.recv(0); // scatter (bias)
+            worker_compute(&mut ez);
+            // P2P: ship boundary activation to the next worker.
+            if k < workers {
+                ez.send((k + 1) as u16, |s| {
+                    s.transfer(&[(0, 0)], |t| {
+                        t.memcpy(0, r(9), 0, r(5));
+                    });
+                });
+            }
+            if k > 1 {
+                ez.recv((k - 1) as u16);
+                // Only RFH 0 receives the neighbour activation; the other
+                // members add an untouched (zero) r5.
+                ez.ensemble(&WORKER_MEMBERS, |b| {
+                    b.add(r(9), r(5), r(9));
+                })
+                .expect("residual add");
+            }
+            // Gather: return the final activation to the coordinator.
+            let dst_rfh = ((k - 1) % 8) as u16;
+            ez.send(0, |s| {
+                s.transfer(&[(0, dst_rfh)], |t| {
+                    t.memcpy(0, r(9), 2, r(0));
+                });
+            });
+            total_statements += ez.statements();
+            programs.push(ez.assemble().expect("worker program"));
+        }
+
+        // --- data + golden model.
+        let mut inputs = Vec::new();
+        let mut expected = Vec::new();
+        // Coordinator state: weights + per-worker biases.
+        inputs.push((0, (0, 0, 8), vec![W1; lanes]));
+        inputs.push((0, (0, 0, 9), vec![W2; lanes]));
+        let mut biases = Vec::new();
+        for rfh in 0..8u16 {
+            let b = gen_values(seed ^ 0xb1a5 ^ (rfh as u64), lanes, 5);
+            inputs.push((0, (rfh, 1, 6), b.clone()));
+            biases.push(b);
+        }
+        // Worker token embeddings, then golden forward passes.
+        let mut cents: Vec<Vec<u64>> = vec![Vec::new()]; // index by worker (0 unused)
+        for k in 1..=workers {
+            let xs: Vec<Vec<u64>> = (0..4)
+                .map(|i| gen_values(seed ^ ((k as u64) << 16) ^ i, lanes, 4))
+                .collect();
+            for &(rfh, vrf) in &WORKER_MEMBERS {
+                for (i, x) in xs.iter().enumerate() {
+                    inputs.push((k, (rfh, vrf, i as u8), x.clone()));
+                }
+            }
+            let bias = &biases[(k - 1) % 8];
+            let cent: Vec<u64> = (0..lanes)
+                .map(|lane| {
+                    let x = [xs[0][lane], xs[1][lane], xs[2][lane], xs[3][lane]];
+                    golden_forward(&x, bias[lane])
+                })
+                .collect();
+            cents.push(cent);
+        }
+        // P2P residual: worker k (>1) adds worker k−1's centered value.
+        let mut finals: Vec<Vec<u64>> = vec![Vec::new()];
+        for k in 1..=workers {
+            let f: Vec<u64> = if k == 1 {
+                cents[1].clone()
+            } else {
+                cents[k]
+                    .iter()
+                    .zip(&cents[k - 1])
+                    .map(|(&a, &b)| a.wrapping_add(b))
+                    .collect()
+            };
+            expected.push((k, (0, 0, 9), f.clone()));
+            // Members on RFHs 1..7 never receive the P2P activation.
+            for &(rfh, vrf) in &WORKER_MEMBERS[1..] {
+                expected.push((k, (rfh, vrf, 9), cents[k].clone()));
+            }
+            finals.push(f);
+        }
+        // Gather: coordinator's (rfh, vrf 2, r0) holds the *last* worker
+        // with that RFH residue (RECVs apply in worker order).
+        for rfh in 0..8.min(workers) {
+            let mut last = None;
+            for k in 1..=workers {
+                if (k - 1) % 8 == rfh {
+                    last = Some(k);
+                }
+            }
+            if let Some(k) = last {
+                expected.push((0, (rfh as u16, 2, 0), finals[k].clone()));
+            }
+        }
+
+        let isa_instructions = programs.iter().map(|p| p.len()).sum();
+        BuiltApp {
+            programs,
+            inputs,
+            expected,
+            ezpim_statements: total_statements,
+            isa_instructions,
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The six *basic* kernels: data-parallel arithmetic the original RACER
+//! datapath can already execute without CPU/MPU support.
+
+use crate::kernel::{KernelGroup, WorkProfile};
+use crate::lane::{const_reg, rand_reg, LaneKernel};
+use mpu_isa::RegId;
+use pum_backend::semantics;
+
+fn r(i: u16) -> RegId {
+    RegId(i)
+}
+
+/// `vecadd`: element-wise 64-bit addition.
+pub fn vecadd() -> LaneKernel {
+    LaneKernel {
+        name: "vecadd",
+        group: KernelGroup::Basic,
+        profile: WorkProfile {
+            ops_per_elem: 1.0,
+            bytes_per_elem: 24.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.85,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            vec![rand_reg(0, seed, lanes, u64::MAX), rand_reg(1, seed ^ 1, lanes, u64::MAX)]
+        },
+        body: |b| {
+            b.add(r(0), r(1), r(2));
+        },
+        reference: |regs| regs[2] = regs[0].wrapping_add(regs[1]),
+        outputs: &[2],
+        regs_per_elem: 3,
+    }
+}
+
+/// `vecmul`: element-wise multiply (32-bit inputs, 64-bit product).
+pub fn vecmul() -> LaneKernel {
+    LaneKernel {
+        name: "vecmul",
+        group: KernelGroup::Basic,
+        profile: WorkProfile {
+            ops_per_elem: 1.0,
+            bytes_per_elem: 24.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.85,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            vec![rand_reg(0, seed, lanes, 1 << 32), rand_reg(1, seed ^ 1, lanes, 1 << 32)]
+        },
+        body: |b| {
+            b.mul(r(0), r(1), r(2));
+        },
+        reference: |regs| regs[2] = semantics::mul32(regs[0], regs[1]),
+        outputs: &[2],
+        regs_per_elem: 3,
+    }
+}
+
+/// `saxpy`: `y += a * x` with a broadcast scalar `a`.
+pub fn saxpy() -> LaneKernel {
+    LaneKernel {
+        name: "saxpy",
+        group: KernelGroup::Basic,
+        profile: WorkProfile {
+            ops_per_elem: 2.0,
+            bytes_per_elem: 24.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.9,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            vec![
+                const_reg(0, 0x1234 ^ (seed & 0xffff), lanes),
+                rand_reg(1, seed ^ 2, lanes, 1 << 16),
+                rand_reg(2, seed ^ 3, lanes, 1 << 32),
+            ]
+        },
+        body: |b| {
+            b.mac(r(0), r(1), r(2));
+        },
+        reference: |regs| {
+            regs[2] = regs[2].wrapping_add(semantics::mul32(regs[0], regs[1]));
+        },
+        outputs: &[2],
+        regs_per_elem: 3,
+    }
+}
+
+/// `dot4`: per-lane dot product of two 4-component vectors.
+pub fn dot4() -> LaneKernel {
+    LaneKernel {
+        name: "dot",
+        group: KernelGroup::Basic,
+        profile: WorkProfile {
+            ops_per_elem: 8.0,
+            bytes_per_elem: 72.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.9,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            (0..8u8).map(|i| rand_reg(i, seed ^ (i as u64 + 10), lanes, 1 << 16)).collect()
+        },
+        body: |b| {
+            b.init0(r(8));
+            for i in 0..4u16 {
+                b.mac(r(i), r(4 + i), r(8));
+            }
+        },
+        reference: |regs| {
+            let mut acc = 0u64;
+            for i in 0..4 {
+                acc = acc.wrapping_add(semantics::mul32(regs[i], regs[4 + i]));
+            }
+            regs[8] = acc;
+        },
+        outputs: &[8],
+        regs_per_elem: 9,
+    }
+}
+
+/// `xorcipher`: XOR encrypt → bit-reverse diffuse → XOR again.
+pub fn xorcipher() -> LaneKernel {
+    LaneKernel {
+        name: "xorcipher",
+        group: KernelGroup::Basic,
+        profile: WorkProfile {
+            ops_per_elem: 3.0,
+            bytes_per_elem: 24.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.5,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            vec![rand_reg(0, seed, lanes, u64::MAX), rand_reg(1, seed ^ 5, lanes, u64::MAX)]
+        },
+        body: |b| {
+            b.xor(r(0), r(1), r(2));
+            b.bflip(r(2), r(2));
+            b.xor(r(2), r(1), r(2));
+        },
+        reference: |regs| {
+            regs[2] = ((regs[0] ^ regs[1]).reverse_bits()) ^ regs[1];
+        },
+        outputs: &[2],
+        regs_per_elem: 3,
+    }
+}
+
+/// `popcount`: per-lane population count.
+pub fn popcount() -> LaneKernel {
+    LaneKernel {
+        name: "popcount",
+        group: KernelGroup::Basic,
+        profile: WorkProfile {
+            ops_per_elem: 1.0,
+            bytes_per_elem: 16.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.6,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| vec![rand_reg(0, seed, lanes, u64::MAX)],
+        body: |b| {
+            b.popc(r(0), r(1));
+        },
+        reference: |regs| regs[1] = regs[0].count_ones() as u64,
+        outputs: &[1],
+        regs_per_elem: 2,
+    }
+}

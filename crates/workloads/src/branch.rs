@@ -1,0 +1,206 @@
+//! The five *branch-focused* kernels: per-lane data-driven branches,
+//! including the multiply-nested case the paper's group description calls
+//! out.
+
+use crate::kernel::{KernelGroup, WorkProfile};
+use crate::lane::{const_reg, rand_reg, LaneKernel};
+use ezpim::Cond;
+use mpu_isa::RegId;
+
+fn r(i: u16) -> RegId {
+    RegId(i)
+}
+
+/// `threshold`: binarize against a broadcast threshold.
+pub fn threshold() -> LaneKernel {
+    LaneKernel {
+        name: "threshold",
+        group: KernelGroup::Branch,
+        profile: WorkProfile {
+            ops_per_elem: 2.0,
+            bytes_per_elem: 17.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.5,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            vec![rand_reg(0, seed, lanes, 1 << 32), const_reg(1, 1 << 31, lanes)]
+        },
+        body: |b| {
+            b.if_else(
+                Cond::Gt(r(0), r(1)),
+                |b| {
+                    b.init1(r(2));
+                },
+                |b| {
+                    b.init0(r(2));
+                },
+            );
+        },
+        reference: |regs| regs[2] = u64::from(regs[0] > regs[1]),
+        outputs: &[2],
+        regs_per_elem: 2,
+    }
+}
+
+/// `clamp`: clip values into `[lo, hi]` with two sequential branches.
+pub fn clamp() -> LaneKernel {
+    LaneKernel {
+        name: "clamp",
+        group: KernelGroup::Branch,
+        profile: WorkProfile {
+            ops_per_elem: 4.0,
+            bytes_per_elem: 17.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.5,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            vec![
+                rand_reg(0, seed, lanes, 1 << 20),
+                const_reg(1, 3 << 18, lanes), // hi
+                const_reg(2, 1 << 18, lanes), // lo
+            ]
+        },
+        body: |b| {
+            b.mov(r(0), r(4));
+            b.if_then(Cond::Gt(r(4), r(1)), |b| {
+                b.mov(r(1), r(4));
+            });
+            b.if_then(Cond::Lt(r(4), r(2)), |b| {
+                b.mov(r(2), r(4));
+            });
+        },
+        reference: |regs| regs[4] = regs[0].clamp(regs[2], regs[1]),
+        outputs: &[4],
+        regs_per_elem: 2,
+    }
+}
+
+/// `absdiff`: `|a - b|` via a data-driven if/else.
+pub fn absdiff() -> LaneKernel {
+    LaneKernel {
+        name: "absdiff",
+        group: KernelGroup::Branch,
+        profile: WorkProfile {
+            ops_per_elem: 3.0,
+            bytes_per_elem: 24.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.5,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            vec![rand_reg(0, seed, lanes, u64::MAX), rand_reg(1, seed ^ 7, lanes, u64::MAX)]
+        },
+        body: |b| {
+            b.if_else(
+                Cond::Gt(r(0), r(1)),
+                |b| {
+                    b.sub(r(0), r(1), r(2));
+                },
+                |b| {
+                    b.sub(r(1), r(0), r(2));
+                },
+            );
+        },
+        reference: |regs| regs[2] = regs[0].abs_diff(regs[1]),
+        outputs: &[2],
+        regs_per_elem: 3,
+    }
+}
+
+/// `quantize`: bucket values into four bins with *nested* branches.
+pub fn quantize() -> LaneKernel {
+    LaneKernel {
+        name: "quantize",
+        group: KernelGroup::Branch,
+        profile: WorkProfile {
+            ops_per_elem: 6.0,
+            bytes_per_elem: 17.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.35,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            vec![
+                rand_reg(0, seed, lanes, 4096),
+                const_reg(1, 1024, lanes),
+                const_reg(2, 2048, lanes),
+                const_reg(3, 3072, lanes),
+            ]
+        },
+        body: |b| {
+            b.if_else(
+                Cond::Lt(r(0), r(2)),
+                |b| {
+                    b.if_else(
+                        Cond::Lt(r(0), r(1)),
+                        |b| {
+                            b.init0(r(4));
+                        },
+                        |b| {
+                            b.init1(r(4));
+                        },
+                    );
+                },
+                |b| {
+                    b.if_else(
+                        Cond::Lt(r(0), r(3)),
+                        |b| {
+                            b.init1(r(4));
+                            b.lshift(r(4), r(4));
+                        },
+                        |b| {
+                            b.init1(r(4));
+                            b.lshift(r(4), r(4));
+                            b.inc(r(4), r(4));
+                        },
+                    );
+                },
+            );
+        },
+        reference: |regs| {
+            regs[4] = match regs[0] {
+                x if x < 1024 => 0,
+                x if x < 2048 => 1,
+                x if x < 3072 => 2,
+                _ => 3,
+            };
+        },
+        outputs: &[4],
+        regs_per_elem: 2,
+    }
+}
+
+/// `mux-blend`: bitwise select between two streams by a mask stream.
+pub fn muxblend() -> LaneKernel {
+    LaneKernel {
+        name: "mux-blend",
+        group: KernelGroup::Branch,
+        profile: WorkProfile {
+            ops_per_elem: 3.0,
+            bytes_per_elem: 32.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.6,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            vec![
+                rand_reg(0, seed, lanes, u64::MAX),
+                rand_reg(1, seed ^ 9, lanes, u64::MAX),
+                rand_reg(2, seed ^ 11, lanes, u64::MAX),
+            ]
+        },
+        body: |b| {
+            b.mux(r(0), r(1), r(2));
+        },
+        reference: |regs| regs[2] = (regs[2] & regs[0]) | (!regs[2] & regs[1]),
+        outputs: &[2],
+        regs_per_elem: 4,
+    }
+}

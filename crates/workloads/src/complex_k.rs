@@ -1,0 +1,238 @@
+//! The five *complex* kernels — the group the paper names explicitly
+//! (`manhattan`, `euclidean`, `ibert-sqrt`, `softmax`, `crc32`): dynamic
+//! data-driven loops, heavy divisions, and per-bit branching that prior
+//! PUM datapaths cannot execute without a host CPU.
+
+use crate::kernel::{KernelGroup, WorkProfile};
+use crate::lane::{const_reg, rand_reg, LaneKernel};
+use ezpim::Cond;
+use mpu_isa::RegId;
+use pum_backend::semantics;
+
+fn r(i: u16) -> RegId {
+    RegId(i)
+}
+
+/// `manhattan`: L1 distance between two 4-component vectors per lane.
+pub fn manhattan() -> LaneKernel {
+    LaneKernel {
+        name: "manhattan",
+        group: KernelGroup::Complex,
+        profile: WorkProfile {
+            ops_per_elem: 12.0,
+            bytes_per_elem: 72.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.45,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            (0..8u8).map(|i| rand_reg(i, seed ^ (i as u64 + 20), lanes, 1 << 31)).collect()
+        },
+        body: |b| {
+            b.init0(r(8));
+            for i in 0..4u16 {
+                b.max(r(i), r(4 + i), r(9));
+                b.min(r(i), r(4 + i), r(i));
+                b.sub(r(9), r(i), r(9));
+                b.add(r(8), r(9), r(8));
+            }
+        },
+        reference: |regs| {
+            let mut acc = 0u64;
+            for i in 0..4 {
+                acc = acc.wrapping_add(regs[i].abs_diff(regs[4 + i]));
+            }
+            regs[8] = acc;
+        },
+        outputs: &[8],
+        regs_per_elem: 9,
+    }
+}
+
+/// `euclidean`: squared L2 distance between two 3-component vectors.
+pub fn euclidean() -> LaneKernel {
+    LaneKernel {
+        name: "euclidean",
+        group: KernelGroup::Complex,
+        profile: WorkProfile {
+            ops_per_elem: 12.0,
+            bytes_per_elem: 56.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.5,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            (0..6u8).map(|i| rand_reg(i, seed ^ (i as u64 + 30), lanes, 1 << 15)).collect()
+        },
+        body: |b| {
+            b.init0(r(8));
+            for i in 0..3u16 {
+                b.max(r(i), r(3 + i), r(9));
+                b.min(r(i), r(3 + i), r(i));
+                b.sub(r(9), r(i), r(9));
+                b.mac(r(9), r(9), r(8));
+            }
+        },
+        reference: |regs| {
+            let mut acc = 0u64;
+            for i in 0..3 {
+                let d = regs[i].abs_diff(regs[3 + i]);
+                acc = acc.wrapping_add(semantics::mul32(d, d));
+            }
+            regs[8] = acc;
+        },
+        outputs: &[8],
+        regs_per_elem: 7,
+    }
+}
+
+/// `ibert-sqrt`: integer Newton square root with a data-driven `while`
+/// loop (the paper's canonical dynamic-loop kernel).
+pub fn ibert_sqrt() -> LaneKernel {
+    LaneKernel {
+        name: "ibert-sqrt",
+        group: KernelGroup::Complex,
+        profile: WorkProfile {
+            ops_per_elem: 180.0, // several division-dominated iterations
+            bytes_per_elem: 16.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.15,
+            avg_trip_count: 16.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            let (reg, mut values) = rand_reg(0, seed, lanes, 1 << 30);
+            for v in &mut values {
+                *v = (*v).max(1); // sqrt of a positive integer
+            }
+            vec![(reg, values), const_reg(7, 2, lanes)]
+        },
+        body: |b| {
+            // x = n; y = (x + n/x)/2; while (y < x) { x = y; recompute y }
+            b.mov(r(0), r(1));
+            b.qdiv(r(0), r(1), r(2));
+            b.add(r(1), r(2), r(3));
+            b.qdiv(r(3), r(7), r(4));
+            b.while_loop(Cond::Lt(r(4), r(1)), |b| {
+                b.mov(r(4), r(1));
+                b.qdiv(r(0), r(1), r(2));
+                b.add(r(1), r(2), r(3));
+                b.qdiv(r(3), r(7), r(4));
+            });
+            b.mov(r(1), r(8));
+        },
+        reference: |regs| {
+            let n = regs[0];
+            let mut x = n;
+            let mut y = (x + n / x) / 2;
+            while y < x {
+                x = y;
+                y = (x + n / x) / 2;
+            }
+            regs[8] = x;
+        },
+        outputs: &[8],
+        regs_per_elem: 2,
+    }
+}
+
+/// `softmax`: fixed-point softmax over 4 logits per lane, with `2^x`
+/// exponentials computed by per-lane dynamic loops.
+pub fn softmax4() -> LaneKernel {
+    LaneKernel {
+        name: "softmax",
+        group: KernelGroup::Complex,
+        profile: WorkProfile {
+            ops_per_elem: 60.0,
+            bytes_per_elem: 64.0,
+            kernel_launches: 2,
+            gpu_efficiency: 0.25,
+            avg_trip_count: 6.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            (0..4u8).map(|i| rand_reg(i, seed ^ (i as u64 + 40), lanes, 12)).collect()
+        },
+        body: |b| {
+            // e_i = 2^{x_i} via counted loops; s = Σ e_i;
+            // out_i = (e_i << 8) / s (Q8 fixed point).
+            for i in 0..4u16 {
+                b.init1(r(4 + i));
+                b.for_loop(r(9), r(i), |b| {
+                    b.lshift(r(4 + i), r(4 + i));
+                });
+            }
+            b.init0(r(8));
+            for i in 0..4u16 {
+                b.add(r(8), r(4 + i), r(8));
+            }
+            for i in 0..4u16 {
+                b.repeat(8, |b| {
+                    b.lshift(r(4 + i), r(4 + i));
+                });
+                b.qdiv(r(4 + i), r(8), r(i));
+            }
+        },
+        reference: |regs| {
+            let e: Vec<u64> = (0..4).map(|i| 1u64 << regs[i]).collect();
+            let s: u64 = e.iter().sum();
+            for i in 0..4 {
+                regs[i] = (e[i] << 8) / s;
+            }
+        },
+        outputs: &[0, 1, 2, 3],
+        regs_per_elem: 5,
+    }
+}
+
+/// `crc32`: MSB-first CRC-32 (poly `0x04C11DB7`) of a 32-bit message per
+/// lane — a branch per processed bit.
+pub fn crc32() -> LaneKernel {
+    LaneKernel {
+        name: "crc32",
+        group: KernelGroup::Complex,
+        profile: WorkProfile {
+            ops_per_elem: 96.0,
+            bytes_per_elem: 16.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.05,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: |seed, lanes| {
+            let (reg, mut values) = rand_reg(1, seed, lanes, 1 << 32);
+            for v in &mut values {
+                *v <<= 32; // message in the high half of the CRC register
+            }
+            vec![
+                (reg, values),
+                const_reg(2, 1 << 63, lanes),            // MSB mask
+                const_reg(3, 0x04C1_1DB7u64 << 32, lanes), // polynomial
+            ]
+        },
+        body: |b| {
+            b.repeat(32, |b| {
+                b.and(r(1), r(2), r(9));
+                b.lshift(r(1), r(1));
+                b.if_then(Cond::Eq(r(9), r(2)), |b| {
+                    b.xor(r(1), r(3), r(1));
+                });
+            });
+        },
+        reference: |regs| {
+            let mut crc = regs[1];
+            for _ in 0..32 {
+                let msb = crc & (1 << 63);
+                crc <<= 1;
+                if msb != 0 {
+                    crc ^= 0x04C1_1DB7u64 << 32;
+                }
+            }
+            regs[1] = crc;
+        },
+        outputs: &[1],
+        regs_per_elem: 2,
+    }
+}

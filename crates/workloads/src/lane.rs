@@ -1,0 +1,177 @@
+//! `LaneKernel`: a declarative description of a per-lane kernel, from
+//! which programs, inputs, and golden expectations are derived.
+//!
+//! Every one of the paper's 21 kernels is data-parallel per lane (stencils
+//! become per-lane once their shifted neighbor vectors are staged, which is
+//! exactly how PUM lays out stencil data). A [`LaneKernel`] couples an
+//! ezpim body with a per-lane reference function over the 16-register
+//! file; the harness checks that the simulated bit-plane execution matches
+//! the reference on every lane.
+
+use crate::kernel::{gen_values, BuiltKernel, Kernel, KernelGroup, WorkProfile};
+use ezpim::{Body, EzProgram};
+use mpu_isa::RegId;
+use pum_backend::Geometry;
+
+/// Number of architectural registers a lane reference models.
+pub const REGS: usize = 16;
+
+/// A per-lane kernel specification. See module docs.
+pub struct LaneKernel {
+    /// Kernel name (figure x-axis label).
+    pub name: &'static str,
+    /// Kernel group.
+    pub group: KernelGroup,
+    /// Analytical-platform work profile.
+    pub profile: WorkProfile,
+    /// True for stencils: inputs are loaded into the staging VRF
+    /// (`vrf + 1`) and copied in-program via a transfer ensemble.
+    pub staged: bool,
+    /// Generates `(reg, lane values)` inputs for one member.
+    pub gen: fn(seed: u64, lanes: usize) -> Vec<(u8, Vec<u64>)>,
+    /// Emits the compute body.
+    pub body: fn(&mut Body<'_>),
+    /// Per-lane golden semantics over the register file.
+    pub reference: fn(&mut [u64; REGS]),
+    /// Registers holding the results to verify.
+    pub outputs: &'static [u8],
+    /// Input registers per element (footprint estimation).
+    pub regs_per_elem: u32,
+}
+
+impl Kernel for LaneKernel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn group(&self) -> KernelGroup {
+        self.group
+    }
+
+    fn regs_per_elem(&self) -> u32 {
+        self.regs_per_elem
+    }
+
+    fn profile(&self) -> WorkProfile {
+        self.profile
+    }
+
+    fn build(&self, geometry: &Geometry, members: &[(u16, u16)], seed: u64) -> BuiltKernel {
+        let lanes = geometry.lanes_per_vrf;
+        let mut ez = EzProgram::new();
+        if self.staged {
+            // Stage shifted/neighbor data from the staging VRF (vrf+1 of
+            // the same RFH) into the compute VRF — the DTC work a PUM
+            // stencil performs before computing.
+            let pairs: Vec<(u16, u16)> = members.iter().map(|&(rfh, _)| (rfh, rfh)).collect();
+            let sample = (self.gen)(seed, lanes);
+            ez.transfer(&pairs, |t| {
+                for (reg, _) in &sample {
+                    // All members share vrf indices (harness convention).
+                    let (_, vrf) = members[0];
+                    t.memcpy(vrf + 1, RegId(*reg as u16), vrf, RegId(*reg as u16));
+                }
+            });
+        }
+        ez.ensemble(members, |b| (self.body)(b)).expect("kernel body must build");
+        let program = ez.assemble().expect("kernel must assemble");
+
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        let mut expected = Vec::new();
+        for (mi, &(rfh, vrf)) in members.iter().enumerate() {
+            let member_seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(mi as u64 + 1));
+            let data = (self.gen)(member_seed, lanes);
+            // Golden model: per lane, run the reference over the register
+            // file initialized with this member's inputs.
+            let mut final_regs: Vec<[u64; REGS]> = Vec::with_capacity(lanes);
+            for lane in 0..lanes {
+                let mut regs = [0u64; REGS];
+                for (reg, values) in &data {
+                    regs[*reg as usize] = values[lane];
+                }
+                (self.reference)(&mut regs);
+                final_regs.push(regs);
+            }
+            for &out in self.outputs {
+                outputs.push((rfh, vrf, out));
+                expected.push(final_regs.iter().map(|r| r[out as usize]).collect());
+            }
+            let input_vrf = if self.staged { vrf + 1 } else { vrf };
+            for (reg, values) in data {
+                inputs.push(((rfh, input_vrf, reg), values));
+            }
+        }
+        BuiltKernel {
+            program,
+            members: members.to_vec(),
+            inputs,
+            outputs,
+            expected,
+            ezpim_statements: ez.statements(),
+        }
+    }
+}
+
+/// Helper for `gen` functions: a constant register (same value per lane).
+pub fn const_reg(reg: u8, value: u64, lanes: usize) -> (u8, Vec<u64>) {
+    (reg, vec![value; lanes])
+}
+
+/// Helper for `gen` functions: a random register with values in `0..max`.
+pub fn rand_reg(reg: u8, seed: u64, lanes: usize, max: u64) -> (u8, Vec<u64>) {
+    (reg, gen_values(seed ^ (reg as u64) << 56, lanes, max))
+}
+
+/// Helper for stencil `gen` functions: shifted views of one padded array.
+/// Returns registers `base_reg + k` holding `x[i + offsets[k]]` where `x`
+/// is a shared random array with halo padding.
+pub fn shifted_regs(
+    base_reg: u8,
+    seed: u64,
+    lanes: usize,
+    offsets: &[i64],
+    max: u64,
+) -> Vec<(u8, Vec<u64>)> {
+    let halo = offsets.iter().map(|o| o.unsigned_abs() as usize).max().unwrap_or(0);
+    let padded = gen_values(seed, lanes + 2 * halo, max);
+    offsets
+        .iter()
+        .enumerate()
+        .map(|(k, &off)| {
+            let values = (0..lanes)
+                .map(|i| padded[(i as i64 + halo as i64 + off) as usize])
+                .collect();
+            (base_reg + k as u8, values)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifted_regs_are_views_of_one_array() {
+        let regs = shifted_regs(0, 42, 10, &[-1, 0, 1], 100);
+        assert_eq!(regs.len(), 3);
+        let left = &regs[0].1;
+        let center = &regs[1].1;
+        let right = &regs[2].1;
+        for i in 0..9 {
+            assert_eq!(center[i + 1], right[i], "right shift aligns");
+            assert_eq!(center[i], left[i + 1], "left shift aligns");
+        }
+    }
+
+    #[test]
+    fn const_and_rand_helpers() {
+        let (r, v) = const_reg(3, 7, 5);
+        assert_eq!(r, 3);
+        assert_eq!(v, vec![7; 5]);
+        let (_, v1) = rand_reg(0, 1, 50, 10);
+        let (_, v2) = rand_reg(1, 1, 50, 10);
+        assert!(v1.iter().all(|&x| x < 10));
+        assert_ne!(v1, v2, "different registers draw different streams");
+    }
+}

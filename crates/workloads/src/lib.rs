@@ -1,0 +1,116 @@
+//! # workloads — the MPU paper's evaluation programs
+//!
+//! The 21 data-intensive kernels of §VII (four groups: basic, branch,
+//! stencil, complex) and the three end-to-end applications of §VIII-D
+//! (`LLMEncode`, `BlackScholes`, `EditDistance`), each expressed through
+//! the ezpim assembler with a per-lane golden reference model, plus the
+//! chip-level harness that simulates, verifies, and scales them.
+//!
+//! ```
+//! use mastodon::SimConfig;
+//! use pum_backend::DatapathKind;
+//! use workloads::{all_kernels, run_kernel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let kernels = all_kernels();
+//! assert_eq!(kernels.len(), 21);
+//! let run = run_kernel(
+//!     kernels[0].as_ref(),
+//!     &SimConfig::mpu(DatapathKind::Racer),
+//!     1 << 12,
+//!     42,
+//! )?;
+//! assert!(run.verified);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+mod basic;
+mod branch;
+mod complex_k;
+mod harness;
+mod kernel;
+mod lane;
+mod stencil;
+
+pub use harness::{run_kernel, ChipRun, HarnessError};
+pub use kernel::{gen_values, BuiltKernel, Kernel, KernelGroup, WorkProfile};
+pub use lane::LaneKernel;
+
+/// All 21 kernels, grouped and ordered as in the paper's figures.
+pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        // basic
+        Box::new(basic::vecadd()),
+        Box::new(basic::vecmul()),
+        Box::new(basic::saxpy()),
+        Box::new(basic::dot4()),
+        Box::new(basic::xorcipher()),
+        Box::new(basic::popcount()),
+        // branch
+        Box::new(branch::threshold()),
+        Box::new(branch::clamp()),
+        Box::new(branch::absdiff()),
+        Box::new(branch::quantize()),
+        Box::new(branch::muxblend()),
+        // stencil
+        Box::new(stencil::jacobi1d()),
+        Box::new(stencil::gaussian()),
+        Box::new(stencil::jacobi2d()),
+        Box::new(stencil::conv3x3()),
+        Box::new(stencil::sobel()),
+        // complex
+        Box::new(complex_k::manhattan()),
+        Box::new(complex_k::euclidean()),
+        Box::new(complex_k::ibert_sqrt()),
+        Box::new(complex_k::softmax4()),
+        Box::new(complex_k::crc32()),
+    ]
+}
+
+/// Kernels belonging to one group.
+pub fn kernels_in_group(group: KernelGroup) -> Vec<Box<dyn Kernel>> {
+    all_kernels().into_iter().filter(|k| k.group() == group).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_one_kernels_in_four_groups() {
+        let kernels = all_kernels();
+        assert_eq!(kernels.len(), 21);
+        assert_eq!(kernels_in_group(KernelGroup::Basic).len(), 6);
+        assert_eq!(kernels_in_group(KernelGroup::Branch).len(), 5);
+        assert_eq!(kernels_in_group(KernelGroup::Stencil).len(), 5);
+        assert_eq!(kernels_in_group(KernelGroup::Complex).len(), 5);
+    }
+
+    #[test]
+    fn paper_named_kernels_present() {
+        let names: Vec<_> = all_kernels().iter().map(|k| k.name()).collect();
+        for name in ["manhattan", "euclidean", "ibert-sqrt", "softmax", "crc32"] {
+            assert!(names.contains(&name), "missing paper kernel {name}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = all_kernels().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn stencils_have_baseline_inflation() {
+        for k in all_kernels() {
+            let expect = if k.group() == KernelGroup::Stencil { 4.0 } else { 1.0 };
+            assert_eq!(k.baseline_footprint(), expect, "{}", k.name());
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The five *stencil* kernels. Neighbor vectors are staged as shifted
+//! copies (the natural PUM stencil layout); the in-program transfer
+//! ensemble charges the staging cost. Baseline datapaths instead pay the
+//! paper's ≈4× Toeplitz/mat-mul footprint inflation (see
+//! [`crate::Kernel::baseline_footprint`]).
+
+use crate::kernel::{KernelGroup, WorkProfile};
+use crate::lane::{shifted_regs, LaneKernel};
+use mpu_isa::RegId;
+
+fn r(i: u16) -> RegId {
+    RegId(i)
+}
+
+/// Logical row width for the 2-D stencils (lanes index a W-wide image).
+pub const STENCIL_W: i64 = 8;
+
+/// `jacobi1d`: 3-point average `(x[i-1] + x[i] + x[i+1]) / 3`.
+pub fn jacobi1d() -> LaneKernel {
+    LaneKernel {
+        name: "jacobi1d",
+        group: KernelGroup::Stencil,
+        profile: WorkProfile {
+            ops_per_elem: 4.0,
+            bytes_per_elem: 16.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.8,
+            avg_trip_count: 1.0,
+        },
+        staged: true,
+        gen: |seed, lanes| {
+            let mut regs = shifted_regs(0, seed, lanes, &[-1, 0, 1], 1 << 30);
+            regs.push((3, vec![3; lanes]));
+            regs
+        },
+        body: |b| {
+            b.add(r(0), r(1), r(4));
+            b.add(r(4), r(2), r(4));
+            b.qdiv(r(4), r(3), r(5));
+        },
+        reference: |regs| {
+            regs[5] = (regs[0].wrapping_add(regs[1]).wrapping_add(regs[2])) / 3;
+        },
+        outputs: &[5],
+        regs_per_elem: 2,
+    }
+}
+
+/// `gaussian`: 5-tap binomial blur `(x₋₂ + 4x₋₁ + 6x₀ + 4x₁ + x₂) / 16`.
+pub fn gaussian() -> LaneKernel {
+    LaneKernel {
+        name: "gaussian",
+        group: KernelGroup::Stencil,
+        profile: WorkProfile {
+            ops_per_elem: 9.0,
+            bytes_per_elem: 16.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.8,
+            avg_trip_count: 1.0,
+        },
+        staged: true,
+        gen: |seed, lanes| {
+            let mut regs = shifted_regs(0, seed, lanes, &[-2, -1, 0, 1, 2], 1 << 27);
+            regs.push((9, vec![16; lanes]));
+            regs
+        },
+        body: |b| {
+            b.add(r(0), r(4), r(5)); // outer taps
+            b.add(r(1), r(3), r(6)); // inner taps
+            b.lshift(r(6), r(6));
+            b.lshift(r(6), r(6)); // ×4
+            b.add(r(5), r(6), r(5));
+            b.mov(r(2), r(7));
+            b.lshift(r(7), r(7)); // 2×center
+            b.mov(r(7), r(6));
+            b.lshift(r(6), r(6)); // 4×center
+            b.add(r(7), r(6), r(7)); // 6×center
+            b.add(r(5), r(7), r(5));
+            b.qdiv(r(5), r(9), r(8));
+        },
+        reference: |regs| {
+            let sum = regs[0]
+                .wrapping_add(4 * regs[1])
+                .wrapping_add(6 * regs[2])
+                .wrapping_add(4 * regs[3])
+                .wrapping_add(regs[4]);
+            regs[8] = sum / 16;
+        },
+        outputs: &[8],
+        regs_per_elem: 2,
+    }
+}
+
+/// `jacobi2d`: 5-point average over N/S/E/W/center.
+pub fn jacobi2d() -> LaneKernel {
+    LaneKernel {
+        name: "jacobi2d",
+        group: KernelGroup::Stencil,
+        profile: WorkProfile {
+            ops_per_elem: 6.0,
+            bytes_per_elem: 16.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.75,
+            avg_trip_count: 1.0,
+        },
+        staged: true,
+        gen: |seed, lanes| {
+            let mut regs =
+                shifted_regs(0, seed, lanes, &[-STENCIL_W, STENCIL_W, -1, 1, 0], 1 << 29);
+            regs.push((5, vec![5; lanes]));
+            regs
+        },
+        body: |b| {
+            b.add(r(0), r(1), r(6));
+            b.add(r(6), r(2), r(6));
+            b.add(r(6), r(3), r(6));
+            b.add(r(6), r(4), r(6));
+            b.qdiv(r(6), r(5), r(7));
+        },
+        reference: |regs| {
+            let sum = regs[0]
+                .wrapping_add(regs[1])
+                .wrapping_add(regs[2])
+                .wrapping_add(regs[3])
+                .wrapping_add(regs[4]);
+            regs[7] = sum / 5;
+        },
+        outputs: &[7],
+        regs_per_elem: 2,
+    }
+}
+
+/// `conv3x3`: 3×3 binomial convolution (corners + 2·edges + 4·center)/16.
+pub fn conv3x3() -> LaneKernel {
+    LaneKernel {
+        name: "conv3x3",
+        group: KernelGroup::Stencil,
+        profile: WorkProfile {
+            ops_per_elem: 15.0,
+            bytes_per_elem: 16.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.75,
+            avg_trip_count: 1.0,
+        },
+        staged: true,
+        gen: |seed, lanes| {
+            let w = STENCIL_W;
+            // r0..r8: NW N NE W C E SW S SE
+            shifted_regs(
+                0,
+                seed,
+                lanes,
+                &[-w - 1, -w, -w + 1, -1, 0, 1, w - 1, w, w + 1],
+                1 << 26,
+            )
+        },
+        body: |b| {
+            // Edges ×2 in r9.
+            b.add(r(1), r(3), r(9));
+            b.add(r(9), r(5), r(9));
+            b.add(r(9), r(7), r(9));
+            b.lshift(r(9), r(9));
+            // Corners in r10.
+            b.add(r(0), r(2), r(10));
+            b.add(r(10), r(6), r(10));
+            b.add(r(10), r(8), r(10));
+            b.add(r(9), r(10), r(9));
+            // Center ×4.
+            b.mov(r(4), r(10));
+            b.lshift(r(10), r(10));
+            b.lshift(r(10), r(10));
+            b.add(r(9), r(10), r(9));
+            // Normalize by 16.
+            b.init1(r(10));
+            b.repeat(4, |b| {
+                b.lshift(r(10), r(10));
+            });
+            b.qdiv(r(9), r(10), r(11));
+        },
+        reference: |regs| {
+            let corners = regs[0] + regs[2] + regs[6] + regs[8];
+            let edges = regs[1] + regs[3] + regs[5] + regs[7];
+            regs[11] = (corners + 2 * edges + 4 * regs[4]) / 16;
+        },
+        outputs: &[11],
+        regs_per_elem: 2,
+    }
+}
+
+/// `sobel`: gradient magnitude `|gx| + |gy|` with 3×3 Sobel taps.
+pub fn sobel() -> LaneKernel {
+    LaneKernel {
+        name: "sobel",
+        group: KernelGroup::Stencil,
+        profile: WorkProfile {
+            ops_per_elem: 20.0,
+            bytes_per_elem: 16.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.7,
+            avg_trip_count: 1.0,
+        },
+        staged: true,
+        gen: |seed, lanes| {
+            let w = STENCIL_W;
+            shifted_regs(
+                0,
+                seed,
+                lanes,
+                &[-w - 1, -w, -w + 1, -1, 0, 1, w - 1, w, w + 1],
+                1 << 24,
+            )
+        },
+        body: |b| {
+            // gx: (NE + 2E + SE) - (NW + 2W + SW), as |max-min|.
+            b.mov(r(5), r(9));
+            b.lshift(r(9), r(9));
+            b.add(r(9), r(2), r(9));
+            b.add(r(9), r(8), r(9));
+            b.mov(r(3), r(10));
+            b.lshift(r(10), r(10));
+            b.add(r(10), r(0), r(10));
+            b.add(r(10), r(6), r(10));
+            b.max(r(9), r(10), r(11));
+            b.min(r(9), r(10), r(12));
+            b.sub(r(11), r(12), r(11)); // |gx|
+            // gy: (SW + 2S + SE) - (NW + 2N + NE).
+            b.mov(r(7), r(9));
+            b.lshift(r(9), r(9));
+            b.add(r(9), r(6), r(9));
+            b.add(r(9), r(8), r(9));
+            b.mov(r(1), r(10));
+            b.lshift(r(10), r(10));
+            b.add(r(10), r(0), r(10));
+            b.add(r(10), r(2), r(10));
+            b.max(r(9), r(10), r(12));
+            b.min(r(9), r(10), r(13));
+            b.sub(r(12), r(13), r(12)); // |gy|
+            b.add(r(11), r(12), r(13));
+        },
+        reference: |regs| {
+            let gxp = 2 * regs[5] + regs[2] + regs[8];
+            let gxm = 2 * regs[3] + regs[0] + regs[6];
+            let gyp = 2 * regs[7] + regs[6] + regs[8];
+            let gym = 2 * regs[1] + regs[0] + regs[2];
+            regs[13] = gxp.abs_diff(gxm) + gyp.abs_diff(gym);
+        },
+        outputs: &[13],
+        regs_per_elem: 2,
+    }
+}

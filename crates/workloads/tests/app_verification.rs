@@ -1,0 +1,89 @@
+//! End-to-end application verification: the three §VIII-D applications
+//! run on multi-MPU systems and match their golden models exactly.
+
+use mastodon::SimConfig;
+use pum_backend::DatapathKind;
+use workloads::apps::{all_apps, run_app, App, BlackScholes, EditDistance, LlmEncode};
+
+#[test]
+fn black_scholes_verifies_on_racer() {
+    let app = BlackScholes;
+    let run = run_app(&app, &SimConfig::mpu(DatapathKind::Racer), app.default_mpus(), 3)
+        .expect("BlackScholes");
+    assert!(run.verified);
+    assert!(run.stats.messages_sent >= 1, "CDF aggregation exchange");
+    assert!(run.ezpim_statements < run.isa_instructions, "ezpim is terser (Table IV)");
+}
+
+#[test]
+fn edit_distance_verifies_on_racer() {
+    let app = EditDistance;
+    let run = run_app(&app, &SimConfig::mpu(DatapathKind::Racer), app.default_mpus(), 4)
+        .expect("EditDistance");
+    assert!(run.verified);
+    // 3×3 grid, 2 steps: plenty of systolic messages.
+    assert!(run.stats.messages_sent >= 8, "systolic streaming");
+}
+
+#[test]
+fn llm_encode_verifies_on_racer() {
+    let app = LlmEncode;
+    let run = run_app(&app, &SimConfig::mpu(DatapathKind::Racer), app.default_mpus(), 5)
+        .expect("LLMEncode");
+    assert!(run.verified);
+    // broadcast + scatter + P2P + gather all send messages.
+    let workers = app.default_mpus() - 1;
+    assert!(run.stats.messages_sent as usize >= 3 * workers);
+}
+
+#[test]
+fn apps_verify_on_mimdram() {
+    for app in all_apps() {
+        let run = run_app(
+            app.as_ref(),
+            &SimConfig::mpu(DatapathKind::Mimdram),
+            app.default_mpus(),
+            6,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        assert!(run.verified, "{}", app.name());
+    }
+}
+
+#[test]
+fn apps_verify_in_baseline_mode_and_pay_offloads() {
+    for app in all_apps() {
+        let base = run_app(
+            app.as_ref(),
+            &SimConfig::baseline(DatapathKind::Racer),
+            app.default_mpus(),
+            7,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        assert!(base.verified, "{}", app.name());
+        let mpu = run_app(
+            app.as_ref(),
+            &SimConfig::mpu(DatapathKind::Racer),
+            app.default_mpus(),
+            7,
+        )
+        .unwrap();
+        assert!(
+            base.stats.cycles >= mpu.stats.cycles,
+            "{}: Baseline ({}) should not beat MPU ({})",
+            app.name(),
+            base.stats.cycles,
+            mpu.stats.cycles
+        );
+    }
+}
+
+#[test]
+fn table4_rows_match_paper() {
+    let rows: Vec<_> = all_apps().iter().map(|a| a.table4()).collect();
+    assert_eq!(rows[0].paper_mpus, 130);
+    assert_eq!(rows[1].paper_mpus, 2);
+    assert_eq!(rows[2].paper_mpus, 23);
+    assert!(rows[0].collectives.contains("broadcast"));
+    assert!(rows[2].collectives.contains("systolic"));
+}

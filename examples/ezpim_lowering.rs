@@ -1,0 +1,41 @@
+//! ezpim lowering, Fig. 7 style: shows the Table II instruction sequences
+//! the assembler generates for loops, branches, and nested branches, side
+//! by side with the source.
+//!
+//! ```sh
+//! cargo run --example ezpim_lowering
+//! ```
+
+use mpu::ezpim;
+
+fn show(title: &str, src: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let program = ezpim::parse(src)?.assemble()?;
+    println!("== {title} ==");
+    println!("--- ezpim source ---\n{src}");
+    println!("--- lowered MPU ISA ---\n{program}");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 7a: while loop → conditional evaluation + JUMP_COND.
+    show(
+        "Fig. 7a — dynamic while loop",
+        "ensemble h0.v0 {\n    while r0 > r1 {\n        SUB r0 r2 r0\n    }\n}\n",
+    )?;
+    // Fig. 7b: branch → conditional register + SETMASK predication.
+    show(
+        "Fig. 7b — if/else branch",
+        "ensemble h0.v0 {\n    if r0 == r1 {\n        ADD r0 r1 r2\n    } else {\n        SUB r0 r1 r2\n    }\n}\n",
+    )?;
+    // Fig. 7c: nesting → GETMASK/SETMASK mask arithmetic.
+    show(
+        "Fig. 7c — nested branches",
+        "ensemble h0.v0 {\n    if r0 > r1 {\n        if r2 < r3 {\n            INC r4 r4\n        }\n    }\n}\n",
+    )?;
+    // Subroutines → JUMP/RETURN with a return-address stack.
+    show(
+        "subroutine call",
+        "ensemble h0.v0 {\n    call square\n}\nsub square {\n    MUL r0 r0 r2\n}\n",
+    )?;
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Portability: the same MPU binary — bit for bit — executes on all three
+//! PUM datapaths (ReRAM RACER, DRAM MIMDRAM, SRAM Duality Cache), because
+//! the MPU ISA is microarchitecture-agnostic and each backend's I2M
+//! decoder expands instructions into its own micro-op recipes.
+//!
+//! ```sh
+//! cargo run --example portability
+//! ```
+
+use mpu::backend::DatapathKind;
+use mpu::isa::Program;
+use mpu::mastodon::{run_single, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One binary, assembled once, from Table II-style text.
+    let program = Program::parse_asm(
+        "COMPUTE h0 v0\n\
+         MUL r0 r1 r2      # fixed-point scale\n\
+         ADD r2 r3 r2      # bias\n\
+         RELU r2 r4        # activation\n\
+         POPC r4 r5        # population count of the result\n\
+         COMPUTE_DONE",
+    )?;
+    program.validate()?;
+    let words = program.encode();
+    println!("binary: {} instructions, {} bytes\n", program.len(), words.len() * 4);
+
+    for kind in
+        [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache]
+    {
+        let config = SimConfig::mpu(kind);
+        let lanes = config.datapath.geometry().lanes_per_vrf;
+        let a: Vec<u64> = (0..lanes as u64).collect();
+        let (stats, mut mpu) = run_single(
+            config.clone(),
+            &program,
+            &[
+                ((0, 0, 0), a.clone()),
+                ((0, 0, 1), vec![3; lanes]),
+                ((0, 0, 3), vec![10; lanes]),
+            ],
+        )?;
+        let out = mpu.read_register(0, 0, 5)?;
+        // Same architectural result everywhere.
+        for (lane, &got) in out.iter().enumerate() {
+            let expect = u64::from((a[lane] * 3 + 10).count_ones());
+            assert_eq!(got, expect, "{kind:?} lane {lane}");
+        }
+        println!(
+            "{:<22} {:>6} lanes  {:>9} uops  {:>10} cycles  {:>9.1} nJ",
+            config.label(),
+            lanes,
+            stats.uops,
+            stats.cycles,
+            stats.energy.total_pj() / 1000.0
+        );
+    }
+    println!("\nidentical results from three different memory technologies.");
+    Ok(())
+}

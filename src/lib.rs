@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the MPU reproduction workspace.
+pub use ezpim;
+pub use mastodon;
+pub use mpu_isa as isa;
+pub use platforms;
+pub use pum_backend as backend;
+pub use workloads;
