@@ -141,23 +141,20 @@ impl FrontEndModel {
 
     /// Fraction of area in storage-based components (paper: 53%).
     pub fn storage_area_share(&self) -> f64 {
-        let s: f64 =
-            self.components.iter().filter(|c| c.storage).map(|c| c.area_mm2).sum();
+        let s: f64 = self.components.iter().filter(|c| c.storage).map(|c| c.area_mm2).sum();
         s / self.total_area_mm2()
     }
 
     /// Fraction of static power in storage-based components (paper: 91%).
     pub fn storage_static_share(&self) -> f64 {
-        let s: f64 =
-            self.components.iter().filter(|c| c.storage).map(|c| c.static_mw).sum();
+        let s: f64 = self.components.iter().filter(|c| c.storage).map(|c| c.static_mw).sum();
         s / self.total_static_mw()
     }
 
     /// Fraction of dynamic power in storage-based components (paper:
     /// "almost all").
     pub fn storage_dynamic_share(&self) -> f64 {
-        let s: f64 =
-            self.components.iter().filter(|c| c.storage).map(|c| c.dynamic_mw).sum();
+        let s: f64 = self.components.iter().filter(|c| c.storage).map(|c| c.dynamic_mw).sum();
         s / self.total_dynamic_mw()
     }
 }

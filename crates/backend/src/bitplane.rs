@@ -89,13 +89,8 @@ impl BitPlaneVrf {
         assert!(regs > 0 && regs <= 64, "register count must be in 1..=64");
         let words = lanes.div_ceil(64);
         let n_planes = regs * DATA_BITS as usize + SCRATCH_PLANES + 4;
-        let mut vrf = Self {
-            lanes,
-            regs,
-            words,
-            storage: vec![0u64; n_planes * words],
-            mask_enabled: true,
-        };
+        let mut vrf =
+            Self { lanes, regs, words, storage: vec![0u64; n_planes * words], mask_enabled: true };
         // Mask starts all-enabled; const1 plane all ones.
         vrf.fill_plane(Plane::Mask, true);
         let c1 = vrf.plane_index(Plane::Const(true));
@@ -173,14 +168,13 @@ impl BitPlaneVrf {
         let out_idx = self.plane_index(out);
         if masked {
             let mask_idx = self.plane_index(Plane::Mask);
-            for w in 0..self.words {
+            for (w, &word) in new.iter().enumerate().take(self.words) {
                 let m = self.storage[mask_idx * self.words + w];
                 let old = self.storage[out_idx * self.words + w];
-                self.storage[out_idx * self.words + w] = (new[w] & m) | (old & !m);
+                self.storage[out_idx * self.words + w] = (word & m) | (old & !m);
             }
         } else {
-            self.storage[out_idx * self.words..(out_idx + 1) * self.words]
-                .copy_from_slice(&new);
+            self.storage[out_idx * self.words..(out_idx + 1) * self.words].copy_from_slice(&new);
         }
         self.trim_tail(out_idx);
     }
@@ -205,8 +199,7 @@ impl BitPlaneVrf {
         let av = self.plane(a).to_vec();
         let bv = self.plane(b).to_vec();
         let cv = self.plane(c);
-        let new: Vec<u64> =
-            av.iter().zip(&bv).zip(cv).map(|((&x, &y), &z)| f(x, y, z)).collect();
+        let new: Vec<u64> = av.iter().zip(&bv).zip(cv).map(|((&x, &y), &z)| f(x, y, z)).collect();
         self.commit(out, new);
     }
 

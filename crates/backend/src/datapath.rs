@@ -575,9 +575,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires a cost")]
     fn builder_rejects_incomplete_uop_set() {
-        DatapathBuilder::new("Broken", LogicFamily::Nor)
-            .uop(MicroOpKind::Nor, 1, 0.1)
-            .build();
+        DatapathBuilder::new("Broken", LogicFamily::Nor).uop(MicroOpKind::Nor, 1, 0.1).build();
     }
 
     #[test]

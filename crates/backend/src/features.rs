@@ -157,11 +157,7 @@ mod tests {
     #[test]
     fn only_mpu_has_power_density_scheduling() {
         for p in Platform::ALL {
-            assert_eq!(
-                supports(p, Feature::PowerDensityScheduling),
-                p == Platform::Mpu,
-                "{p}"
-            );
+            assert_eq!(supports(p, Feature::PowerDensityScheduling), p == Platform::Mpu, "{p}");
         }
     }
 
@@ -180,10 +176,8 @@ mod tests {
 
     #[test]
     fn sections_partition_the_rows() {
-        let control: Vec<_> = Feature::ALL
-            .iter()
-            .filter(|f| f.section() == "Complex Control Instructions")
-            .collect();
+        let control: Vec<_> =
+            Feature::ALL.iter().filter(|f| f.section() == "Complex Control Instructions").collect();
         assert_eq!(control.len(), 4);
     }
 }

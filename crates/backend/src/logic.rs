@@ -35,15 +35,10 @@ impl LogicFamily {
     /// The micro-op kinds this family's synthesized recipes may contain.
     pub fn supported_kinds(self) -> &'static [MicroOpKind] {
         match self {
-            LogicFamily::Nor => {
-                &[MicroOpKind::Nor, MicroOpKind::Copy, MicroOpKind::Set]
+            LogicFamily::Nor => &[MicroOpKind::Nor, MicroOpKind::Copy, MicroOpKind::Set],
+            LogicFamily::Maj => {
+                &[MicroOpKind::Tra, MicroOpKind::Not, MicroOpKind::Copy, MicroOpKind::Set]
             }
-            LogicFamily::Maj => &[
-                MicroOpKind::Tra,
-                MicroOpKind::Not,
-                MicroOpKind::Copy,
-                MicroOpKind::Set,
-            ],
             LogicFamily::Bitline => &[
                 MicroOpKind::And,
                 MicroOpKind::Or,
@@ -156,9 +151,7 @@ impl GateBuilder {
                 self.release(nb);
                 self.release(na);
             }
-            LogicFamily::Maj => {
-                self.emit(MicroOp::Tra { a, b, c: Plane::Const(false), out })
-            }
+            LogicFamily::Maj => self.emit(MicroOp::Tra { a, b, c: Plane::Const(false), out }),
             LogicFamily::Bitline => self.emit(MicroOp::And { a, b, out }),
         }
     }
@@ -367,8 +360,7 @@ mod tests {
     use super::*;
     use crate::bitplane::BitPlaneVrf;
 
-    const FAMILIES: [LogicFamily; 3] =
-        [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline];
+    const FAMILIES: [LogicFamily; 3] = [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline];
 
     /// Executes the builder's ops on a fresh VRF whose scratch planes 20/21/22
     /// hold all four (or eight) input combinations, then checks `out`.
@@ -411,7 +403,7 @@ mod tests {
             check_gate2(family, |g, a, b, o| g.nor(a, b, o), |x, y| !(x | y));
             check_gate2(family, |g, a, b, o| g.nand(a, b, o), |x, y| !(x & y));
             check_gate2(family, |g, a, b, o| g.xnor(a, b, o), |x, y| !(x ^ y));
-            check_gate2(family, |g, a, b, o| g.not(a, o), |x, _| !x);
+            check_gate2(family, |g, a, _b, o| g.not(a, o), |x, _| !x);
         }
     }
 
@@ -448,12 +440,8 @@ mod tests {
     fn maj_and_mux_all_families() {
         for family in FAMILIES {
             // maj over 8 combinations.
-            let (a, b, c, out) = (
-                Plane::Scratch(20),
-                Plane::Scratch(21),
-                Plane::Scratch(22),
-                Plane::Scratch(19),
-            );
+            let (a, b, c, out) =
+                (Plane::Scratch(20), Plane::Scratch(21), Plane::Scratch(22), Plane::Scratch(19));
             let mut gb = GateBuilder::new(family);
             gb.maj(a, b, c, out);
             let mut vrf = BitPlaneVrf::new(64, 2);
@@ -482,7 +470,11 @@ mod tests {
                 let sel = lane % 2 == 1;
                 let x = (lane / 2) % 2 == 1;
                 let y = lane / 4 == 1;
-                assert_eq!(vrf.lane_bit(out, lane), if sel { x } else { y }, "{family:?} mux {lane}");
+                assert_eq!(
+                    vrf.lane_bit(out, lane),
+                    if sel { x } else { y },
+                    "{family:?} mux {lane}"
+                );
             }
         }
     }

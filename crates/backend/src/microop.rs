@@ -101,9 +101,7 @@ pub enum MicroOp {
 }
 
 /// The kind of a micro-op, used for capability checks and cost lookup.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MicroOpKind {
     /// ReRAM NOR.
     Nor,
@@ -193,7 +191,13 @@ impl MicroOp {
                 // sum = a^b^cin, cout = maj(a,b,cin). The sum must be
                 // computed before the carry plane is overwritten, and both
                 // land atomically as in the CMOS adder latch.
-                vrf.apply3(a, b, carry, Plane::Scratch(crate::bitplane::SCRATCH_PLANES as u16 - 1), |x, y, z| x ^ y ^ z);
+                vrf.apply3(
+                    a,
+                    b,
+                    carry,
+                    Plane::Scratch(crate::bitplane::SCRATCH_PLANES as u16 - 1),
+                    |x, y, z| x ^ y ^ z,
+                );
                 vrf.apply3(a, b, carry, carry, |x, y, z| (x & y) | (y & z) | (x & z));
                 vrf.copy_plane(Plane::Scratch(crate::bitplane::SCRATCH_PLANES as u16 - 1), sum);
             }

@@ -39,7 +39,11 @@ pub const MUL_INPUT_BITS: usize = 32;
 pub const DIV_INPUT_BITS: usize = 32;
 
 /// Context a backend supplies for recipe synthesis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `build_recipe` is a pure function of `(RecipeCtx, Instruction)`, so the
+/// context doubles as a cache key for cross-simulation recipe sharing
+/// (`Hash`/`Eq`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RecipeCtx {
     /// The backend's native logic family.
     pub family: LogicFamily,
@@ -103,9 +107,7 @@ fn rp(reg: u16, bit: usize) -> Plane {
 pub fn build_recipe(ctx: RecipeCtx, instr: &Instruction) -> Option<Recipe> {
     let mut g = GateBuilder::new(ctx.family);
     match *instr {
-        Instruction::Binary { op, rs, rt, rd } => {
-            build_binary(&mut g, ctx, op, rs.0, rt.0, rd.0)
-        }
+        Instruction::Binary { op, rs, rt, rd } => build_binary(&mut g, ctx, op, rs.0, rt.0, rd.0),
         Instruction::Unary { op, rs, rd } => build_unary(&mut g, op, rs.0, rd.0),
         Instruction::Compare { op, rs, rt } => build_compare(&mut g, op, rs.0, rt.0),
         Instruction::Fuzzy { rs, rt, rd } => build_fuzzy(&mut g, rs.0, rt.0, rd.0),
@@ -169,7 +171,13 @@ fn assert_no_alias(mnemonic: &str, rd: u16, sources: &[u16]) {
     );
 }
 
-fn bitwise(g: &mut GateBuilder, rs: u16, rt: u16, rd: u16, gate: fn(&mut GateBuilder, Plane, Plane, Plane)) {
+fn bitwise(
+    g: &mut GateBuilder,
+    rs: u16,
+    rt: u16,
+    rd: u16,
+    gate: fn(&mut GateBuilder, Plane, Plane, Plane),
+) {
     for j in 0..W {
         gate(g, rp(rs, j), rp(rt, j), rp(rd, j));
     }
@@ -492,10 +500,9 @@ pub mod semantics {
     /// all-ones 32-bit quotient and the dividend as remainder.
     pub fn qrdiv(rs: u64, rt: u64) -> (u64, u64) {
         let (n, d) = (rs & 0xffff_ffff, rt & 0xffff_ffff);
-        if d == 0 {
-            (0xffff_ffff, n)
-        } else {
-            (n / d, n % d)
+        match (n.checked_div(d), n.checked_rem(d)) {
+            (Some(q), Some(r)) => (q, r),
+            _ => (0xffff_ffff, n),
         }
     }
 
@@ -544,8 +551,7 @@ mod tests {
     use crate::bitplane::BitPlaneVrf;
     use mpu_isa::RegId;
 
-    const FAMILIES: [LogicFamily; 3] =
-        [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline];
+    const FAMILIES: [LogicFamily; 3] = [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline];
 
     fn ctx(family: LogicFamily) -> RecipeCtx {
         RecipeCtx { family, temp_regs: (14, 15) }
@@ -576,12 +582,7 @@ mod tests {
         for family in FAMILIES {
             let vrf = run(
                 family,
-                Instruction::Binary {
-                    op: BinaryOp::Add,
-                    rs: RegId(0),
-                    rt: RegId(1),
-                    rd: RegId(2),
-                },
+                Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) },
                 &[(0, lanes(&a)), (1, lanes(&b))],
             );
             let got = vrf.read_lane_values(2);
@@ -598,12 +599,7 @@ mod tests {
         for family in FAMILIES {
             let vrf = run(
                 family,
-                Instruction::Binary {
-                    op: BinaryOp::Sub,
-                    rs: RegId(0),
-                    rt: RegId(1),
-                    rd: RegId(2),
-                },
+                Instruction::Binary { op: BinaryOp::Sub, rs: RegId(0), rt: RegId(1), rd: RegId(2) },
                 &[(0, lanes(&a)), (1, lanes(&b))],
             );
             let got = vrf.read_lane_values(2);
@@ -630,12 +626,7 @@ mod tests {
         for family in FAMILIES {
             let vrf = run(
                 family,
-                Instruction::Binary {
-                    op: BinaryOp::Mul,
-                    rs: RegId(0),
-                    rt: RegId(1),
-                    rd: RegId(2),
-                },
+                Instruction::Binary { op: BinaryOp::Mul, rs: RegId(0), rt: RegId(1), rd: RegId(2) },
                 &[(0, lanes(&a)), (1, lanes(&b))],
             );
             let got = vrf.read_lane_values(2);
@@ -644,12 +635,7 @@ mod tests {
             }
             let vrf = run(
                 family,
-                Instruction::Binary {
-                    op: BinaryOp::Mac,
-                    rs: RegId(0),
-                    rt: RegId(1),
-                    rd: RegId(2),
-                },
+                Instruction::Binary { op: BinaryOp::Mac, rs: RegId(0), rt: RegId(1), rd: RegId(2) },
                 &[(0, lanes(&a)), (1, lanes(&b)), (2, lanes(&acc))],
             );
             let got = vrf.read_lane_values(2);
@@ -736,7 +722,11 @@ mod tests {
                 );
                 let got = vrf.read_lane_values(2);
                 for i in 0..8 {
-                    assert_eq!(got[i], semantics::binary(op, a[i], b[i], 0), "{family:?} {op:?} {i}");
+                    assert_eq!(
+                        got[i],
+                        semantics::binary(op, a[i], b[i], 0),
+                        "{family:?} {op:?} {i}"
+                    );
                 }
             }
             let vrf = run(
@@ -836,18 +826,23 @@ mod tests {
             vrf.set_plane_words(Plane::Mask, &[0b0000_1111]);
             let recipe = build_recipe(
                 ctx(family),
-                &Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) },
+                &Instruction::Binary {
+                    op: BinaryOp::Add,
+                    rs: RegId(0),
+                    rt: RegId(1),
+                    rd: RegId(2),
+                },
             )
             .unwrap();
             for op in recipe.ops() {
                 op.apply(&mut vrf);
             }
             let got = vrf.read_lane_values(2);
-            for i in 0..4 {
-                assert_eq!(got[i], 3, "{family:?} enabled lane {i}");
+            for (i, &lane) in got.iter().enumerate().take(4) {
+                assert_eq!(lane, 3, "{family:?} enabled lane {i}");
             }
-            for i in 4..8 {
-                assert_eq!(got[i], 9, "{family:?} disabled lane {i}");
+            for (i, &lane) in got.iter().enumerate().take(8).skip(4) {
+                assert_eq!(lane, 9, "{family:?} disabled lane {i}");
             }
         }
     }
@@ -856,12 +851,7 @@ mod tests {
     fn recipes_use_only_family_ops() {
         for family in FAMILIES {
             for op in BinaryOp::ALL {
-                let instr = Instruction::Binary {
-                    op,
-                    rs: RegId(0),
-                    rt: RegId(1),
-                    rd: RegId(2),
-                };
+                let instr = Instruction::Binary { op, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
                 let recipe = build_recipe(ctx(family), &instr).unwrap();
                 for uop in recipe.ops() {
                     assert!(

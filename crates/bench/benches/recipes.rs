@@ -13,10 +13,10 @@ fn bench_recipe_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("recipe_synthesis");
     for kind in DatapathKind::EVALUATED {
         let dp = DatapathModel::for_kind(kind);
-        for (label, op) in [("add", BinaryOp::Add), ("mul", BinaryOp::Mul), ("qdiv", BinaryOp::QDiv)]
+        for (label, op) in
+            [("add", BinaryOp::Add), ("mul", BinaryOp::Mul), ("qdiv", BinaryOp::QDiv)]
         {
-            let instr =
-                Instruction::Binary { op, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
+            let instr = Instruction::Binary { op, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
             group.bench_function(format!("{label}_{}", dp.name()), |b| {
                 b.iter(|| black_box(dp.recipe(&instr)));
             });
@@ -27,12 +27,8 @@ fn bench_recipe_synthesis(c: &mut Criterion) {
 
 fn bench_recipe_cache(c: &mut Criterion) {
     let dp = DatapathModel::racer();
-    let instr = Instruction::Binary {
-        op: BinaryOp::QDiv,
-        rs: RegId(0),
-        rt: RegId(1),
-        rd: RegId(2),
-    };
+    let instr =
+        Instruction::Binary { op: BinaryOp::QDiv, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
     c.bench_function("recipe_cache_hit_path", |b| {
         let mut cache = RecipeCache::new(1024);
         cache.lookup(&dp, &instr);

@@ -83,11 +83,7 @@ fn bench_dynamic_loop(c: &mut Criterion) {
             run_single(
                 black_box(cfg.clone()),
                 &program,
-                &[
-                    ((0, 0, 0), vec![16; 64]),
-                    ((0, 0, 1), vec![0; 64]),
-                    ((0, 0, 2), vec![1; 64]),
-                ],
+                &[((0, 0, 0), vec![16; 64]), ((0, 0, 1), vec![0; 64]), ((0, 0, 2), vec![1; 64])],
             )
             .unwrap()
         });

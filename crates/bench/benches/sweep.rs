@@ -1,0 +1,65 @@
+//! Chip-sweep throughput: the full 21-kernel sweep run serially vs. fanned
+//! across worker threads with [`workloads::run_sweep_parallel`].
+//!
+//! The acceptance target for the parallel engine is a >= 2x speedup at
+//! 4 jobs over the serial sweep on a 4-core host; compare the reported
+//! medians for `serial` and `jobs4`.
+
+use bench::BENCH_N;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mastodon::SimConfig;
+use pum_backend::DatapathKind;
+use std::hint::black_box;
+use workloads::{all_kernels, run_kernel, run_sweep_parallel, SweepTask};
+
+const SWEEP_SEED: u64 = 1;
+
+fn sweep_tasks(kernels: &[Box<dyn workloads::Kernel>]) -> Vec<SweepTask<'_>> {
+    kernels
+        .iter()
+        .map(|k| SweepTask {
+            kernel: k.as_ref(),
+            config: SimConfig::mpu(DatapathKind::Racer),
+            n: BENCH_N,
+            seed: SWEEP_SEED,
+        })
+        .collect()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep21");
+    group.sample_size(10);
+    let kernels = all_kernels();
+
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            kernels
+                .iter()
+                .map(|k| {
+                    run_kernel(
+                        k.as_ref(),
+                        black_box(&SimConfig::mpu(DatapathKind::Racer)),
+                        BENCH_N,
+                        SWEEP_SEED,
+                    )
+                    .unwrap()
+                })
+                .collect::<Vec<_>>()
+        });
+    });
+
+    for jobs in [2usize, 4] {
+        group.bench_function(format!("jobs{jobs}"), |b| {
+            b.iter(|| {
+                run_sweep_parallel(black_box(sweep_tasks(&kernels)), Some(jobs))
+                    .into_iter()
+                    .map(|r| r.unwrap())
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -7,11 +7,12 @@
 //! MPU mode (the hypothetical CPU-free PUM the paper compares against),
 //! and report the slowdown plus the offload share of Baseline time.
 
+use experiments::{fmt_ratio, fmt_time_ns, parse_jobs, print_table, SEED};
 use ezpim::{Cond, EzProgram};
-use experiments::{fmt_ratio, fmt_time_ns, print_table, SEED};
 use mastodon::{run_single, SimConfig, Stats};
 use mpu_isa::RegId;
 use pum_backend::DatapathKind;
+use workloads::{effective_jobs, parallel_map};
 
 fn r(i: u16) -> RegId {
     RegId(i)
@@ -56,10 +57,19 @@ fn main() {
     let base_cfg = SimConfig::baseline(DatapathKind::Racer);
     let iterations = 8;
 
+    // Both modes of every body size fan out across worker threads;
+    // parallel_map returns results in input order, so rows match the
+    // serial sweep exactly.
+    let bodies = [1usize, 2, 5, 10, 20, 40, 80];
+    let runs = parallel_map(
+        bodies.iter().flat_map(|&b| [(&mpu_cfg, b), (&base_cfg, b)]).collect(),
+        effective_jobs(parse_jobs()),
+        |(cfg, body)| run(cfg, body, iterations),
+    );
+
     let mut rows = Vec::new();
-    for body in [1usize, 2, 5, 10, 20, 40, 80] {
-        let mpu = run(&mpu_cfg, body, iterations);
-        let base = run(&base_cfg, body, iterations);
+    for (i, body) in bodies.into_iter().enumerate() {
+        let (mpu, base) = (&runs[2 * i], &runs[2 * i + 1]);
         let slowdown = base.cycles as f64 / mpu.cycles as f64;
         let offload_share = base.offload_cycles as f64 / base.cycles as f64;
         rows.push(vec![

@@ -2,11 +2,12 @@
 //! datapaths, against the air-cooling limit — the motivation for RF
 //! holders and thermal-aware scheduling.
 
-use experiments::print_table;
+use experiments::{parse_jobs, print_table};
 use pum_backend::power::{
     fig5_sweep, floatpim_like, thermal_active_limit, AIR_COOLING_LIMIT_W_PER_CM2,
 };
 use pum_backend::{DatapathKind, DatapathModel};
+use workloads::{effective_jobs, parallel_map};
 
 fn main() {
     let mut models = vec![
@@ -17,12 +18,14 @@ fn main() {
     ];
     let _ = DatapathKind::EVALUATED;
 
+    // One sweep per datapath model, fanned across worker threads.
+    let sweeps = parallel_map(models.clone(), effective_jobs(parse_jobs()), |m| fig5_sweep(&m));
+
     let actives = [1usize, 2, 4, 8, 16, 32, 64];
     let mut rows = Vec::new();
     for active in actives {
         let mut row = vec![active.to_string()];
-        for m in &models {
-            let sweep = fig5_sweep(m);
+        for sweep in &sweeps {
             let point = sweep.iter().find(|p| p.active_arrays == active);
             row.push(match point {
                 Some(p) => format!("{:.1}", p.w_per_cm2),
@@ -38,11 +41,7 @@ fn main() {
     );
     println!("\nair-cooling limit: {AIR_COOLING_LIMIT_W_PER_CM2} W/cm2");
     for m in models.drain(..) {
-        println!(
-            "{:>13}: thermally safe active VRFs/RFH = {}",
-            m.name(),
-            thermal_active_limit(&m)
-        );
+        println!("{:>13}: thermally safe active VRFs/RFH = {}", m.name(), thermal_active_limit(&m));
     }
     println!(
         "\nPaper reference: RACER limited to ~1 active pipeline per cluster; \

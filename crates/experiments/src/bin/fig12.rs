@@ -1,13 +1,17 @@
 //! Figure 12: speedup (top) and energy savings (bottom) of MPU:X over
 //! Baseline:X for all 21 kernels, X ∈ {RACER, MIMDRAM, DualityCache}.
 
-use experiments::{fmt_ratio, geomean, kernel_matrix, print_table, KERNEL_N, SEED};
+use experiments::{
+    fmt_ratio, geomean, kernel_matrix_jobs, parse_jobs, print_table, KERNEL_N, SEED,
+};
 use pum_backend::DatapathKind;
 use workloads::KernelGroup;
 
 fn main() {
+    let jobs = parse_jobs();
     let kinds = DatapathKind::EVALUATED;
-    let matrices: Vec<_> = kinds.iter().map(|&k| kernel_matrix(k, KERNEL_N, SEED)).collect();
+    let matrices: Vec<_> =
+        kinds.iter().map(|&k| kernel_matrix_jobs(k, KERNEL_N, SEED, jobs)).collect();
 
     for metric in ["speedup", "energy savings"] {
         let mut rows = Vec::new();

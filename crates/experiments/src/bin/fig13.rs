@@ -2,13 +2,16 @@
 //! MPU:X over the GPU, X ∈ {RACER, MIMDRAM}, for all 21 kernels; plus the
 //! paper's footnote on MPU:DualityCache.
 
-use experiments::{fmt_ratio, geomean, kernel_matrix, print_table, KERNEL_N, SEED};
+use experiments::{
+    fmt_ratio, geomean, kernel_matrix_jobs, parse_jobs, print_table, KERNEL_N, SEED,
+};
 use pum_backend::DatapathKind;
 
 fn main() {
-    let racer = kernel_matrix(DatapathKind::Racer, KERNEL_N, SEED);
-    let mimdram = kernel_matrix(DatapathKind::Mimdram, KERNEL_N, SEED);
-    let dc = kernel_matrix(DatapathKind::DualityCache, KERNEL_N, SEED);
+    let jobs = parse_jobs();
+    let racer = kernel_matrix_jobs(DatapathKind::Racer, KERNEL_N, SEED, jobs);
+    let mimdram = kernel_matrix_jobs(DatapathKind::Mimdram, KERNEL_N, SEED, jobs);
+    let dc = kernel_matrix_jobs(DatapathKind::DualityCache, KERNEL_N, SEED, jobs);
 
     for metric in ["speedup", "energy savings"] {
         let mut rows = Vec::new();

@@ -1,10 +1,10 @@
 //! Figure 14: end-to-end application speedup and energy savings vs. the
 //! GPU, for Baseline and MPU on RACER and MIMDRAM.
 
-use experiments::{app_matrix, fmt_ratio, print_table, SEED};
+use experiments::{app_matrix_jobs, fmt_ratio, parse_jobs, print_table, SEED};
 
 fn main() {
-    let apps = app_matrix(SEED);
+    let apps = app_matrix_jobs(SEED, parse_jobs());
     for metric in ["speedup", "energy savings"] {
         let rows: Vec<Vec<String>> = apps
             .iter()

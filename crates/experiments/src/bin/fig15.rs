@@ -2,10 +2,10 @@
 //! inter-MPU communication, and off-chip CPU communication — for the
 //! end-to-end applications under MPU and Baseline.
 
-use experiments::{app_matrix, print_table, SEED};
+use experiments::{app_matrix_jobs, parse_jobs, print_table, SEED};
 
 fn main() {
-    let apps = app_matrix(SEED);
+    let apps = app_matrix_jobs(SEED, parse_jobs());
     let mut rows = Vec::new();
     for a in &apps {
         for (cfg_idx, name) in [(0usize, "RACER"), (1, "MIMDRAM")] {

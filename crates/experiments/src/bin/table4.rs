@@ -2,16 +2,17 @@
 //! lines-of-code comparison between hand-written MPU assembly (our lowered
 //! ISA instruction count) and ezpim source statements.
 
-use experiments::{print_table, SEED};
+use experiments::{parse_jobs, print_table, SEED};
 use mastodon::SimConfig;
 use pum_backend::DatapathKind;
 use workloads::apps::all_apps;
+use workloads::{effective_jobs, parallel_map};
 
 fn main() {
     let cfg = SimConfig::mpu(DatapathKind::Racer);
-    let rows: Vec<Vec<String>> = all_apps()
-        .iter()
-        .map(|app| {
+    let apps = all_apps();
+    let rows: Vec<Vec<String>> =
+        parallel_map(apps.iter().collect(), effective_jobs(parse_jobs()), |app| {
             let t4 = app.table4();
             let built = app.build(&cfg, app.default_mpus(), SEED);
             vec![
@@ -22,8 +23,7 @@ fn main() {
                 built.isa_instructions.to_string(),
                 built.ezpim_statements.to_string(),
             ]
-        })
-        .collect();
+        });
     print_table(
         "Table IV — end-to-end applications",
         &[

@@ -12,11 +12,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use mastodon::SimConfig;
+use mastodon::{RecipePool, SimConfig};
 use platforms::{PlatformModel, PlatformRun};
 use pum_backend::DatapathKind;
-use workloads::apps::{run_app, AppRun};
-use workloads::{all_kernels, run_kernel, ChipRun, KernelGroup};
+use std::sync::Arc;
+use workloads::apps::{run_app_pooled, AppRun};
+use workloads::{
+    all_kernels, effective_jobs, parallel_map, run_sweep_parallel, ChipRun, KernelGroup, SweepTask,
+};
 
 /// Default problem size for the streaming kernel groups (elements).
 pub const KERNEL_N: u64 = 1 << 26;
@@ -86,20 +89,56 @@ impl KernelComparison {
 
 /// Runs all 21 kernels on one datapath in both modes, plus the GPU model.
 ///
+/// Simulations fan out across worker threads (`MPU_JOBS` or the machine's
+/// core count); results are bit-identical to a serial sweep. Use
+/// [`kernel_matrix_jobs`] for an explicit thread count.
+///
 /// # Panics
 ///
 /// Panics if any kernel fails to verify (a correctness regression).
 pub fn kernel_matrix(kind: DatapathKind, n: u64, seed: u64) -> Vec<KernelComparison> {
+    kernel_matrix_jobs(kind, n, seed, None)
+}
+
+/// [`kernel_matrix`] with an explicit worker-thread count (`None` =
+/// `MPU_JOBS`, then all cores).
+///
+/// # Panics
+///
+/// Panics if any kernel fails to verify (a correctness regression).
+pub fn kernel_matrix_jobs(
+    kind: DatapathKind,
+    n: u64,
+    seed: u64,
+    jobs: Option<usize>,
+) -> Vec<KernelComparison> {
     let mpu_cfg = SimConfig::mpu(kind);
     let base_cfg = SimConfig::baseline(kind);
     let gpu = PlatformModel::rtx4090();
-    all_kernels()
+    let kernels = all_kernels();
+    // Two sweep tasks per kernel (MPU mode, Baseline mode), in kernel order.
+    let tasks: Vec<SweepTask<'_>> = kernels
+        .iter()
+        .flat_map(|kernel| {
+            let kn = problem_size(kernel.group(), n);
+            [
+                SweepTask { kernel: kernel.as_ref(), config: mpu_cfg.clone(), n: kn, seed },
+                SweepTask { kernel: kernel.as_ref(), config: base_cfg.clone(), n: kn, seed },
+            ]
+        })
+        .collect();
+    let mut runs = run_sweep_parallel(tasks, jobs).into_iter();
+    kernels
         .iter()
         .map(|kernel| {
             let kn = problem_size(kernel.group(), n);
-            let mpu = run_kernel(kernel.as_ref(), &mpu_cfg, kn, seed)
+            let mpu = runs
+                .next()
+                .expect("one MPU run per kernel")
                 .unwrap_or_else(|e| panic!("{} MPU: {e}", kernel.name()));
-            let baseline = run_kernel(kernel.as_ref(), &base_cfg, kn, seed)
+            let baseline = runs
+                .next()
+                .expect("one Baseline run per kernel")
                 .unwrap_or_else(|e| panic!("{} Baseline: {e}", kernel.name()));
             let gpu_run = gpu.run(&kernel.profile(), kn);
             KernelComparison {
@@ -130,30 +169,49 @@ pub struct AppComparison {
 /// Runs the end-to-end applications on RACER and MIMDRAM, both modes,
 /// plus the GPU model (the paper's Fig. 14 configuration set).
 ///
+/// System simulations fan out across worker threads like
+/// [`kernel_matrix`]; results are bit-identical to a serial sweep. Use
+/// [`app_matrix_jobs`] for an explicit thread count.
+///
 /// # Panics
 ///
 /// Panics if an application fails to verify.
 pub fn app_matrix(seed: u64) -> Vec<AppComparison> {
+    app_matrix_jobs(seed, None)
+}
+
+/// [`app_matrix`] with an explicit worker-thread count (`None` =
+/// `MPU_JOBS`, then all cores).
+///
+/// # Panics
+///
+/// Panics if an application fails to verify.
+pub fn app_matrix_jobs(seed: u64, jobs: Option<usize>) -> Vec<AppComparison> {
     let kinds = [DatapathKind::Racer, DatapathKind::Mimdram];
     let gpu = PlatformModel::rtx4090();
-    workloads::apps::all_apps()
+    let apps = workloads::apps::all_apps();
+    // Four runs per app: MPU then Baseline, each over `kinds` in order.
+    let configs: Vec<SimConfig> = kinds
         .iter()
+        .map(|&k| SimConfig::mpu(k))
+        .chain(kinds.iter().map(|&k| SimConfig::baseline(k)))
+        .collect();
+    let specs: Vec<(usize, SimConfig)> =
+        (0..apps.len()).flat_map(|ai| configs.iter().map(move |c| (ai, c.clone()))).collect();
+    let pool = Arc::new(RecipePool::new());
+    let runs = parallel_map(specs, effective_jobs(jobs), |(ai, config)| {
+        let app = apps[ai].as_ref();
+        run_app_pooled(app, &config, app.default_mpus(), seed, Some(&pool))
+            .unwrap_or_else(|e| panic!("{} {}: {e}", app.name(), config.label()))
+    });
+    let mut runs = runs.into_iter();
+    apps.iter()
         .map(|app| {
             let mpus = app.default_mpus();
-            let mpu: Vec<AppRun> = kinds
-                .iter()
-                .map(|&k| {
-                    run_app(app.as_ref(), &SimConfig::mpu(k), mpus, seed)
-                        .unwrap_or_else(|e| panic!("{} MPU:{k:?}: {e}", app.name()))
-                })
-                .collect();
-            let baseline: Vec<AppRun> = kinds
-                .iter()
-                .map(|&k| {
-                    run_app(app.as_ref(), &SimConfig::baseline(k), mpus, seed)
-                        .unwrap_or_else(|e| panic!("{} Baseline:{k:?}: {e}", app.name()))
-                })
-                .collect();
+            let mpu: Vec<AppRun> =
+                kinds.iter().map(|_| runs.next().expect("MPU run per kind")).collect();
+            let baseline: Vec<AppRun> =
+                kinds.iter().map(|_| runs.next().expect("Baseline run per kind")).collect();
             // Iso-area replication: the paper runs apps at chip scale
             // (130/2/23 MPUs with all VRFs); we simulate a scaled-down
             // instance and replicate it across the chip's MPU budget —
@@ -166,8 +224,7 @@ pub fn app_matrix(seed: u64) -> Vec<AppComparison> {
             let mut gpu_runs = Vec::new();
             for (i, &k) in kinds.iter().enumerate() {
                 let cfg = SimConfig::mpu(k);
-                let replicas =
-                    (cfg.datapath.geometry().mpus_per_chip / mpus).max(1) as f64;
+                let replicas = (cfg.datapath.geometry().mpus_per_chip / mpus).max(1) as f64;
                 let elements = app.elements(&cfg, mpus) as f64 * replicas;
                 gpu_runs.push(gpu.run(&app.profile(), elements as u64));
                 for run in [&mut mpu[i], &mut baseline[i]] {
@@ -182,6 +239,22 @@ pub fn app_matrix(seed: u64) -> Vec<AppComparison> {
             AppComparison { app: app.name(), mpu, baseline, gpu: gpu_runs }
         })
         .collect()
+}
+
+/// Parses a `--jobs N` / `--jobs=N` override from the process arguments
+/// (the experiment binaries' worker-thread flag; `MPU_JOBS` applies when
+/// absent).
+pub fn parse_jobs() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = arg.strip_prefix("--jobs=") {
+            return v.parse().ok();
+        }
+    }
+    None
 }
 
 /// Geometric mean (the paper's reported averages are means over ratios).
@@ -279,6 +352,17 @@ mod tests {
         assert_eq!(fmt_ratio(156.0), "156x");
         assert_eq!(fmt_time_ns(1500.0), "1.50 us");
         assert_eq!(fmt_energy_pj(2.5e9), "2.50 mJ");
+    }
+
+    #[test]
+    fn kernel_matrix_is_deterministic_across_job_counts() {
+        let serial = kernel_matrix_jobs(DatapathKind::Racer, 1 << 10, 3, Some(1));
+        let parallel = kernel_matrix_jobs(DatapathKind::Racer, 1 << 10, 3, Some(4));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.mpu, p.mpu, "{} MPU run diverged", s.kernel);
+            assert_eq!(s.baseline, p.baseline, "{} Baseline run diverged", s.kernel);
+        }
     }
 
     #[test]

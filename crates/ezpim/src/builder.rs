@@ -5,8 +5,8 @@
 //! `JUMP`/`RETURN` subroutines).
 
 use mpu_isa::{
-    BinaryOp, CompareOp, InitValue, Instruction, LineNum, MpuId, Program, RegId, RfhId,
-    UnaryOp, VrfId, COND_REG,
+    BinaryOp, CompareOp, InitValue, Instruction, LineNum, MpuId, Program, RegId, RfhId, UnaryOp,
+    VrfId, COND_REG,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -156,8 +156,7 @@ impl EzProgram {
     ) -> Result<&mut Self, EzError> {
         self.statements += 1;
         for &(rfh, vrf) in members {
-            self.main
-                .push(Item::Instr(Instruction::Compute { rfh: RfhId(rfh), vrf: VrfId(vrf) }));
+            self.main.push(Item::Instr(Instruction::Compute { rfh: RfhId(rfh), vrf: VrfId(vrf) }));
         }
         let mut pool = std::mem::take(&mut self.mask_pool);
         let mut body = Body {
@@ -184,8 +183,7 @@ impl EzProgram {
     ) -> &mut Self {
         self.statements += 1;
         for &(src, dst) in pairs {
-            self.main
-                .push(Item::Instr(Instruction::Move { src: RfhId(src), dst: RfhId(dst) }));
+            self.main.push(Item::Instr(Instruction::Move { src: RfhId(src), dst: RfhId(dst) }));
         }
         let mut t = Transfer { items: &mut self.main, statements: &mut self.statements };
         f(&mut t);
@@ -277,9 +275,9 @@ impl EzProgram {
             for item in items {
                 let instr = match item {
                     Item::Instr(i) => *i,
-                    Item::JumpCondLocal(local) => Instruction::JumpCond {
-                        target: LineNum((base + local) as u32),
-                    },
+                    Item::JumpCondLocal(local) => {
+                        Instruction::JumpCond { target: LineNum((base + local) as u32) }
+                    }
                     Item::Call(name) => {
                         let target = bases
                             .get(name.as_str())
@@ -350,11 +348,7 @@ impl Body<'_> {
         if let Instruction::Binary { op, rs, rt, rd } = instr {
             let multi_step = matches!(
                 op,
-                BinaryOp::Mul
-                    | BinaryOp::Mac
-                    | BinaryOp::QDiv
-                    | BinaryOp::QRDiv
-                    | BinaryOp::RDiv
+                BinaryOp::Mul | BinaryOp::Mac | BinaryOp::QDiv | BinaryOp::QRDiv | BinaryOp::RDiv
             );
             if multi_step && (rd == rs || rd == rt) {
                 self.fail(EzError::RegisterAliasing { mnemonic: op.mnemonic() });
@@ -452,13 +446,18 @@ impl Body<'_> {
     }
 
     fn alloc_mask_regs(&mut self) -> Option<(RegId, RegId)> {
-        if self.pool.len() < 2 {
-            self.fail(EzError::MaskPoolExhausted { depth: self.pool.len() });
-            return None;
+        let ro = self.pool.pop();
+        let rm = self.pool.pop();
+        match (ro, rm) {
+            (Some(ro), Some(rm)) => Some((ro, rm)),
+            (ro, _) => {
+                if let Some(r) = ro {
+                    self.pool.push(r);
+                }
+                self.fail(EzError::MaskPoolExhausted { depth: self.pool.len() });
+                None
+            }
         }
-        let ro = self.pool.pop().expect("checked");
-        let rm = self.pool.pop().expect("checked");
-        Some((ro, rm))
     }
 
     fn release_mask_regs(&mut self, ro: RegId, rm: RegId) {
@@ -616,8 +615,7 @@ impl SendBlock<'_> {
     ) -> &mut Self {
         *self.statements += 1;
         for &(src, dst) in pairs {
-            self.items
-                .push(Item::Instr(Instruction::Move { src: RfhId(src), dst: RfhId(dst) }));
+            self.items.push(Item::Instr(Instruction::Move { src: RfhId(src), dst: RfhId(dst) }));
         }
         let mut t = Transfer { items: self.items, statements: self.statements };
         f(&mut t);

@@ -84,11 +84,14 @@ struct MemcpyLine {
     rd: RegId,
 }
 
+/// One move block inside a `send` construct: RFH pairs + memcpy lines.
+type SendMoveBlock = (Vec<(u16, u16)>, Vec<MemcpyLine>);
+
 #[derive(Debug, Clone)]
 enum Top {
     Ensemble(Vec<(u16, u16)>, Vec<Stmt>),
     Move(Vec<(u16, u16)>, Vec<MemcpyLine>),
-    Send(u16, Vec<(Vec<(u16, u16)>, Vec<MemcpyLine>)>),
+    Send(u16, Vec<SendMoveBlock>),
     Recv(u16),
     Sync,
     Sub(String, Vec<Stmt>),
@@ -148,17 +151,15 @@ fn parse_u16(line: usize, tok: &str, prefix: &str) -> Result<u16, ParseError> {
 
 /// Parses `h0.v1` into an `(rfh, vrf)` pair.
 fn parse_member(line: usize, tok: &str) -> Result<(u16, u16), ParseError> {
-    let (h, v) = tok
-        .split_once('.')
-        .ok_or_else(|| err(line, format!("expected `hN.vM`, found `{tok}`")))?;
+    let (h, v) =
+        tok.split_once('.').ok_or_else(|| err(line, format!("expected `hN.vM`, found `{tok}`")))?;
     Ok((parse_u16(line, h, "h")?, parse_u16(line, v, "v")?))
 }
 
 /// Parses `v0.r1` into a `(vrf, reg)` pair.
 fn parse_vrf_reg(line: usize, tok: &str) -> Result<(u16, RegId), ParseError> {
-    let (v, r) = tok
-        .split_once('.')
-        .ok_or_else(|| err(line, format!("expected `vN.rM`, found `{tok}`")))?;
+    let (v, r) =
+        tok.split_once('.').ok_or_else(|| err(line, format!("expected `vN.rM`, found `{tok}`")))?;
     Ok((parse_u16(line, v, "v")?, parse_reg(line, r)?))
 }
 
@@ -167,11 +168,9 @@ fn parse_cond(line: usize, toks: &[&str]) -> Result<Cond, ParseError> {
         [a, "==", b] => Ok(Cond::Eq(parse_reg(line, a)?, parse_reg(line, b)?)),
         [a, ">", b] => Ok(Cond::Gt(parse_reg(line, a)?, parse_reg(line, b)?)),
         [a, "<", b] => Ok(Cond::Lt(parse_reg(line, a)?, parse_reg(line, b)?)),
-        [a, "~=", b, "skip", c] => Ok(Cond::Fuzzy(
-            parse_reg(line, a)?,
-            parse_reg(line, b)?,
-            parse_reg(line, c)?,
-        )),
+        [a, "~=", b, "skip", c] => {
+            Ok(Cond::Fuzzy(parse_reg(line, a)?, parse_reg(line, b)?, parse_reg(line, c)?))
+        }
         _ => Err(err(line, format!("unrecognized condition `{}`", toks.join(" ")))),
     }
 }
@@ -180,9 +179,8 @@ fn parse_cond(line: usize, toks: &[&str]) -> Result<Cond, ParseError> {
 fn parse_body(lines: &mut Lines<'_>) -> Result<(Vec<Stmt>, bool), ParseError> {
     let mut stmts = Vec::new();
     loop {
-        let (ln, text) = lines
-            .next()
-            .ok_or_else(|| err(0, "unexpected end of input: missing `}`"))?;
+        let (ln, text) =
+            lines.next().ok_or_else(|| err(0, "unexpected end of input: missing `}`"))?;
         if text == "}" {
             return Ok((stmts, false));
         }
@@ -224,8 +222,7 @@ fn parse_body(lines: &mut Lines<'_>) -> Result<(Vec<Stmt>, bool), ParseError> {
             }
             ["call", name] => stmts.push(Stmt::Call(name.to_string())),
             _ => {
-                let instr: Instruction =
-                    text.parse().map_err(|m: String| err(ln, m))?;
+                let instr: Instruction = text.parse().map_err(|m: String| err(ln, m))?;
                 stmts.push(Stmt::Instr(instr));
             }
         }
@@ -236,9 +233,8 @@ fn parse_body(lines: &mut Lines<'_>) -> Result<(Vec<Stmt>, bool), ParseError> {
 fn parse_move_body(lines: &mut Lines<'_>) -> Result<Vec<MemcpyLine>, ParseError> {
     let mut copies = Vec::new();
     loop {
-        let (ln, text) = lines
-            .next()
-            .ok_or_else(|| err(0, "unexpected end of input in move block"))?;
+        let (ln, text) =
+            lines.next().ok_or_else(|| err(0, "unexpected end of input in move block"))?;
         if text == "}" {
             return Ok(copies);
         }
@@ -461,8 +457,7 @@ sub sqrt {
 
     #[test]
     fn fuzzy_condition_syntax() {
-        let ez =
-            parse("ensemble h0.v0 {\n if r0 ~= r1 skip r2 {\n NOP\n }\n}").unwrap();
+        let ez = parse("ensemble h0.v0 {\n if r0 ~= r1 skip r2 {\n NOP\n }\n}").unwrap();
         let p = ez.assemble().unwrap();
         assert!(p.to_string().contains("FUZZY r0 r1 r2"));
     }
@@ -483,8 +478,8 @@ sub sqrt {
 
     #[test]
     fn while_with_else_rejected() {
-        let e = parse("ensemble h0.v0 {\n while r0 > r1 {\n NOP\n } else {\n NOP\n }\n}")
-            .unwrap_err();
+        let e =
+            parse("ensemble h0.v0 {\n while r0 > r1 {\n NOP\n } else {\n NOP\n }\n}").unwrap_err();
         assert!(e.message.contains("not valid after `while`"));
     }
 

@@ -435,10 +435,7 @@ impl Instruction {
     /// True for comparison-class instructions that write the conditional
     /// register.
     pub fn writes_conditional(&self) -> bool {
-        matches!(
-            self,
-            Instruction::Compare { .. } | Instruction::Fuzzy { .. }
-        )
+        matches!(self, Instruction::Compare { .. } | Instruction::Fuzzy { .. })
     }
 }
 
@@ -449,14 +446,8 @@ mod tests {
     #[test]
     fn mnemonics_match_table_ii() {
         assert_eq!(Instruction::MpuSync.mnemonic(), "MPU_SYNC");
-        assert_eq!(
-            Instruction::Init { value: InitValue::Zero, rd: RegId(0) }.mnemonic(),
-            "INIT0"
-        );
-        assert_eq!(
-            Instruction::Init { value: InitValue::One, rd: RegId(0) }.mnemonic(),
-            "INIT1"
-        );
+        assert_eq!(Instruction::Init { value: InitValue::Zero, rd: RegId(0) }.mnemonic(), "INIT0");
+        assert_eq!(Instruction::Init { value: InitValue::One, rd: RegId(0) }.mnemonic(), "INIT1");
         assert_eq!(
             Instruction::Binary { op: BinaryOp::QRDiv, rs: RegId(0), rt: RegId(1), rd: RegId(2) }
                 .mnemonic(),
@@ -473,10 +464,13 @@ mod tests {
         assert!(Instruction::JumpCond { target: LineNum(0) }.requires_control_path());
         assert!(Instruction::SetMask { rs: RegId(0) }.requires_control_path());
         assert!(!Instruction::Nop.requires_control_path());
-        assert!(
-            !Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) }
-                .requires_control_path()
-        );
+        assert!(!Instruction::Binary {
+            op: BinaryOp::Add,
+            rs: RegId(0),
+            rt: RegId(1),
+            rd: RegId(2)
+        }
+        .requires_control_path());
     }
 
     #[test]
@@ -497,8 +491,9 @@ mod tests {
     fn conditional_writers() {
         assert!(Instruction::Compare { op: CompareOp::Lt, rs: RegId(0), rt: RegId(1) }
             .writes_conditional());
-        assert!(Instruction::Fuzzy { rs: RegId(0), rt: RegId(1), rd: RegId(2) }
-            .writes_conditional());
+        assert!(
+            Instruction::Fuzzy { rs: RegId(0), rt: RegId(1), rd: RegId(2) }.writes_conditional()
+        );
         assert!(!Instruction::Cas { rs: RegId(0), rt: RegId(1) }.writes_conditional());
     }
 

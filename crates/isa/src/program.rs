@@ -61,6 +61,13 @@ impl Program {
         &self.instructions
     }
 
+    /// The instruction at `index`, or `None` past the end — the
+    /// non-panicking counterpart of indexing, for interpreter fetch paths
+    /// that must reject truncated programs gracefully.
+    pub fn get(&self, index: usize) -> Option<&Instruction> {
+        self.instructions.get(index)
+    }
+
     /// Appends one instruction.
     pub fn push(&mut self, instruction: Instruction) {
         self.instructions.push(instruction);
@@ -94,10 +101,8 @@ impl Program {
     ///
     /// Returns the first [`DecodeError`] encountered.
     pub fn decode(words: &[u32]) -> Result<Self, DecodeError> {
-        let instructions = words
-            .iter()
-            .map(|&w| Instruction::decode(w))
-            .collect::<Result<Vec<_>, _>>()?;
+        let instructions =
+            words.iter().map(|&w| Instruction::decode(w)).collect::<Result<Vec<_>, _>>()?;
         Ok(Self { instructions })
     }
 

@@ -85,10 +85,7 @@ fn mpu(tok: &str) -> Result<MpuId, String> {
 fn line_num(tok: &str) -> Result<LineNum, String> {
     // Accept both `@5` and bare `5` (Table II shows bare line numbers).
     let digits = tok.strip_prefix('@').unwrap_or(tok);
-    digits
-        .parse::<u32>()
-        .map(LineNum)
-        .map_err(|_| format!("invalid line number in `{tok}`"))
+    digits.parse::<u32>().map(LineNum).map_err(|_| format!("invalid line number in `{tok}`"))
 }
 
 impl FromStr for Instruction {
@@ -273,12 +270,7 @@ mod tests {
 
     #[test]
     fn display_matches_table_ii_syntax() {
-        let i = Instruction::Binary {
-            op: BinaryOp::Add,
-            rs: RegId(0),
-            rt: RegId(1),
-            rd: RegId(2),
-        };
+        let i = Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
         assert_eq!(i.to_string(), "ADD r0 r1 r2");
         assert_eq!(
             Instruction::Compute { rfh: RfhId(1), vrf: VrfId(1) }.to_string(),

@@ -135,7 +135,10 @@ fn operands_encodable(instr: &Instruction) -> bool {
         }
         Instruction::Init { rd, .. } => rd.is_encodable(),
         Instruction::Memcpy { src_vrf, rs, dst_vrf, rd } => {
-            src_vrf.is_encodable() && rs.is_encodable() && dst_vrf.is_encodable() && rd.is_encodable()
+            src_vrf.is_encodable()
+                && rs.is_encodable()
+                && dst_vrf.is_encodable()
+                && rd.is_encodable()
         }
         Instruction::ComputeDone
         | Instruction::MoveDone
@@ -312,7 +315,10 @@ mod tests {
         let p = Program::from_instructions(vec![memcpy()]);
         let e = p.validate().unwrap_err();
         assert_eq!(e.line, 0);
-        assert!(matches!(e.kind, ValidateErrorKind::MisplacedInstruction { mnemonic: "MEMCPY", .. }));
+        assert!(matches!(
+            e.kind,
+            ValidateErrorKind::MisplacedInstruction { mnemonic: "MEMCPY", .. }
+        ));
     }
 
     #[test]

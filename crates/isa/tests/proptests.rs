@@ -51,12 +51,21 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         Just(Instruction::Nop),
         (arb_binary_op(), arb_reg(), arb_reg(), arb_reg())
             .prop_map(|(op, rs, rt, rd)| Instruction::Binary { op, rs, rt, rd }),
-        (arb_unary_op(), arb_reg(), arb_reg())
-            .prop_map(|(op, rs, rd)| Instruction::Unary { op, rs, rd }),
-        (arb_compare_op(), arb_reg(), arb_reg())
-            .prop_map(|(op, rs, rt)| Instruction::Compare { op, rs, rt }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rs, rt, rd)| Instruction::Fuzzy { rs, rt, rd }),
+        (arb_unary_op(), arb_reg(), arb_reg()).prop_map(|(op, rs, rd)| Instruction::Unary {
+            op,
+            rs,
+            rd
+        }),
+        (arb_compare_op(), arb_reg(), arb_reg()).prop_map(|(op, rs, rt)| Instruction::Compare {
+            op,
+            rs,
+            rt
+        }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rs, rt, rd)| Instruction::Fuzzy {
+            rs,
+            rt,
+            rd
+        }),
         (arb_reg(), arb_reg()).prop_map(|(rs, rt)| Instruction::Cas { rs, rt }),
         (prop::bool::ANY, arb_reg()).prop_map(|(one, rd)| Instruction::Init {
             value: if one { InitValue::One } else { InitValue::Zero },

@@ -111,13 +111,10 @@ impl PlatformModel {
         let total_bytes = n * profile.bytes_per_elem;
         let compute_ns = total_ops / (self.peak_ops_per_ns * profile.gpu_efficiency.max(1e-3));
         let mem_ns = total_bytes / self.mem_bytes_per_ns;
-        let kernel_ns = compute_ns.max(mem_ns)
-            + profile.kernel_launches as f64 * self.launch_overhead_ns;
-        let transfer_ns = if self.pcie_bytes_per_ns > 0.0 {
-            total_bytes / self.pcie_bytes_per_ns
-        } else {
-            0.0
-        };
+        let kernel_ns =
+            compute_ns.max(mem_ns) + profile.kernel_launches as f64 * self.launch_overhead_ns;
+        let transfer_ns =
+            if self.pcie_bytes_per_ns > 0.0 { total_bytes / self.pcie_bytes_per_ns } else { 0.0 };
         let time_ns = kernel_ns + transfer_ns;
         let compute_bound = compute_ns > mem_ns;
         // Power: interpolate between memory-bound and compute-bound levels
@@ -178,9 +175,7 @@ mod tests {
         assert!(run.compute_bound);
         // Kernel time takes a much larger share than for streaming work.
         let streaming = gpu.run(&streaming_profile(), 1 << 20);
-        assert!(
-            run.kernel_ns / run.time_ns > streaming.kernel_ns / streaming.time_ns
-        );
+        assert!(run.kernel_ns / run.time_ns > streaming.kernel_ns / streaming.time_ns);
     }
 
     #[test]

@@ -128,7 +128,7 @@ mod tests {
     use mpu_isa::{BinaryOp, Instruction, RegId, RfhId, VrfId};
     use pum_backend::DatapathKind;
 
-    fn template(members: &[(u16, u16)]) -> (Program, Vec<((u16, u16, u8), Vec<u64>)>) {
+    fn template(members: &[(u16, u16)]) -> (Program, Vec<crate::machine::RegisterInit>) {
         let mut instrs: Vec<Instruction> = members
             .iter()
             .map(|&(h, v)| Instruction::Compute { rfh: RfhId(h), vrf: VrfId(v) })
@@ -154,10 +154,7 @@ mod tests {
         let best = &results[0];
         assert_eq!(best.shape.rfhs, 8, "span every cluster");
         // Deep shapes on RACER need replay waves.
-        let deep = results
-            .iter()
-            .find(|r| r.shape.vrfs_per_rfh == 8 && r.shape.rfhs == 8)
-            .unwrap();
+        let deep = results.iter().find(|r| r.shape.vrfs_per_rfh == 8 && r.shape.rfhs == 8).unwrap();
         assert!(deep.stats.scheduler_waves >= 8);
         assert!(best.throughput >= deep.throughput);
     }

@@ -20,6 +20,29 @@
 //! and every instruction runs via its micro-op recipe), so simulations
 //! produce checkable results along with cycle/energy statistics.
 //!
+//! # Parallel sweeps
+//!
+//! Every simulator type is `Send + Sync` (enforced by a compile-time
+//! assertion in `machine.rs`), so whole chip runs can be fanned across
+//! threads. Two pieces support this:
+//!
+//! * [`RecipePool`] — a thread-safe, append-only map from
+//!   `(RecipeCtx, instruction word)` to the synthesized micro-op
+//!   [`Recipe`](pum_backend::Recipe). Recipe synthesis is a pure function
+//!   of that key, so concurrent runs share one pool (via
+//!   [`run_single_pooled`] or [`System::new_pooled`]) and each template is
+//!   synthesized once per process instead of once per run. The pool only
+//!   memoizes *host-side* synthesis work: each MPU's architectural
+//!   [`RecipeCache`] still tracks its own capacity, LRU evictions, and
+//!   hit/miss statistics, so pooled and unpooled runs produce identical
+//!   [`Stats`].
+//! * `workloads::run_sweep_parallel` / `workloads::parallel_map` — the
+//!   sweep harness built on these guarantees. Results are returned in
+//!   input order and are byte-identical to a serial sweep, whatever the
+//!   job count. Worker count comes from `--jobs N` on the experiment
+//!   binaries, else the `MPU_JOBS` environment variable, else the number
+//!   of available cores.
+//!
 //! # Quick start
 //!
 //! ```
@@ -57,8 +80,10 @@ mod system;
 
 pub use autotune::{autotune, EnsembleShape, TuneResult};
 pub use config::{ControlCosts, ExecutionMode, NocParams, OffloadParams, SimConfig};
-pub use machine::{run_single, Message, Mpu, RemoteWrite, SimError, StepEvent};
+pub use machine::{
+    run_single, run_single_pooled, Message, Mpu, RegisterInit, RemoteWrite, SimError, StepEvent,
+};
 pub use noc::MeshNoc;
-pub use recipe_cache::RecipeCache;
+pub use recipe_cache::{RecipeCache, RecipePool};
 pub use stats::{EnergyStats, Stats};
 pub use system::{System, SystemError};

@@ -10,14 +10,14 @@
 //! the datapath model and control-path cost table as the program runs.
 
 use crate::config::{ExecutionMode, SimConfig};
-use crate::recipe_cache::RecipeCache;
+use crate::recipe_cache::{RecipeCache, RecipePool};
 use crate::stats::Stats;
 use mpu_isa::{Instruction, MpuId, Program, COND_REG};
 use pum_backend::{BitPlaneVrf, Plane, Recipe};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An error raised while executing a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +51,13 @@ pub enum SimError {
         /// Offending instruction index.
         line: usize,
     },
+    /// Execution ran off the end of the program — an unterminated
+    /// `COMPUTE`/`MOVE`/`SEND` block or a control transfer past the last
+    /// instruction.
+    UnexpectedEnd {
+        /// Index of the first missing instruction (== program length).
+        line: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -68,6 +75,9 @@ impl fmt::Display for SimError {
             }
             SimError::CommOutsideSystem { line } => {
                 write!(f, "line {line}: SEND/RECV requires a multi-MPU System")
+            }
+            SimError::UnexpectedEnd { line } => {
+                write!(f, "line {line}: execution ran past the end of the program")
             }
         }
     }
@@ -169,6 +179,28 @@ impl Mpu {
             halted: false,
             inbox: Vec::new(),
         }
+    }
+
+    /// Creates an MPU whose recipe-cache misses consult `pool` before
+    /// synthesizing from scratch. Host-side only: simulated timing, energy,
+    /// and hit/miss statistics match [`Mpu::new`] exactly.
+    pub fn with_pool(config: SimConfig, id: MpuId, pool: Arc<RecipePool>) -> Self {
+        let mut mpu = Self::new(config, id);
+        mpu.cache.set_pool(pool);
+        mpu
+    }
+
+    /// Attaches a shared recipe-synthesis pool to an existing MPU (see
+    /// [`Mpu::with_pool`]).
+    pub fn set_recipe_pool(&mut self, pool: Arc<RecipePool>) {
+        self.cache.set_pool(pool);
+    }
+
+    /// Fetches the instruction at `pc`, rejecting truncated programs
+    /// (unterminated blocks, control transfers past the end) instead of
+    /// panicking.
+    fn fetch(program: &Program, pc: usize) -> Result<Instruction, SimError> {
+        program.get(pc).copied().ok_or(SimError::UnexpectedEnd { line: pc })
     }
 
     /// This MPU's identifier.
@@ -274,8 +306,7 @@ impl Mpu {
             }
             ExecutionMode::Baseline => {
                 let non_offload = self.stats.cycles.saturating_sub(self.stats.offload_cycles);
-                self.stats.energy.cpu_pj +=
-                    self.config.offload.cpu_idle_mw * non_offload as f64;
+                self.stats.energy.cpu_pj += self.config.offload.cpu_idle_mw * non_offload as f64;
             }
         }
         self.stats
@@ -346,10 +377,7 @@ impl Mpu {
                     self.pc += 1;
                 }
                 ref other => {
-                    return Err(SimError::StrayInstruction {
-                        line,
-                        mnemonic: other.mnemonic(),
-                    });
+                    return Err(SimError::StrayInstruction { line, mnemonic: other.mnemonic() });
                 }
             }
         }
@@ -364,7 +392,7 @@ impl Mpu {
         let marker = self.config.control.ensemble_marker;
         // Collect the contiguous COMPUTE header.
         let mut members: Vec<(u16, u16)> = Vec::new();
-        while let Instruction::Compute { rfh, vrf } = program[self.pc] {
+        while let Instruction::Compute { rfh, vrf } = Self::fetch(program, self.pc)? {
             self.check_geometry(self.pc, rfh.0, vrf.0)?;
             members.push((rfh.0, vrf.0));
             self.stats.cycles += marker;
@@ -424,7 +452,7 @@ impl Mpu {
 
         loop {
             let line = pc;
-            let instr = program[line];
+            let instr = Self::fetch(program, line)?;
             playback_used += 1;
             if playback_used > self.config.playback_entries {
                 playback_used = 1;
@@ -521,10 +549,7 @@ impl Mpu {
                     pc += 1;
                 }
                 ref other => {
-                    return Err(SimError::StrayInstruction {
-                        line,
-                        mnemonic: other.mnemonic(),
-                    });
+                    return Err(SimError::StrayInstruction { line, mnemonic: other.mnemonic() });
                 }
             }
         }
@@ -541,7 +566,7 @@ impl Mpu {
             Some(r) => r,
             None => return Ok(()), // unreachable for compute instructions
         };
-        let recipe: Rc<Recipe> = recipe;
+        let recipe: Arc<Recipe> = recipe;
         // Decode cost: MPU caches templates; Baseline decodes every time.
         match self.config.mode {
             ExecutionMode::Mpu => {
@@ -656,7 +681,7 @@ impl Mpu {
         let marker = self.config.control.ensemble_marker;
         // Header: source/destination RFH pairs → the DTC's target map.
         let mut pairs: Vec<(u16, u16)> = Vec::new();
-        while let Instruction::Move { src, dst } = program[self.pc] {
+        while let Instruction::Move { src, dst } = Self::fetch(program, self.pc)? {
             pairs.push((src.0, dst.0));
             self.stats.cycles += marker;
             self.stats.control_cycles += marker;
@@ -666,7 +691,7 @@ impl Mpu {
         let lanes = self.config.datapath.geometry().lanes_per_vrf;
         let words = lanes as u64; // one 64-bit word per lane per register
         loop {
-            match program[self.pc] {
+            match Self::fetch(program, self.pc)? {
                 Instruction::MoveDone => {
                     self.stats.cycles += marker;
                     self.stats.control_cycles += marker;
@@ -704,8 +729,8 @@ impl Mpu {
                         let cycles = words * self.config.datapath.transfer_cycles_per_word();
                         self.stats.cycles += cycles;
                         self.stats.transfer_cycles += cycles;
-                        self.stats.energy.transfer_pj += words as f64
-                            * self.config.datapath.transfer_energy_pj_per_word();
+                        self.stats.energy.transfer_pj +=
+                            words as f64 * self.config.datapath.transfer_energy_pj_per_word();
                     }
                     self.stats.instructions += 1;
                     self.pc += 1;
@@ -727,18 +752,11 @@ impl Mpu {
         self.stats.control_cycles += marker;
         self.stats.instructions += 1;
         self.pc += 1; // past SEND
-        let mut msg = Message {
-            src: self.id,
-            dst,
-            writes: Vec::new(),
-            bytes: 0,
-            departure_cycle: 0,
-        };
-        while !matches!(program[self.pc], Instruction::SendDone) {
-            match program[self.pc] {
-                Instruction::Move { .. } => {
-                    self.exec_transfer_block(program, Some(&mut msg))?
-                }
+        let mut msg =
+            Message { src: self.id, dst, writes: Vec::new(), bytes: 0, departure_cycle: 0 };
+        while !matches!(Self::fetch(program, self.pc)?, Instruction::SendDone) {
+            match Self::fetch(program, self.pc)? {
+                Instruction::Move { .. } => self.exec_transfer_block(program, Some(&mut msg))?,
                 ref other => {
                     return Err(SimError::StrayInstruction {
                         line: self.pc,
@@ -798,7 +816,9 @@ fn form_waves(members: &[(u16, u16)], limit: usize) -> Vec<Vec<(u16, u16)>> {
     loop {
         let mut wave = Vec::new();
         for rfh in &rfh_order {
-            let queue = queues.get_mut(rfh).expect("rfh present");
+            let Some(queue) = queues.get_mut(rfh) else {
+                continue;
+            };
             let take = limit.min(queue.len());
             wave.extend(queue.drain(..take));
         }
@@ -809,6 +829,9 @@ fn form_waves(members: &[(u16, u16)], limit: usize) -> Vec<Vec<(u16, u16)>> {
     }
     waves
 }
+
+/// One initial-register binding: `((rfh, vrf, reg), lane values)`.
+pub type RegisterInit = ((u16, u16, u8), Vec<u64>);
 
 /// Convenience: run `program` on a fresh MPU with initial register data and
 /// return `(stats, machine)` for inspection.
@@ -821,15 +844,45 @@ fn form_waves(members: &[(u16, u16)], limit: usize) -> Vec<Vec<(u16, u16)>> {
 pub fn run_single(
     config: SimConfig,
     program: &Program,
-    inputs: &[((u16, u16, u8), Vec<u64>)],
+    inputs: &[RegisterInit],
 ) -> Result<(Stats, Mpu), SimError> {
-    let mut mpu = Mpu::new(config, MpuId(0));
+    run_single_pooled(config, program, inputs, None)
+}
+
+/// [`run_single`] with an optional shared [`RecipePool`]: concurrent
+/// simulations skip re-synthesizing recipes another run already lowered.
+/// Results are bit-identical to the unpooled path — the pool only elides
+/// host-side synthesis work, never the simulated template-fetch penalty.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from setup and execution.
+pub fn run_single_pooled(
+    config: SimConfig,
+    program: &Program,
+    inputs: &[RegisterInit],
+    pool: Option<&Arc<RecipePool>>,
+) -> Result<(Stats, Mpu), SimError> {
+    let mut mpu = match pool {
+        Some(pool) => Mpu::with_pool(config, MpuId(0), Arc::clone(pool)),
+        None => Mpu::new(config, MpuId(0)),
+    };
     for ((rfh, vrf, reg), values) in inputs {
         mpu.write_register(*rfh, *vrf, *reg, values)?;
     }
     let stats = mpu.run(program)?;
     Ok((stats, mpu))
 }
+
+// Parallel sweeps move whole machines across worker threads; keep the
+// simulator `Send + Sync` (no `Rc`, no interior mutability without locks).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Mpu>();
+    assert_send_sync::<crate::System>();
+    assert_send_sync::<RecipePool>();
+    assert_send_sync::<Stats>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -849,8 +902,7 @@ mod tests {
     fn simple_add_runs_and_is_correct() {
         let p = asm("COMPUTE h0 v0\nADD r0 r1 r2\nCOMPUTE_DONE");
         let (stats, mut mpu) =
-            run_single(racer(), &p, &[((0, 0, 0), vec![5; 64]), ((0, 0, 1), vec![9; 64])])
-                .unwrap();
+            run_single(racer(), &p, &[((0, 0, 0), vec![5; 64]), ((0, 0, 1), vec![9; 64])]).unwrap();
         assert_eq!(mpu.read_register(0, 0, 2).unwrap(), vec![14; 64]);
         assert!(stats.cycles > 0);
         assert_eq!(stats.uops, 641);
@@ -859,9 +911,7 @@ mod tests {
 
     #[test]
     fn ensemble_broadcasts_to_all_vrfs() {
-        let p = asm(
-            "COMPUTE h0 v0\nCOMPUTE h1 v0\nINC r0 r1\nCOMPUTE_DONE",
-        );
+        let p = asm("COMPUTE h0 v0\nCOMPUTE h1 v0\nINC r0 r1\nCOMPUTE_DONE");
         let (_, mut mpu) =
             run_single(racer(), &p, &[((0, 0, 0), vec![1; 64]), ((1, 0, 0), vec![10; 64])])
                 .unwrap();
@@ -873,12 +923,9 @@ mod tests {
     fn thermal_waves_replay_for_same_rfh_vrfs() {
         // RACER allows 1 active VRF per RFH: two VRFs of the same RFH in
         // one ensemble must execute in two waves, with identical results.
-        let p = asm(
-            "COMPUTE h0 v0\nCOMPUTE h0 v1\nINC r0 r1\nCOMPUTE_DONE",
-        );
+        let p = asm("COMPUTE h0 v0\nCOMPUTE h0 v1\nINC r0 r1\nCOMPUTE_DONE");
         let (stats, mut mpu) =
-            run_single(racer(), &p, &[((0, 0, 0), vec![1; 64]), ((0, 1, 0), vec![7; 64])])
-                .unwrap();
+            run_single(racer(), &p, &[((0, 0, 0), vec![1; 64]), ((0, 1, 0), vec![7; 64])]).unwrap();
         assert_eq!(stats.scheduler_waves, 2);
         assert_eq!(mpu.read_register(0, 0, 1).unwrap()[0], 2);
         assert_eq!(mpu.read_register(0, 1, 1).unwrap()[0], 8);
@@ -902,12 +949,7 @@ mod tests {
             // loop head (line 1): cond = r0 > r1
             Instruction::Compare { op: CompareOp::Gt, rs: RegId(0), rt: RegId(1) },
             Instruction::SetMask { rs: COND_REG },
-            Instruction::Binary {
-                op: BinaryOp::Sub,
-                rs: RegId(0),
-                rt: RegId(2),
-                rd: RegId(0),
-            },
+            Instruction::Binary { op: BinaryOp::Sub, rs: RegId(0), rt: RegId(2), rd: RegId(0) },
             Instruction::JumpCond { target: LineNum(1) },
             Instruction::Unmask,
             Instruction::ComputeDone,
@@ -931,12 +973,7 @@ mod tests {
             Instruction::Compute { rfh: 0.into(), vrf: VrfId(0) },
             Instruction::Compare { op: CompareOp::Gt, rs: RegId(0), rt: RegId(1) },
             Instruction::SetMask { rs: COND_REG },
-            Instruction::Binary {
-                op: BinaryOp::Sub,
-                rs: RegId(0),
-                rt: RegId(2),
-                rd: RegId(0),
-            },
+            Instruction::Binary { op: BinaryOp::Sub, rs: RegId(0), rt: RegId(2), rd: RegId(0) },
             Instruction::JumpCond { target: LineNum(1) },
             Instruction::Unmask,
             Instruction::ComputeDone,
@@ -948,10 +985,7 @@ mod tests {
         let (base_stats, mut m2) =
             run_single(SimConfig::baseline(DatapathKind::Racer), &p, &inputs).unwrap();
         // Same architectural result...
-        assert_eq!(
-            m1.read_register(0, 0, 0).unwrap(),
-            m2.read_register(0, 0, 0).unwrap()
-        );
+        assert_eq!(m1.read_register(0, 0, 0).unwrap(), m2.read_register(0, 0, 0).unwrap());
         // ...but Baseline pays CPU round trips.
         assert!(base_stats.offload_events > 0);
         assert!(base_stats.cycles > 3 * mpu_stats.cycles, "offloads dominate");
@@ -967,35 +1001,24 @@ mod tests {
             Instruction::Compute { rfh: 0.into(), vrf: VrfId(0) },
             Instruction::Compare { op: CompareOp::Eq, rs: RegId(0), rt: RegId(1) },
             Instruction::SetMask { rs: COND_REG },
-            Instruction::Binary {
-                op: BinaryOp::Add,
-                rs: RegId(0),
-                rt: RegId(1),
-                rd: RegId(2),
-            },
+            Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) },
             // Invert the mask: getmask → r3, unmask, r3 = (r3 == 0), setmask.
             Instruction::GetMask { rd: RegId(3) },
             Instruction::Unmask,
             Instruction::Init { value: mpu_isa::InitValue::Zero, rd: RegId(4) },
             Instruction::Compare { op: CompareOp::Eq, rs: RegId(3), rt: RegId(4) },
             Instruction::SetMask { rs: COND_REG },
-            Instruction::Binary {
-                op: BinaryOp::Sub,
-                rs: RegId(0),
-                rt: RegId(1),
-                rd: RegId(2),
-            },
+            Instruction::Binary { op: BinaryOp::Sub, rs: RegId(0), rt: RegId(1), rd: RegId(2) },
             Instruction::Unmask,
             Instruction::ComputeDone,
         ]);
-        let a: Vec<u64> = (0..64).map(|i| i).collect();
+        let a: Vec<u64> = (0..64).collect();
         let b: Vec<u64> = (0..64).map(|i| if i % 2 == 0 { i } else { 1 }).collect();
         let (_, mut mpu) =
             run_single(racer(), &p, &[((0, 0, 0), a.clone()), ((0, 0, 1), b.clone())]).unwrap();
         let got = mpu.read_register(0, 0, 2).unwrap();
         for i in 0..64 {
-            let expect =
-                if a[i] == b[i] { a[i] + b[i] } else { a[i].wrapping_sub(b[i]) };
+            let expect = if a[i] == b[i] { a[i] + b[i] } else { a[i].wrapping_sub(b[i]) };
             assert_eq!(got[i], expect, "lane {i}");
         }
     }
@@ -1008,12 +1031,7 @@ mod tests {
             Instruction::Jump { target: LineNum(4) },
             Instruction::ComputeDone,
             Instruction::Return, // top-level halt (never reached: pc skips)
-            Instruction::Binary {
-                op: BinaryOp::Add,
-                rs: RegId(0),
-                rt: RegId(0),
-                rd: RegId(1),
-            },
+            Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(0), rd: RegId(1) },
             Instruction::Return,
         ]);
         let (_, mut mpu) = run_single(racer(), &p, &[((0, 0, 0), vec![21; 64])]).unwrap();
@@ -1032,12 +1050,8 @@ mod tests {
     #[test]
     fn multi_pair_move_applies_to_every_pair() {
         let p = asm("MOVE h0 h1\nMOVE h2 h3\nMEMCPY v0 r0 v0 r0\nMOVE_DONE");
-        let (_, mut mpu) = run_single(
-            racer(),
-            &p,
-            &[((0, 0, 0), vec![5; 64]), ((2, 0, 0), vec![6; 64])],
-        )
-        .unwrap();
+        let (_, mut mpu) =
+            run_single(racer(), &p, &[((0, 0, 0), vec![5; 64]), ((2, 0, 0), vec![6; 64])]).unwrap();
         assert_eq!(mpu.read_register(1, 0, 0).unwrap()[0], 5);
         assert_eq!(mpu.read_register(3, 0, 0).unwrap()[0], 6);
     }
@@ -1058,9 +1072,7 @@ mod tests {
 
     #[test]
     fn recipe_cache_hits_on_repeated_instructions() {
-        let p = asm(
-            "COMPUTE h0 v0\nADD r0 r1 r2\nADD r0 r1 r2\nADD r0 r1 r2\nCOMPUTE_DONE",
-        );
+        let p = asm("COMPUTE h0 v0\nADD r0 r1 r2\nADD r0 r1 r2\nADD r0 r1 r2\nCOMPUTE_DONE");
         let (stats, _) = run_single(racer(), &p, &[]).unwrap();
         assert_eq!(stats.recipe_misses, 1);
         assert_eq!(stats.recipe_hits, 2);
@@ -1071,12 +1083,10 @@ mod tests {
         // Two identical RACER programs; the one with more back-to-back
         // instructions should cost much less than proportionally more.
         let p1 = asm("COMPUTE h0 v0\nADD r0 r1 r2\nCOMPUTE_DONE");
-        let p8 = asm(
-            "COMPUTE h0 v0\n\
+        let p8 = asm("COMPUTE h0 v0\n\
              ADD r0 r1 r2\nADD r0 r1 r2\nADD r0 r1 r2\nADD r0 r1 r2\n\
              ADD r0 r1 r2\nADD r0 r1 r2\nADD r0 r1 r2\nADD r0 r1 r2\n\
-             COMPUTE_DONE",
-        );
+             COMPUTE_DONE");
         let (s1, _) = run_single(racer(), &p1, &[]).unwrap();
         let (s8, _) = run_single(racer(), &p8, &[]).unwrap();
         assert!(
@@ -1108,6 +1118,40 @@ mod tests {
         let p = Program::from_instructions(vec![Instruction::Unmask]);
         let err = run_single(racer(), &p, &[]).unwrap_err();
         assert!(matches!(err, SimError::StrayInstruction { .. }));
+    }
+
+    #[test]
+    fn truncated_compute_block_is_an_error_not_a_panic() {
+        // COMPUTE header + body but no COMPUTE_DONE: the up-front
+        // validator rejects it before execution starts.
+        let p = Program::from_instructions(vec![
+            Instruction::Compute { rfh: 0.into(), vrf: VrfId(0) },
+            Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) },
+        ]);
+        let err = run_single(racer(), &p, &[]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidProgram(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn truncated_move_block_is_an_error_not_a_panic() {
+        // MOVE header with neither body nor MOVE_DONE.
+        let p =
+            Program::from_instructions(vec![Instruction::Move { src: 0.into(), dst: 1.into() }]);
+        let err = run_single(racer(), &p, &[]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidProgram(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn fetch_past_program_end_reports_unexpected_end() {
+        // Should validation ever miss a truncated block, the execution-path
+        // backstop turns the out-of-bounds fetch into a SimError rather
+        // than an index panic.
+        let p = Program::from_instructions(vec![Instruction::Nop]);
+        assert!(matches!(Mpu::fetch(&p, 0), Ok(Instruction::Nop)));
+        let err = Mpu::fetch(&p, 3).unwrap_err();
+        assert_eq!(err, SimError::UnexpectedEnd { line: 3 });
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "got {msg}");
     }
 
     #[test]

@@ -6,17 +6,76 @@
 //! (operands included — the template filler's work is folded into the
 //! cached entry), with LRU replacement and hit/miss counters. Baseline
 //! datapaths decode every instruction from scratch.
+//!
+//! Recipes are held behind [`Arc`] so an [`Mpu`](crate::Mpu) is `Send` and
+//! chip sweeps can fan out across threads. Concurrent runs may also share a
+//! [`RecipePool`]: a host-side synthesis memo that skips re-deriving the
+//! micro-op sequence for an instruction another thread already lowered.
+//! The pool is invisible to the simulated machine — per-MPU hit/miss
+//! counters and the miss penalty model the *hardware* template fetch and
+//! are charged identically with or without a pool, so pooled and unpooled
+//! runs produce bit-identical statistics.
 
 use mpu_isa::Instruction;
-use pum_backend::{DatapathModel, Recipe};
+use parking_lot::RwLock;
+use pum_backend::{DatapathModel, Recipe, RecipeCtx};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+
+/// A process-wide memo of synthesized recipes, shared across concurrent
+/// simulations.
+///
+/// Keyed by `(RecipeCtx, encoded instruction)`: recipe synthesis is a pure
+/// function of that pair, so datapaths that agree on logic family and
+/// temporary registers (including ablated variants of the same
+/// [`pum_backend::DatapathKind`]) reuse each other's work safely.
+#[derive(Debug, Default)]
+pub struct RecipePool {
+    templates: RwLock<HashMap<(RecipeCtx, u32), Arc<Recipe>>>,
+}
+
+impl RecipePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the recipe for `instr` on `datapath`, synthesizing and
+    /// memoizing it on first use. `None` for control-path instructions
+    /// that have no recipe.
+    pub fn get_or_build(
+        &self,
+        datapath: &DatapathModel,
+        instr: &Instruction,
+    ) -> Option<Arc<Recipe>> {
+        let key = (datapath.recipe_ctx(), instr.encode());
+        if let Some(recipe) = self.templates.read().get(&key) {
+            return Some(Arc::clone(recipe));
+        }
+        // Synthesize outside the write lock; a racing thread may do the
+        // same work, but the first insert wins and both get the same entry.
+        let recipe = Arc::new(datapath.recipe(instr)?);
+        let mut templates = self.templates.write();
+        Some(Arc::clone(templates.entry(key).or_insert(recipe)))
+    }
+
+    /// Number of memoized templates.
+    pub fn len(&self) -> usize {
+        self.templates.read().len()
+    }
+
+    /// True if nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.templates.read().is_empty()
+    }
+}
 
 /// A bounded LRU cache of synthesized recipes.
 #[derive(Debug)]
 pub struct RecipeCache {
     capacity: usize,
-    entries: HashMap<u32, (Rc<Recipe>, u64)>,
+    entries: HashMap<u32, (Arc<Recipe>, u64)>,
+    pool: Option<Arc<RecipePool>>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -25,7 +84,21 @@ pub struct RecipeCache {
 impl RecipeCache {
     /// Creates a cache with room for `capacity` recipes (Table III: 1024).
     pub fn new(capacity: usize) -> Self {
-        Self { capacity: capacity.max(1), entries: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+        Self {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            pool: None,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Attaches a shared synthesis pool; misses consult it before lowering
+    /// the instruction from scratch. Purely a host-side optimization —
+    /// hit/miss accounting is unchanged.
+    pub fn set_pool(&mut self, pool: Arc<RecipePool>) {
+        self.pool = Some(pool);
     }
 
     /// Looks up (or synthesizes and caches) the recipe for `instr`,
@@ -35,25 +108,29 @@ impl RecipeCache {
         &mut self,
         datapath: &DatapathModel,
         instr: &Instruction,
-    ) -> Option<(Rc<Recipe>, bool)> {
-        self.tick += 1;
+    ) -> Option<(Arc<Recipe>, bool)> {
         let key = instr.encode();
         if let Some((recipe, stamp)) = self.entries.get_mut(&key) {
+            // The LRU clock only advances on lookups that actually touch
+            // the table; recipe-less control instructions don't age entries.
+            self.tick += 1;
             *stamp = self.tick;
             self.hits += 1;
-            return Some((Rc::clone(recipe), true));
+            return Some((Arc::clone(recipe), true));
         }
-        let recipe = Rc::new(datapath.recipe(instr)?);
+        let recipe = match &self.pool {
+            Some(pool) => pool.get_or_build(datapath, instr)?,
+            None => Arc::new(datapath.recipe(instr)?),
+        };
+        self.tick += 1;
         self.misses += 1;
         if self.entries.len() >= self.capacity {
             // Evict the least recently used template.
-            if let Some((&victim, _)) =
-                self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp)
-            {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp) {
                 self.entries.remove(&victim);
             }
         }
-        self.entries.insert(key, (Rc::clone(&recipe), self.tick));
+        self.entries.insert(key, (Arc::clone(&recipe), self.tick));
         Some((recipe, false))
     }
 
@@ -65,6 +142,12 @@ impl RecipeCache {
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Lookups that touched the table (`hits + misses`); recipe-less
+    /// control instructions are excluded.
+    pub fn tick(&self) -> u64 {
+        self.tick
     }
 
     /// Number of cached templates.
@@ -126,10 +209,109 @@ mod tests {
     }
 
     #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let dp = DatapathModel::racer();
+        let mut cache = RecipeCache::new(2);
+        for rd in 2..8 {
+            cache.lookup(&dp, &add(rd)).unwrap();
+            assert!(cache.len() <= 2, "len {} exceeds capacity", cache.len());
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 6);
+    }
+
+    #[test]
+    fn capacity_one_thrashes_but_stays_correct() {
+        let dp = DatapathModel::racer();
+        let mut cache = RecipeCache::new(1);
+        let (_, hit) = cache.lookup(&dp, &add(2)).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.lookup(&dp, &add(2)).unwrap();
+        assert!(hit, "sole entry is retained");
+        let (_, hit) = cache.lookup(&dp, &add(3)).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.len(), 1, "capacity-1 cache holds exactly one entry");
+        let (_, hit) = cache.lookup(&dp, &add(2)).unwrap();
+        assert!(!hit, "previous entry was evicted by the new one");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn repeated_key_refreshes_without_growth() {
+        let dp = DatapathModel::racer();
+        let mut cache = RecipeCache::new(4);
+        for _ in 0..10 {
+            cache.lookup(&dp, &add(2)).unwrap();
+        }
+        assert_eq!(cache.len(), 1, "repeated key must not duplicate entries");
+        assert_eq!(cache.hits(), 9);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn tick_counts_only_real_lookups() {
+        let dp = DatapathModel::racer();
+        let mut cache = RecipeCache::new(4);
+        cache.lookup(&dp, &add(2)).unwrap();
+        // Control instructions have no recipe and must not advance the
+        // LRU clock (they would otherwise skew recency stamps).
+        assert!(cache.lookup(&dp, &Instruction::Nop).is_none());
+        assert!(cache.lookup(&dp, &Instruction::Nop).is_none());
+        cache.lookup(&dp, &add(2)).unwrap();
+        assert_eq!(cache.tick(), cache.hits() + cache.misses());
+        assert_eq!(cache.tick(), 2);
+    }
+
+    #[test]
     fn control_instructions_have_no_recipe() {
         let dp = DatapathModel::racer();
         let mut cache = RecipeCache::new(2);
         assert!(cache.lookup(&dp, &Instruction::Nop).is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn pool_is_shared_and_transparent() {
+        let dp = DatapathModel::racer();
+        let pool = Arc::new(RecipePool::new());
+
+        let mut pooled = RecipeCache::new(4);
+        pooled.set_pool(Arc::clone(&pool));
+        let mut plain = RecipeCache::new(4);
+
+        let (pr, ph) = pooled.lookup(&dp, &add(2)).unwrap();
+        let (sr, sh) = plain.lookup(&dp, &add(2)).unwrap();
+        assert_eq!(*pr, *sr, "pooled synthesis yields the same recipe");
+        assert_eq!(ph, sh, "pool must not alter hit/miss behavior");
+        assert_eq!(pool.len(), 1);
+
+        // A second cache on the same pool reuses the memo but still counts
+        // its own (hardware) miss.
+        let mut second = RecipeCache::new(4);
+        second.set_pool(Arc::clone(&pool));
+        let (_, hit) = second.lookup(&dp, &add(2)).unwrap();
+        assert!(!hit, "per-MPU miss is charged even on a pool hit");
+        assert_eq!(pool.len(), 1, "no duplicate pool entries");
+    }
+
+    #[test]
+    fn pool_is_safe_across_threads() {
+        let dp = DatapathModel::racer();
+        let pool = Arc::new(RecipePool::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let dp = dp.clone();
+                s.spawn(move || {
+                    let mut cache = RecipeCache::new(8);
+                    cache.set_pool(pool);
+                    for rd in 2..6 {
+                        cache.lookup(&dp, &add(rd)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.len(), 4, "one entry per distinct instruction");
     }
 }

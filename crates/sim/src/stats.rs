@@ -23,11 +23,7 @@ pub struct EnergyStats {
 impl EnergyStats {
     /// Total energy, pJ.
     pub fn total_pj(&self) -> f64 {
-        self.datapath_pj
-            + self.frontend_pj
-            + self.transfer_pj
-            + self.offload_bus_pj
-            + self.cpu_pj
+        self.datapath_pj + self.frontend_pj + self.transfer_pj + self.offload_bus_pj + self.cpu_pj
     }
 
     /// Total energy, millijoules.
@@ -100,13 +96,8 @@ impl Stats {
     /// elapsed time is a max) on a 100% scale.
     pub fn time_breakdown(&self) -> (f64, f64, f64) {
         let compute = (self.compute_cycles + self.control_cycles) as f64;
-        let total = (compute + self.transfer_cycles as f64 + self.offload_cycles as f64)
-            .max(1.0);
-        (
-            compute / total,
-            self.transfer_cycles as f64 / total,
-            self.offload_cycles as f64 / total,
-        )
+        let total = (compute + self.transfer_cycles as f64 + self.offload_cycles as f64).max(1.0);
+        (compute / total, self.transfer_cycles as f64 / total, self.offload_cycles as f64 / total)
     }
 
     /// Recipe-cache hit rate in `[0, 1]` (1.0 when no lookups happened).

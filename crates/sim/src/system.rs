@@ -79,13 +79,29 @@ impl System {
     pub fn new(config: SimConfig, count: usize) -> Self {
         assert!(count > 0, "a system needs at least one MPU");
         let budget = config.datapath.geometry().mpus_per_chip;
-        assert!(
-            count <= budget,
-            "{count} MPUs exceed the iso-area chip budget of {budget}"
-        );
+        assert!(count <= budget, "{count} MPUs exceed the iso-area chip budget of {budget}");
         let noc = MeshNoc::new(count, config.noc);
         let mpus = (0..count).map(|i| Mpu::new(config.clone(), MpuId(i as u16))).collect();
         Self { mpus, programs: vec![Program::new(); count], noc }
+    }
+
+    /// Like [`System::new`], but every MPU shares `pool` for host-side
+    /// recipe synthesis (statistics are unaffected; see
+    /// [`crate::RecipePool`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the chip's MPU budget.
+    pub fn new_pooled(
+        config: SimConfig,
+        count: usize,
+        pool: &std::sync::Arc<crate::RecipePool>,
+    ) -> Self {
+        let mut system = Self::new(config, count);
+        for mpu in &mut system.mpus {
+            mpu.set_recipe_pool(std::sync::Arc::clone(pool));
+        }
+        system
     }
 
     /// Number of MPUs.
@@ -130,10 +146,10 @@ impl System {
                 if done[i] {
                     continue;
                 }
-                // Re-step a blocked MPU only if something arrived.
-                let program = self.programs[i].clone();
+                // Disjoint field borrows: stepping MPU i reads only its own
+                // program, so no clone per scheduler iteration.
                 let event = self.mpus[i]
-                    .step(&program)
+                    .step(&self.programs[i])
                     .map_err(|error| SystemError::Mpu { id: i as u16, error })?;
                 match event {
                     StepEvent::Completed => {
@@ -205,10 +221,7 @@ mod tests {
     #[test]
     fn point_to_point_message_delivers_data() {
         let mut sys = two_mpu_system();
-        sys.set_program(
-            0,
-            asm("SEND mpu1\nMOVE h0 h2\nMEMCPY v0 r0 v1 r3\nMOVE_DONE\nSEND_DONE"),
-        );
+        sys.set_program(0, asm("SEND mpu1\nMOVE h0 h2\nMEMCPY v0 r0 v1 r3\nMOVE_DONE\nSEND_DONE"));
         sys.set_program(1, asm("RECV mpu0"));
         sys.mpu_mut(0).write_register(0, 0, 0, &vec![123; 64]).unwrap();
         let stats = sys.run().unwrap();
@@ -221,14 +234,8 @@ mod tests {
     #[test]
     fn receiver_computes_on_received_data() {
         let mut sys = two_mpu_system();
-        sys.set_program(
-            0,
-            asm("SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE"),
-        );
-        sys.set_program(
-            1,
-            asm("RECV mpu0\nCOMPUTE h0 v0\nINC r0 r1\nCOMPUTE_DONE"),
-        );
+        sys.set_program(0, asm("SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE"));
+        sys.set_program(1, asm("RECV mpu0\nCOMPUTE h0 v0\nINC r0 r1\nCOMPUTE_DONE"));
         sys.mpu_mut(0).write_register(0, 0, 0, &vec![41; 64]).unwrap();
         sys.run().unwrap();
         assert_eq!(sys.mpu_mut(1).read_register(0, 0, 1).unwrap()[0], 42);
@@ -260,6 +267,48 @@ mod tests {
         sys.set_program(1, asm("RECV mpu0"));
         let err = sys.run().unwrap_err();
         assert!(matches!(err, SystemError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn cyclic_recv_deadlock_reports_complete_waiting_list() {
+        // 0 waits on 1, 1 waits on 2, 2 waits on 0: a RECV cycle no
+        // scheduler order can break. The report must name every blocked
+        // MPU with the sender it waits on, in MPU-ID order.
+        let mut sys = System::new(SimConfig::mpu(DatapathKind::Racer), 3);
+        sys.set_program(0, asm("RECV mpu1"));
+        sys.set_program(1, asm("RECV mpu2"));
+        sys.set_program(2, asm("RECV mpu0"));
+        let err = sys.run().unwrap_err();
+        assert_eq!(err, SystemError::Deadlock { waiting: vec![(0, 1), (1, 2), (2, 0)] });
+        // Determinism: a fresh identical system reports the same list.
+        let mut again = System::new(SimConfig::mpu(DatapathKind::Racer), 3);
+        again.set_program(0, asm("RECV mpu1"));
+        again.set_program(1, asm("RECV mpu2"));
+        again.set_program(2, asm("RECV mpu0"));
+        assert_eq!(again.run().unwrap_err(), err);
+    }
+
+    #[test]
+    fn blocked_recv_is_restepped_and_delivers_late_message_exactly_once() {
+        // MPU 0 blocks on RECV immediately; MPU 1 (stepped after it) does
+        // compute work before sending, so the message arrives only after
+        // MPU 0 has already reported AwaitingRecv at least once. The
+        // scheduler must re-step MPU 0 and deliver the message exactly
+        // once — the received value is incremented once, not twice.
+        let mut sys = two_mpu_system();
+        sys.set_program(0, asm("RECV mpu1\nCOMPUTE h1 v0\nINC r0 r1\nCOMPUTE_DONE"));
+        sys.set_program(
+            1,
+            asm("COMPUTE h1 v0\nINC r0 r0\nCOMPUTE_DONE\n\
+                 COMPUTE h1 v0\nINC r0 r0\nCOMPUTE_DONE\n\
+                 SEND mpu0\nMOVE h1 h1\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE"),
+        );
+        sys.mpu_mut(1).write_register(1, 0, 0, &vec![40; 64]).unwrap();
+        let stats = sys.run().unwrap();
+        // 40 incremented twice by the sender, transferred once, then
+        // incremented once by the receiver.
+        assert_eq!(sys.mpu_mut(0).read_register(1, 0, 1).unwrap()[0], 43);
+        assert_eq!(stats.messages_sent, 1);
     }
 
     #[test]

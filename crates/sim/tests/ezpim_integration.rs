@@ -35,11 +35,7 @@ fn while_loop_collatz_style_countdown() {
         let (_, mut mpu) = run_single(
             SimConfig::mpu(kind),
             &p,
-            &[
-                ((0, 0, 0), init.clone()),
-                ((0, 0, 1), vec![0; lanes]),
-                ((0, 0, 2), vec![1; lanes]),
-            ],
+            &[((0, 0, 0), init.clone()), ((0, 0, 1), vec![0; lanes]), ((0, 0, 2), vec![1; lanes])],
         )
         .unwrap();
         assert_eq!(mpu.read_register(0, 0, 0).unwrap(), vec![0; lanes], "{kind:?}");
@@ -163,11 +159,7 @@ ensemble h0.v0 {
     let (_, mut mpu) = run_single(
         SimConfig::mpu(DatapathKind::Racer),
         &p,
-        &[
-            ((0, 0, 0), vec![5; 64]),
-            ((0, 0, 1), vec![0; 64]),
-            ((0, 0, 2), vec![1; 64]),
-        ],
+        &[((0, 0, 0), vec![5; 64]), ((0, 0, 1), vec![0; 64]), ((0, 0, 2), vec![1; 64])],
     )
     .unwrap();
     assert_eq!(mpu.read_register(0, 0, 0).unwrap(), vec![0; 64]);
@@ -193,8 +185,7 @@ fn baseline_and_mpu_agree_functionally_on_nested_control() {
         ((0, 0, 3), vec![4; 64]),
         ((0, 0, 4), vec![0; 64]),
     ];
-    let (s_mpu, mut m1) =
-        run_single(SimConfig::mpu(DatapathKind::Racer), &p, &inputs).unwrap();
+    let (s_mpu, mut m1) = run_single(SimConfig::mpu(DatapathKind::Racer), &p, &inputs).unwrap();
     let (s_base, mut m2) =
         run_single(SimConfig::baseline(DatapathKind::Racer), &p, &inputs).unwrap();
     assert_eq!(

@@ -28,8 +28,7 @@ fn r(i: u16) -> RegId {
     RegId(i)
 }
 
-const MEMBERS: [(u16, u16); 8] =
-    [(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (5, 0), (6, 0), (7, 0)];
+const MEMBERS: [(u16, u16); 8] = [(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (5, 0), (6, 0), (7, 0)];
 const K_STRIKE: u64 = 65536;
 const EXP_CAP: u64 = 20;
 
@@ -55,7 +54,7 @@ fn golden_price(s: u64, var_t: u64) -> u64 {
 fn compute_body(ez: &mut EzProgram) {
     ez.ensemble(&MEMBERS, |b| {
         b.call("isqrt"); // r3 = isqrt(r2)
-        // m = (S << 16) / K.
+                         // m = (S << 16) / K.
         b.mov(r(0), r(4));
         b.repeat(16, |b| {
             b.lshift(r(4), r(4));
@@ -184,8 +183,10 @@ impl App for BlackScholes {
                 let s_seed = seed ^ ((mpu as u64) << 32) ^ ((mi as u64) << 16);
                 let spot: Vec<u64> =
                     gen_values(s_seed, lanes, 1 << 14).iter().map(|v| v + (1 << 14)).collect();
-                let var_t: Vec<u64> =
-                    gen_values(s_seed ^ 0xabcd, lanes, (1 << 20) - 1).iter().map(|v| v + 1).collect();
+                let var_t: Vec<u64> = gen_values(s_seed ^ 0xabcd, lanes, (1 << 20) - 1)
+                    .iter()
+                    .map(|v| v + 1)
+                    .collect();
                 inputs.push((mpu, (rfh, vrf, 0), spot.clone()));
                 inputs.push((mpu, (rfh, vrf, 2), var_t.clone()));
                 inputs.push((mpu, (rfh, vrf, 1), vec![K_STRIKE; lanes]));

@@ -27,8 +27,7 @@ fn r(i: u16) -> RegId {
 
 /// All eight RFHs carry an (identically-seeded) systolic plane, so each
 /// control step amortizes over `8 x lanes` resident reads.
-const MEMBERS: [(u16, u16); 8] =
-    [(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (5, 0), (6, 0), (7, 0)];
+const MEMBERS: [(u16, u16); 8] = [(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (5, 0), (6, 0), (7, 0)];
 const STREAM_PAIRS: [(u16, u16); 8] =
     [(0, 0), (1, 1), (2, 2), (3, 3), (4, 4), (5, 5), (6, 6), (7, 7)];
 
@@ -94,10 +93,7 @@ impl App for EditDistance {
 
     fn elements(&self, config: &SimConfig, mpus: usize) -> u64 {
         let side = (mpus as f64).sqrt().floor() as u64;
-        config.datapath.geometry().lanes_per_vrf as u64
-            * MEMBERS.len() as u64
-            * side
-            * side
+        config.datapath.geometry().lanes_per_vrf as u64 * MEMBERS.len() as u64 * side * side
     }
 
     fn build(&self, config: &SimConfig, mpus: usize, seed: u64) -> BuiltApp {
@@ -113,8 +109,7 @@ impl App for EditDistance {
         for row in 0..side {
             for col in 0..side {
                 let mut ez = EzProgram::new();
-                ez.ensemble(&MEMBERS, |b| compare_body(b, true))
-                    .expect("initial compare");
+                ez.ensemble(&MEMBERS, |b| compare_body(b, true)).expect("initial compare");
                 for _ in 0..steps {
                     // Forward streams (sends precede receives to keep the
                     // lower-ID-first discipline deadlock-free).
@@ -138,8 +133,7 @@ impl App for EditDistance {
                     if row > 0 {
                         ez.recv(id(row - 1, col) as u16);
                     }
-                    ez.ensemble(&MEMBERS, |b| compare_body(b, false))
-                        .expect("step compare");
+                    ez.ensemble(&MEMBERS, |b| compare_body(b, false)).expect("step compare");
                 }
                 ezpim_statements += ez.statements();
                 programs.push(ez.assemble().expect("grid program"));
@@ -184,11 +178,7 @@ impl App for EditDistance {
             }
             for mpu in 0..grid {
                 for lane in 0..lanes {
-                    let d = golden_distance(
-                        a[mpu][lane],
-                        b_stream[mpu][lane],
-                        c_stream[mpu][lane],
-                    );
+                    let d = golden_distance(a[mpu][lane], b_stream[mpu][lane], c_stream[mpu][lane]);
                     best[mpu][lane] = best[mpu][lane].min(d);
                 }
             }

@@ -97,8 +97,8 @@ fn worker_compute(ez: &mut EzProgram) {
         b.max(r(0), r(11), r(9));
         b.min(r(0), r(11), r(10));
         b.sub(r(9), r(10), r(9)); // |out0 − mean|
-        // Clear the P2P landing register: only RFH 0 will receive a real
-        // neighbour activation; other members must add zero.
+                                  // Clear the P2P landing register: only RFH 0 will receive a real
+                                  // neighbour activation; other members must add zero.
         b.init0(r(5));
     })
     .expect("worker compute");
@@ -223,9 +223,8 @@ impl App for LlmEncode {
         // Worker token embeddings, then golden forward passes.
         let mut cents: Vec<Vec<u64>> = vec![Vec::new()]; // index by worker (0 unused)
         for k in 1..=workers {
-            let xs: Vec<Vec<u64>> = (0..4)
-                .map(|i| gen_values(seed ^ ((k as u64) << 16) ^ i, lanes, 4))
-                .collect();
+            let xs: Vec<Vec<u64>> =
+                (0..4).map(|i| gen_values(seed ^ ((k as u64) << 16) ^ i, lanes, 4)).collect();
             for &(rfh, vrf) in &WORKER_MEMBERS {
                 for (i, x) in xs.iter().enumerate() {
                     inputs.push((k, (rfh, vrf, i as u8), x.clone()));
@@ -246,11 +245,7 @@ impl App for LlmEncode {
             let f: Vec<u64> = if k == 1 {
                 cents[1].clone()
             } else {
-                cents[k]
-                    .iter()
-                    .zip(&cents[k - 1])
-                    .map(|(&a, &b)| a.wrapping_add(b))
-                    .collect()
+                cents[k].iter().zip(&cents[k - 1]).map(|(&a, &b)| a.wrapping_add(b)).collect()
             };
             expected.push((k, (0, 0, 9), f.clone()));
             // Members on RFHs 1..7 never receive the P2P activation.

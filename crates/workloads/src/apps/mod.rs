@@ -44,15 +44,18 @@ pub struct Table4Row {
     pub paper_mpus: usize,
 }
 
+/// One placed data binding: `(mpu, (rfh, vrf, reg), lane values)`.
+pub type PlacedData = (usize, (u16, u16, u8), Vec<u64>);
+
 /// A fully-instantiated multi-MPU application.
 #[derive(Debug)]
 pub struct BuiltApp {
     /// Per-MPU programs.
     pub programs: Vec<Program>,
     /// Initial data: (mpu, (rfh, vrf, reg), lane values).
-    pub inputs: Vec<(usize, (u16, u16, u8), Vec<u64>)>,
+    pub inputs: Vec<PlacedData>,
     /// Expected outputs: (mpu, (rfh, vrf, reg), lane values).
-    pub expected: Vec<(usize, (u16, u16, u8), Vec<u64>)>,
+    pub expected: Vec<PlacedData>,
     /// Total ezpim statements across MPU programs.
     pub ezpim_statements: usize,
     /// Total lowered ISA instructions across MPU programs.
@@ -60,7 +63,10 @@ pub struct BuiltApp {
 }
 
 /// An end-to-end application.
-pub trait App {
+///
+/// `Send + Sync` so the app matrix can run configurations on worker
+/// threads (apps are stateless descriptors, like [`crate::Kernel`]s).
+pub trait App: Send + Sync {
     /// Application name.
     fn name(&self) -> &'static str;
 
@@ -161,8 +167,27 @@ pub fn run_app(
     mpus: usize,
     seed: u64,
 ) -> Result<AppRun, AppError> {
+    run_app_pooled(app, config, mpus, seed, None)
+}
+
+/// [`run_app`] with an optional shared recipe-synthesis pool (see
+/// [`mastodon::RecipePool`]); results are bit-identical either way.
+///
+/// # Errors
+///
+/// See [`AppError`].
+pub fn run_app_pooled(
+    app: &dyn App,
+    config: &SimConfig,
+    mpus: usize,
+    seed: u64,
+    pool: Option<&std::sync::Arc<mastodon::RecipePool>>,
+) -> Result<AppRun, AppError> {
     let built = app.build(config, mpus, seed);
-    let mut system = System::new(config.clone(), mpus);
+    let mut system = match pool {
+        Some(pool) => System::new_pooled(config.clone(), mpus, pool),
+        None => System::new(config.clone(), mpus),
+    };
     for (i, program) in built.programs.iter().enumerate() {
         system.set_program(i, program.clone());
     }

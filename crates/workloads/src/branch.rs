@@ -24,9 +24,7 @@ pub fn threshold() -> LaneKernel {
             avg_trip_count: 1.0,
         },
         staged: false,
-        gen: |seed, lanes| {
-            vec![rand_reg(0, seed, lanes, 1 << 32), const_reg(1, 1 << 31, lanes)]
-        },
+        gen: |seed, lanes| vec![rand_reg(0, seed, lanes, 1 << 32), const_reg(1, 1 << 31, lanes)],
         body: |b| {
             b.if_else(
                 Cond::Gt(r(0), r(1)),

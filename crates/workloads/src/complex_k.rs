@@ -208,7 +208,7 @@ pub fn crc32() -> LaneKernel {
             }
             vec![
                 (reg, values),
-                const_reg(2, 1 << 63, lanes),            // MSB mask
+                const_reg(2, 1 << 63, lanes),              // MSB mask
                 const_reg(3, 0x04C1_1DB7u64 << 32, lanes), // polynomial
             ]
         },

@@ -15,16 +15,22 @@
 //! §VIII-C observation.
 
 use crate::kernel::Kernel;
-use mastodon::{run_single, ExecutionMode, SimConfig, Stats};
+use mastodon::{run_single_pooled, ExecutionMode, RecipePool, SimConfig, Stats};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// VRFs functionally simulated per wave (energy is scaled up to the full
 /// wave; see module docs).
 const SIM_VRFS: usize = 8;
 
 /// Result of running one kernel on one chip configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` lets tests assert the parallel sweep path reproduces the
+/// serial path exactly, field for field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChipRun {
     /// Configuration label (`MPU:RACER`, ...).
     pub label: String,
@@ -88,10 +94,9 @@ impl fmt::Display for HarnessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HarnessError::Sim(e) => write!(f, "simulation failed: {e}"),
-            HarnessError::Mismatch { kernel, at, lane, got, want } => write!(
-                f,
-                "{kernel}: output {at:?} lane {lane}: got {got:#x}, want {want:#x}"
-            ),
+            HarnessError::Mismatch { kernel, at, lane, got, want } => {
+                write!(f, "{kernel}: output {at:?} lane {lane}: got {got:#x}, want {want:#x}")
+            }
         }
     }
 }
@@ -116,6 +121,24 @@ pub fn run_kernel(
     n: u64,
     seed: u64,
 ) -> Result<ChipRun, HarnessError> {
+    run_kernel_pooled(kernel, config, n, seed, None)
+}
+
+/// [`run_kernel`] with an optional shared recipe-synthesis pool (see
+/// [`mastodon::RecipePool`]). The pool only memoizes host-side recipe
+/// lowering; simulated statistics — and therefore the returned [`ChipRun`]
+/// — are bit-identical to the unpooled path.
+///
+/// # Errors
+///
+/// See [`run_kernel`].
+pub fn run_kernel_pooled(
+    kernel: &dyn Kernel,
+    config: &SimConfig,
+    n: u64,
+    seed: u64,
+    pool: Option<&Arc<RecipePool>>,
+) -> Result<ChipRun, HarnessError> {
     let g = config.datapath.geometry();
     // Members: one VRF per RFH, up to SIM_VRFS (stencils use vrf+1 for
     // staging, which exists because vrfs_per_rfh >= 2).
@@ -129,7 +152,7 @@ pub fn run_kernel(
         .collect();
 
     let built = kernel.build(&g, &members, seed);
-    let (wave, mut mpu) = run_single(config.clone(), &built.program, &built.inputs)?;
+    let (wave, mut mpu) = run_single_pooled(config.clone(), &built.program, &built.inputs, pool)?;
 
     // Verify every simulated lane against the golden model.
     for (idx, &(rfh, vrf, reg)) in built.outputs.iter().enumerate() {
@@ -183,8 +206,7 @@ pub fn run_kernel(
         + wave.energy.frontend_pj
         + wave.energy.transfer_pj * width_scale
         + wave.energy.offload_bus_pj;
-    let mut energy_pj =
-        per_wave_energy * instances as f64 + wave.energy.cpu_pj * occupancy;
+    let mut energy_pj = per_wave_energy * instances as f64 + wave.energy.cpu_pj * occupancy;
 
     // External streaming for data beyond on-chip capacity (Duality Cache).
     let data_bytes = n as f64 * kernel.regs_per_elem() as f64 * 8.0 * footprint;
@@ -213,6 +235,90 @@ pub fn run_kernel(
     })
 }
 
+// ----- parallel sweep engine -------------------------------------------
+
+/// Resolves the worker-thread count for a parallel sweep.
+///
+/// Priority: an explicit `requested` value, then the `MPU_JOBS`
+/// environment variable, then [`std::thread::available_parallelism`].
+/// Zero / unparsable values are ignored; the result is always ≥ 1.
+pub fn effective_jobs(requested: Option<usize>) -> usize {
+    requested
+        .or_else(|| std::env::var("MPU_JOBS").ok().and_then(|v| v.parse().ok()))
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1))
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads, returning
+/// results **in input order** (deterministic regardless of which thread
+/// finishes first). Workers claim items from a shared atomic index, so an
+/// expensive item never stalls the queue behind it.
+pub fn parallel_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let jobs = jobs.clamp(1, len.max(1));
+    if jobs <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                // The atomic index hands each slot to exactly one worker.
+                if let Some(item) = slots[i].lock().take() {
+                    let r = f(item);
+                    results.lock().push((i, r));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    let mut pairs = results.into_inner();
+    pairs.sort_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One unit of a chip sweep: a kernel on one configuration.
+pub struct SweepTask<'a> {
+    /// Kernel to run.
+    pub kernel: &'a dyn Kernel,
+    /// Chip configuration.
+    pub config: SimConfig,
+    /// Problem size in elements.
+    pub n: u64,
+    /// Input-data seed.
+    pub seed: u64,
+}
+
+/// Runs a batch of kernel-on-configuration tasks across worker threads.
+///
+/// * `jobs = None` resolves via [`effective_jobs`] (`MPU_JOBS`, then the
+///   machine's core count).
+/// * Results come back **in task order** and are bit-identical to running
+///   [`run_kernel`] on each task serially: worker threads share only a
+///   [`RecipePool`], which memoizes host-side recipe synthesis without
+///   touching simulated statistics.
+pub fn run_sweep_parallel(
+    tasks: Vec<SweepTask<'_>>,
+    jobs: Option<usize>,
+) -> Vec<Result<ChipRun, HarnessError>> {
+    let pool = Arc::new(RecipePool::new());
+    let jobs = effective_jobs(jobs);
+    parallel_map(tasks, jobs, |task| {
+        run_kernel_pooled(task.kernel, &task.config, task.n, task.seed, Some(&pool))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,13 +329,8 @@ mod tests {
     fn vecadd_runs_verified_on_racer() {
         let kernels = all_kernels();
         let vecadd = kernels.iter().find(|k| k.name() == "vecadd").unwrap();
-        let run = run_kernel(
-            vecadd.as_ref(),
-            &SimConfig::mpu(DatapathKind::Racer),
-            1 << 16,
-            42,
-        )
-        .unwrap();
+        let run =
+            run_kernel(vecadd.as_ref(), &SimConfig::mpu(DatapathKind::Racer), 1 << 16, 42).unwrap();
         assert!(run.verified);
         assert!(run.time_ns > 0.0);
         assert!(run.energy_pj > 0.0);
@@ -241,12 +342,60 @@ mod tests {
         let kernels = all_kernels();
         let jacobi = kernels.iter().find(|k| k.name() == "jacobi1d").unwrap();
         let n = 1 << 20;
-        let mpu =
-            run_kernel(jacobi.as_ref(), &SimConfig::mpu(DatapathKind::Racer), n, 1).unwrap();
+        let mpu = run_kernel(jacobi.as_ref(), &SimConfig::mpu(DatapathKind::Racer), n, 1).unwrap();
         let base =
-            run_kernel(jacobi.as_ref(), &SimConfig::baseline(DatapathKind::Racer), n, 1)
-                .unwrap();
+            run_kernel(jacobi.as_ref(), &SimConfig::baseline(DatapathKind::Racer), n, 1).unwrap();
         assert!(base.instances >= 4 * mpu.instances - 4, "Toeplitz inflation");
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let out = parallel_map((0..64).collect::<Vec<u64>>(), 8, |v| v * 3);
+        assert_eq!(out, (0..64).map(|v| v * 3).collect::<Vec<u64>>());
+        // Degenerate pools: serial path and oversubscribed path agree.
+        assert_eq!(parallel_map(vec![1, 2, 3], 1, |v| v + 1), vec![2, 3, 4]);
+        assert_eq!(parallel_map(vec![5], 16, |v| v + 1), vec![6]);
+        assert_eq!(parallel_map(Vec::<u8>::new(), 4, |v| v), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn effective_jobs_prefers_explicit_over_env() {
+        assert_eq!(effective_jobs(Some(3)), 3);
+        assert!(effective_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_exactly() {
+        // Every kernel on two datapaths × two modes, small n: the parallel
+        // engine must reproduce the serial results bit for bit, in order.
+        let kernels = all_kernels();
+        let configs = [
+            SimConfig::mpu(DatapathKind::Racer),
+            SimConfig::baseline(DatapathKind::Racer),
+            SimConfig::mpu(DatapathKind::Mimdram),
+        ];
+        let n = 1 << 10;
+        let tasks: Vec<SweepTask<'_>> = kernels
+            .iter()
+            .flat_map(|k| {
+                configs.iter().map(move |c| SweepTask {
+                    kernel: k.as_ref(),
+                    config: c.clone(),
+                    n,
+                    seed: 9,
+                })
+            })
+            .collect();
+        let serial: Vec<ChipRun> = kernels
+            .iter()
+            .flat_map(|k| configs.iter().map(move |c| run_kernel(k.as_ref(), c, n, 9).unwrap()))
+            .collect();
+        let parallel: Vec<ChipRun> =
+            run_sweep_parallel(tasks, Some(4)).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s, p, "{} on {} diverged across the parallel path", s.kernel, s.label);
+        }
     }
 
     #[test]
@@ -254,21 +403,12 @@ mod tests {
         let kernels = all_kernels();
         let vecadd = kernels.iter().find(|k| k.name() == "vecadd").unwrap();
         // 3 regs × 8B × n > 12 × 16 MB when n = 1 << 24.
-        let run = run_kernel(
-            vecadd.as_ref(),
-            &SimConfig::mpu(DatapathKind::DualityCache),
-            1 << 24,
-            7,
-        )
-        .unwrap();
+        let run =
+            run_kernel(vecadd.as_ref(), &SimConfig::mpu(DatapathKind::DualityCache), 1 << 24, 7)
+                .unwrap();
         assert!(run.streaming_ns > 0.0, "DC must stream overflow data");
-        let racer = run_kernel(
-            vecadd.as_ref(),
-            &SimConfig::mpu(DatapathKind::Racer),
-            1 << 24,
-            7,
-        )
-        .unwrap();
+        let racer =
+            run_kernel(vecadd.as_ref(), &SimConfig::mpu(DatapathKind::Racer), 1 << 24, 7).unwrap();
         assert_eq!(racer.streaming_ns, 0.0, "RACER capacity suffices");
     }
 }

@@ -74,7 +74,11 @@ pub struct BuiltKernel {
 }
 
 /// A data-intensive kernel from the paper's evaluation.
-pub trait Kernel {
+///
+/// `Send + Sync` so sweeps can fan kernels out across worker threads
+/// (kernels are stateless descriptors; all run state lives in the
+/// simulator).
+pub trait Kernel: Send + Sync {
     /// Kernel name as it appears on the figure x-axes.
     fn name(&self) -> &'static str;
 

@@ -16,6 +16,9 @@ use pum_backend::Geometry;
 /// Number of architectural registers a lane reference models.
 pub const REGS: usize = 16;
 
+/// Per-member generated inputs: `(reg, lane values)` pairs.
+pub type MemberInputs = Vec<(u8, Vec<u64>)>;
+
 /// A per-lane kernel specification. See module docs.
 pub struct LaneKernel {
     /// Kernel name (figure x-axis label).
@@ -28,7 +31,7 @@ pub struct LaneKernel {
     /// (`vrf + 1`) and copied in-program via a transfer ensemble.
     pub staged: bool,
     /// Generates `(reg, lane values)` inputs for one member.
-    pub gen: fn(seed: u64, lanes: usize) -> Vec<(u8, Vec<u64>)>,
+    pub gen: fn(seed: u64, lanes: usize) -> MemberInputs,
     /// Emits the compute body.
     pub body: fn(&mut Body<'_>),
     /// Per-lane golden semantics over the register file.
@@ -80,7 +83,8 @@ impl Kernel for LaneKernel {
         let mut outputs = Vec::new();
         let mut expected = Vec::new();
         for (mi, &(rfh, vrf)) in members.iter().enumerate() {
-            let member_seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(mi as u64 + 1));
+            let member_seed =
+                seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(mi as u64 + 1));
             let data = (self.gen)(member_seed, lanes);
             // Golden model: per lane, run the reference over the register
             // file initialized with this member's inputs.
@@ -139,9 +143,8 @@ pub fn shifted_regs(
         .iter()
         .enumerate()
         .map(|(k, &off)| {
-            let values = (0..lanes)
-                .map(|i| padded[(i as i64 + halo as i64 + off) as usize])
-                .collect();
+            let values =
+                (0..lanes).map(|i| padded[(i as i64 + halo as i64 + off) as usize]).collect();
             (base_reg + k as u8, values)
         })
         .collect()

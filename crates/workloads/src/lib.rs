@@ -37,7 +37,10 @@ mod kernel;
 mod lane;
 mod stencil;
 
-pub use harness::{run_kernel, ChipRun, HarnessError};
+pub use harness::{
+    effective_jobs, parallel_map, run_kernel, run_kernel_pooled, run_sweep_parallel, ChipRun,
+    HarnessError, SweepTask,
+};
 pub use kernel::{gen_values, BuiltKernel, Kernel, KernelGroup, WorkProfile};
 pub use lane::LaneKernel;
 

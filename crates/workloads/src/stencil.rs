@@ -146,13 +146,7 @@ pub fn conv3x3() -> LaneKernel {
         gen: |seed, lanes| {
             let w = STENCIL_W;
             // r0..r8: NW N NE W C E SW S SE
-            shifted_regs(
-                0,
-                seed,
-                lanes,
-                &[-w - 1, -w, -w + 1, -1, 0, 1, w - 1, w, w + 1],
-                1 << 26,
-            )
+            shifted_regs(0, seed, lanes, &[-w - 1, -w, -w + 1, -1, 0, 1, w - 1, w, w + 1], 1 << 26)
         },
         body: |b| {
             // Edges ×2 in r9.
@@ -202,13 +196,7 @@ pub fn sobel() -> LaneKernel {
         staged: true,
         gen: |seed, lanes| {
             let w = STENCIL_W;
-            shifted_regs(
-                0,
-                seed,
-                lanes,
-                &[-w - 1, -w, -w + 1, -1, 0, 1, w - 1, w, w + 1],
-                1 << 24,
-            )
+            shifted_regs(0, seed, lanes, &[-w - 1, -w, -w + 1, -1, 0, 1, w - 1, w, w + 1], 1 << 24)
         },
         body: |b| {
             // gx: (NE + 2E + SE) - (NW + 2W + SW), as |max-min|.
@@ -223,7 +211,7 @@ pub fn sobel() -> LaneKernel {
             b.max(r(9), r(10), r(11));
             b.min(r(9), r(10), r(12));
             b.sub(r(11), r(12), r(11)); // |gx|
-            // gy: (SW + 2S + SE) - (NW + 2N + NE).
+                                        // gy: (SW + 2S + SE) - (NW + 2N + NE).
             b.mov(r(7), r(9));
             b.lshift(r(9), r(9));
             b.add(r(9), r(6), r(9));

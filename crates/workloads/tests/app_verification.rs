@@ -39,13 +39,9 @@ fn llm_encode_verifies_on_racer() {
 #[test]
 fn apps_verify_on_mimdram() {
     for app in all_apps() {
-        let run = run_app(
-            app.as_ref(),
-            &SimConfig::mpu(DatapathKind::Mimdram),
-            app.default_mpus(),
-            6,
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        let run =
+            run_app(app.as_ref(), &SimConfig::mpu(DatapathKind::Mimdram), app.default_mpus(), 6)
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
         assert!(run.verified, "{}", app.name());
     }
 }
@@ -53,21 +49,13 @@ fn apps_verify_on_mimdram() {
 #[test]
 fn apps_verify_in_baseline_mode_and_pay_offloads() {
     for app in all_apps() {
-        let base = run_app(
-            app.as_ref(),
-            &SimConfig::baseline(DatapathKind::Racer),
-            app.default_mpus(),
-            7,
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        let base =
+            run_app(app.as_ref(), &SimConfig::baseline(DatapathKind::Racer), app.default_mpus(), 7)
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
         assert!(base.verified, "{}", app.name());
-        let mpu = run_app(
-            app.as_ref(),
-            &SimConfig::mpu(DatapathKind::Racer),
-            app.default_mpus(),
-            7,
-        )
-        .unwrap();
+        let mpu =
+            run_app(app.as_ref(), &SimConfig::mpu(DatapathKind::Racer), app.default_mpus(), 7)
+                .unwrap();
         assert!(
             base.stats.cycles >= mpu.stats.cycles,
             "{}: Baseline ({}) should not beat MPU ({})",

@@ -19,9 +19,8 @@ fn all_kernels_verify_on_racer_mpu() {
 #[test]
 fn all_kernels_verify_on_mimdram_mpu() {
     for kernel in all_kernels() {
-        let run =
-            run_kernel(kernel.as_ref(), &SimConfig::mpu(DatapathKind::Mimdram), 4096, 12)
-                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        let run = run_kernel(kernel.as_ref(), &SimConfig::mpu(DatapathKind::Mimdram), 4096, 12)
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
         assert!(run.verified, "{}", kernel.name());
     }
 }
@@ -29,13 +28,9 @@ fn all_kernels_verify_on_mimdram_mpu() {
 #[test]
 fn all_kernels_verify_on_duality_cache_mpu() {
     for kernel in all_kernels() {
-        let run = run_kernel(
-            kernel.as_ref(),
-            &SimConfig::mpu(DatapathKind::DualityCache),
-            4096,
-            13,
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        let run =
+            run_kernel(kernel.as_ref(), &SimConfig::mpu(DatapathKind::DualityCache), 4096, 13)
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
         assert!(run.verified, "{}", kernel.name());
     }
 }
@@ -43,22 +38,14 @@ fn all_kernels_verify_on_duality_cache_mpu() {
 #[test]
 fn all_kernels_verify_on_racer_baseline() {
     for kernel in all_kernels() {
-        let run =
-            run_kernel(kernel.as_ref(), &SimConfig::baseline(DatapathKind::Racer), 4096, 14)
-                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        let run = run_kernel(kernel.as_ref(), &SimConfig::baseline(DatapathKind::Racer), 4096, 14)
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
         assert!(run.verified, "{}", kernel.name());
         // Kernels with data-driven control flow must have triggered host
         // offloads (mux-blend, manhattan and euclidean are in divergent
         // groups but lower to straight-line MUX/MAX/MIN code).
-        let control_flow = [
-            "threshold",
-            "clamp",
-            "absdiff",
-            "quantize",
-            "ibert-sqrt",
-            "softmax",
-            "crc32",
-        ];
+        let control_flow =
+            ["threshold", "clamp", "absdiff", "quantize", "ibert-sqrt", "softmax", "crc32"];
         if control_flow.contains(&kernel.name()) {
             assert!(
                 run.wave.offload_events > 0,
@@ -76,11 +63,9 @@ fn mpu_beats_baseline_on_control_heavy_kernels() {
             continue;
         }
         let n = 1 << 16;
-        let mpu =
-            run_kernel(kernel.as_ref(), &SimConfig::mpu(DatapathKind::Racer), n, 15).unwrap();
+        let mpu = run_kernel(kernel.as_ref(), &SimConfig::mpu(DatapathKind::Racer), n, 15).unwrap();
         let base =
-            run_kernel(kernel.as_ref(), &SimConfig::baseline(DatapathKind::Racer), n, 15)
-                .unwrap();
+            run_kernel(kernel.as_ref(), &SimConfig::baseline(DatapathKind::Racer), n, 15).unwrap();
         assert!(
             base.time_ns > mpu.time_ns,
             "{}: baseline {} ns should exceed MPU {} ns",

@@ -25,20 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let words = program.encode();
     println!("binary: {} instructions, {} bytes\n", program.len(), words.len() * 4);
 
-    for kind in
-        [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache]
-    {
+    for kind in [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache] {
         let config = SimConfig::mpu(kind);
         let lanes = config.datapath.geometry().lanes_per_vrf;
         let a: Vec<u64> = (0..lanes as u64).collect();
         let (stats, mut mpu) = run_single(
             config.clone(),
             &program,
-            &[
-                ((0, 0, 0), a.clone()),
-                ((0, 0, 1), vec![3; lanes]),
-                ((0, 0, 3), vec![10; lanes]),
-            ],
+            &[((0, 0, 0), a.clone()), ((0, 0, 1), vec![3; lanes]), ((0, 0, 3), vec![10; lanes])],
         )?;
         let out = mpu.read_register(0, 0, 5)?;
         // Same architectural result everywhere.

@@ -5,10 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
+use mpu::backend::DatapathKind;
 use mpu::ezpim::{Cond, EzProgram};
 use mpu::isa::RegId;
 use mpu::mastodon::{run_single, SimConfig};
-use mpu::backend::DatapathKind;
 
 fn r(i: u16) -> RegId {
     RegId(i)
@@ -40,19 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (stats, mut mpu) = run_single(
         config,
         &program,
-        &[
-            ((0, 0, 0), starts.clone()),
-            ((0, 0, 1), vec![2; 64]),
-            ((0, 0, 2), vec![2; 64]),
-        ],
+        &[((0, 0, 0), starts.clone()), ((0, 0, 1), vec![2; 64]), ((0, 0, 2), vec![2; 64])],
     )?;
 
     let counts = mpu.read_register(0, 0, 4)?;
     for lane in [0usize, 5, 13, 19] {
-        println!(
-            "lane {lane:2}: start {:>8} -> {} halvings",
-            starts[lane], counts[lane]
-        );
+        println!("lane {lane:2}: start {:>8} -> {} halvings", starts[lane], counts[lane]);
         // Cross-check against the obvious host computation.
         let mut x = starts[lane];
         let mut n = 0;

@@ -36,11 +36,7 @@ ensemble h0.v0 {
         let (stats, mut mpu) = run_single(
             cfg,
             &decoded,
-            &[
-                ((0, 0, 0), init.clone()),
-                ((0, 0, 1), vec![0; lanes]),
-                ((0, 0, 2), vec![1; lanes]),
-            ],
+            &[((0, 0, 0), init.clone()), ((0, 0, 1), vec![0; lanes]), ((0, 0, 2), vec![1; lanes])],
         )
         .unwrap();
         // r4 accumulates one `r2` per iteration: equals the start value.
@@ -101,12 +97,10 @@ fn multi_mpu_pipeline_with_compute_and_comm() {
     .assemble()
     .unwrap();
     // MUL requires rd != sources; r0*r0 -> r2 is fine.
-    let p1 = ezpim::parse(
-        "recv mpu0\nensemble h0.v0 {\n ADD r3 r1 r4\n}\n",
-    )
-    .unwrap()
-    .assemble()
-    .unwrap();
+    let p1 = ezpim::parse("recv mpu0\nensemble h0.v0 {\n ADD r3 r1 r4\n}\n")
+        .unwrap()
+        .assemble()
+        .unwrap();
     sys.set_program(0, p0);
     sys.set_program(1, p1);
     sys.mpu_mut(0).write_register(0, 0, 0, &vec![9; 64]).unwrap();
@@ -146,10 +140,7 @@ ensemble h0.v0 h1.v0 {
     let (slow, mut m2) =
         run_single(SimConfig::baseline(DatapathKind::Racer), &program, &inputs).unwrap();
     for (rfh, vrf) in [(0, 0), (1, 0)] {
-        assert_eq!(
-            m1.read_register(rfh, vrf, 0).unwrap(),
-            m2.read_register(rfh, vrf, 0).unwrap()
-        );
+        assert_eq!(m1.read_register(rfh, vrf, 0).unwrap(), m2.read_register(rfh, vrf, 0).unwrap());
     }
     assert!(slow.cycles > fast.cycles);
     assert!(slow.offload_events > 0);
@@ -176,8 +167,8 @@ fn mask_state_is_architecturally_visible() {
     mpu.write_register(0, 0, 1, &b).unwrap();
     mpu.run(&program).unwrap();
     let mask = mpu.read_register(0, 0, 2).unwrap();
-    for lane in 0..64 {
-        assert_eq!(mask[lane], u64::from(lane % 3 == 0), "lane {lane}");
+    for (lane, &bit) in mask.iter().enumerate().take(64) {
+        assert_eq!(bit, u64::from(lane % 3 == 0), "lane {lane}");
     }
     let _ = Plane::Cond; // public plane addressing is part of the API
 }

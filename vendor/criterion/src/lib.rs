@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion` 0.7.
+//!
+//! The workspace's build environment has no crates.io access, so this path
+//! crate implements the slice of criterion the repository's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`BenchmarkGroup::sample_size`] / `bench_function` / `finish`,
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Instead of criterion's statistical analysis, each benchmark runs a short
+//! warm-up followed by `sample_size` timed samples and prints the median
+//! per-iteration time. That is enough to compare configurations (the
+//! ablation benches) and to measure the parallel-sweep speedup.
+
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Target wall-clock budget for one sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Passed to each benchmark closure; times the hot loop.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median per-iteration duration over
+    /// the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: how many iterations fit one budget?
+        let cal_start = Instant::now();
+        let mut cal_iters: u64 = 0;
+        loop {
+            std::hint::black_box(routine());
+            cal_iters += 1;
+            if cal_start.elapsed() >= SAMPLE_BUDGET / 4 || cal_iters >= 1 << 20 {
+                break;
+            }
+        }
+        let per_iter = cal_start.elapsed() / cal_iters as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1 << 10
+        } else {
+            (SAMPLE_BUDGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+        };
+
+        let mut medians: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            medians.push(start.elapsed() / iters_per_sample as u32);
+        }
+        medians.sort();
+        self.last_median = Some(medians[medians.len() / 2]);
+    }
+}
+
+/// Top-level benchmark driver (`criterion::Criterion` stand-in).
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), DEFAULT_SAMPLE_SIZE, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+}
+
+/// A named benchmark group with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for upstream API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher { samples, last_median: None };
+    f(&mut b);
+    match b.last_median {
+        Some(t) => println!("{id:<48} time: {t:>12.3?} /iter (median of {samples})"),
+        None => println!("{id:<48} (no iter call)"),
+    }
+}
+
+/// Re-export site of `std::hint::black_box` to mirror criterion's API.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_routine() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        group.bench_function(format!("fmt_{}", 1), |b| b.iter(|| black_box(1u64 << 4)));
+        group.finish();
+    }
+}

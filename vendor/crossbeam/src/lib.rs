@@ -1,0 +1,89 @@
+//! Offline stand-in for `crossbeam` 0.8.
+//!
+//! The workspace's build environment has no crates.io access, so this path
+//! crate provides the one API the repository uses — [`thread::scope`] —
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63).
+//! The signature mirrors crossbeam's: spawned closures receive a
+//! [`thread::Scope`] handle so they can spawn further scoped threads, and
+//! `scope` returns `Result` (always `Ok`; panics propagate from the
+//! closure as in upstream).
+
+/// Scoped-thread spawning (`crossbeam::thread` stand-in).
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Handle for spawning threads bound to an enclosing [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope so it
+        /// can spawn nested scoped threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; all spawned threads are joined before
+    /// this returns. Always `Ok` — a child panic propagates as a panic,
+    /// matching how the repository (and most users) `.unwrap()` the result.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let sum = AtomicU64::new(0);
+        let data = vec![1u64, 2, 3, 4];
+        crate::thread::scope(|s| {
+            for &v in &data {
+                let sum = &sum;
+                s.spawn(move |_| sum.fetch_add(v, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let hits = AtomicU64::new(0);
+        crate::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! The workspace's build environment has no crates.io access, so this path
+//! crate provides the slice of the `rand` API the repository uses:
+//! [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`], and
+//! [`Rng::random_range`] over half-open / inclusive integer ranges.
+//!
+//! The generator is SplitMix64 — deterministic, seedable, and statistically
+//! solid for test-data generation (it is the seeding generator used by many
+//! PRNG suites). The bit streams differ from upstream `rand`'s StdRng
+//! (ChaCha12); every consumer in this repository derives its golden values
+//! from the same generator, so only determinism matters, not the exact
+//! stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: 64 fresh bits per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (`rand::SeedableRng` stand-in).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A sampleable range type (`rand::distr::uniform::SampleRange` stand-in).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add(mod_u128(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                start.wrapping_add(mod_u128(rng.next_u64(), span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+fn mod_u128(bits: u64, span: u128) -> u128 {
+    (bits as u128) % span
+}
+
+/// User-facing sampling methods (`rand::Rng` stand-in).
+pub trait Rng: RngCore {
+    /// Draws one value uniformly from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Draws a random `bool`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64) / ((1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seedable generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.random_range(0..1000u64)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.random_range(0..1000u64)).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.random_range(0..1000u64)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        assert!(xs.iter().all(|&v| v < 1000));
+    }
+
+    #[test]
+    fn inclusive_ranges_cover_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.random_range(0..=3u16) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! real serde derive machinery is replaced by no-op derives: the
+//! `#[derive(Serialize, Deserialize)]` attributes compile (including
+//! `#[serde(...)]` helper attributes) but generate no code. Nothing in the
+//! workspace serializes at runtime — the derives only exist so data types
+//! advertise serializability for downstream tooling.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
