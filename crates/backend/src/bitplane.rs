@@ -6,6 +6,18 @@
 //! of one bit-plane at once**. [`BitPlaneVrf`] reproduces that layout
 //! exactly: a plane is a packed bitvector over lanes, and micro-ops are
 //! whole-plane boolean operations — the column-parallel physics of PUM.
+//!
+//! # In-place execution
+//!
+//! Micro-ops are the simulator's innermost loop (a 32-bit MUL replays
+//! thousands per VRF per wave), so every plane operation here runs
+//! **allocation-free and in place**: plane addresses resolve to offsets
+//! into one flat `storage` buffer, and the output words are computed
+//! directly over that buffer with the lane mask fused into the same loop.
+//! Word-wise plane operations are pointwise, so an output that aliases an
+//! input is safe without staging: each output word is produced from the
+//! already-read input words of the same index. Host data loads go through
+//! a word-level 64×64 bit-matrix transpose instead of per-bit shifting.
 
 use crate::DATA_BITS;
 use serde::{Deserialize, Serialize};
@@ -51,6 +63,27 @@ impl fmt::Display for Plane {
 /// Number of scratch planes available to recipes.
 pub const SCRATCH_PLANES: usize = 24;
 
+/// Transposes a 64×64 bit matrix in place (`a[r]` bit `c` ↔ `a[c]` bit
+/// `r`), using the classic recursive block-swap (Hacker's Delight §7-3):
+/// six passes of word-level shifts and XOR swaps instead of 4096 per-bit
+/// probes. This is the packing kernel behind the host data-load path.
+fn transpose_64x64(a: &mut [u64; 64]) {
+    let mut j = 32;
+    let mut m = 0x0000_0000_ffff_ffffu64;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            // Swap the off-diagonal j×j blocks of rows [k, k|j).
+            let t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k | j] ^= t;
+            a[k] ^= t << j;
+            k = ((k | j) + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
 /// A bit-plane vector register file: `regs × 64` architectural planes plus
 /// scratch, conditional, mask and constant planes, each a packed bitvector
 /// over `lanes`.
@@ -75,6 +108,10 @@ pub struct BitPlaneVrf {
     /// When `false`, writes to architectural planes ignore the mask
     /// register (used while servicing `GETMASK`, which must copy all bits).
     mask_enabled: bool,
+    /// Cached popcount of the mask plane, refreshed whenever the mask
+    /// plane is written (it is a pure function of `storage`, so derived
+    /// equality and serialization stay consistent).
+    mask_lanes: usize,
 }
 
 impl BitPlaneVrf {
@@ -89,12 +126,18 @@ impl BitPlaneVrf {
         assert!(regs > 0 && regs <= 64, "register count must be in 1..=64");
         let words = lanes.div_ceil(64);
         let n_planes = regs * DATA_BITS as usize + SCRATCH_PLANES + 4;
-        let mut vrf =
-            Self { lanes, regs, words, storage: vec![0u64; n_planes * words], mask_enabled: true };
+        let mut vrf = Self {
+            lanes,
+            regs,
+            words,
+            storage: vec![0u64; n_planes * words],
+            mask_enabled: true,
+            mask_lanes: 0,
+        };
         // Mask starts all-enabled; const1 plane all ones.
         vrf.fill_plane(Plane::Mask, true);
-        let c1 = vrf.plane_index(Plane::Const(true));
-        vrf.fill_raw(c1, true);
+        let c1 = vrf.plane_index(Plane::Const(true)) * words;
+        vrf.fill_op(c1, false, true);
         vrf
     }
 
@@ -133,58 +176,138 @@ impl BitPlaneVrf {
         &self.storage[i * self.words..(i + 1) * self.words]
     }
 
-    fn fill_raw(&mut self, index: usize, value: bool) {
-        let word = if value { !0u64 } else { 0u64 };
-        self.storage[index * self.words..(index + 1) * self.words].fill(word);
-        if value {
-            self.trim_tail(index);
-        }
-    }
-
-    /// Zeroes bits beyond `lanes` in the last word of a plane so that
-    /// whole-plane reductions (e.g. "any lane set") stay exact.
-    fn trim_tail(&mut self, index: usize) {
-        let extra = self.words * 64 - self.lanes;
-        if extra > 0 {
-            let last = index * self.words + self.words - 1;
-            self.storage[last] &= !0u64 >> extra;
-        }
+    /// Word offset of the mask plane in `storage`.
+    #[inline]
+    fn mask_base(&self) -> usize {
+        (self.regs * DATA_BITS as usize + SCRATCH_PLANES + 1) * self.words
     }
 
     /// True if writes to `plane` must be gated by the mask register.
-    fn is_masked_target(plane: Plane) -> bool {
+    pub(crate) fn is_masked_target(plane: Plane) -> bool {
         matches!(plane, Plane::Reg { .. } | Plane::Cond)
     }
 
-    /// Writes `new` into `out`, honouring lane masking when `out` is an
-    /// architectural or conditional plane.
+    /// Resolves an output plane to its storage offset and whether the
+    /// current write must honour the lane mask.
     ///
     /// # Panics
     ///
     /// Panics if `out` is a constant plane.
-    fn commit(&mut self, out: Plane, new: Vec<u64>) {
+    #[inline]
+    fn out_base(&self, out: Plane) -> (usize, bool) {
         assert!(!matches!(out, Plane::Const(_)), "constant planes are read-only");
-        let masked = self.mask_enabled && Self::is_masked_target(out);
-        let out_idx = self.plane_index(out);
+        (self.plane_index(out) * self.words, self.mask_enabled && Self::is_masked_target(out))
+    }
+
+    /// Post-write bookkeeping for the plane at word offset `base`: zeroes
+    /// bits beyond `lanes` in the last word (whole-plane reductions stay
+    /// exact) and refreshes the cached mask popcount if the mask plane was
+    /// the target.
+    #[inline]
+    fn finish_write(&mut self, base: usize) {
+        let extra = self.words * 64 - self.lanes;
+        if extra > 0 {
+            self.storage[base + self.words - 1] &= !0u64 >> extra;
+        }
+        if base == self.mask_base() {
+            self.mask_lanes =
+                self.storage[base..base + self.words].iter().map(|w| w.count_ones() as usize).sum();
+        }
+    }
+
+    /// In-place two-input word loop: `storage[out..] = f(a, b)`, with the
+    /// mask merge fused when `masked`. Aliasing between `out` and any
+    /// input is safe (the operation is pointwise per word).
+    #[inline]
+    pub(crate) fn op2(
+        &mut self,
+        a: usize,
+        b: usize,
+        out: usize,
+        masked: bool,
+        f: impl Fn(u64, u64) -> u64,
+    ) {
         if masked {
-            let mask_idx = self.plane_index(Plane::Mask);
-            for (w, &word) in new.iter().enumerate().take(self.words) {
-                let m = self.storage[mask_idx * self.words + w];
-                let old = self.storage[out_idx * self.words + w];
-                self.storage[out_idx * self.words + w] = (word & m) | (old & !m);
+            let mask = self.mask_base();
+            for w in 0..self.words {
+                let new = f(self.storage[a + w], self.storage[b + w]);
+                let m = self.storage[mask + w];
+                self.storage[out + w] = (new & m) | (self.storage[out + w] & !m);
             }
         } else {
-            self.storage[out_idx * self.words..(out_idx + 1) * self.words].copy_from_slice(&new);
+            for w in 0..self.words {
+                self.storage[out + w] = f(self.storage[a + w], self.storage[b + w]);
+            }
         }
-        self.trim_tail(out_idx);
+        self.finish_write(out);
+    }
+
+    /// In-place three-input word loop (see [`BitPlaneVrf::op2`]).
+    #[inline]
+    pub(crate) fn op3(
+        &mut self,
+        a: usize,
+        b: usize,
+        c: usize,
+        out: usize,
+        masked: bool,
+        f: impl Fn(u64, u64, u64) -> u64,
+    ) {
+        if masked {
+            let mask = self.mask_base();
+            for w in 0..self.words {
+                let new = f(self.storage[a + w], self.storage[b + w], self.storage[c + w]);
+                let m = self.storage[mask + w];
+                self.storage[out + w] = (new & m) | (self.storage[out + w] & !m);
+            }
+        } else {
+            for w in 0..self.words {
+                self.storage[out + w] =
+                    f(self.storage[a + w], self.storage[b + w], self.storage[c + w]);
+            }
+        }
+        self.finish_write(out);
+    }
+
+    /// In-place plane copy (see [`BitPlaneVrf::op2`]).
+    #[inline]
+    pub(crate) fn copy_op(&mut self, a: usize, out: usize, masked: bool) {
+        if masked {
+            let mask = self.mask_base();
+            for w in 0..self.words {
+                let m = self.storage[mask + w];
+                self.storage[out + w] = (self.storage[a + w] & m) | (self.storage[out + w] & !m);
+            }
+        } else if a != out {
+            for w in 0..self.words {
+                self.storage[out + w] = self.storage[a + w];
+            }
+        }
+        self.finish_write(out);
+    }
+
+    /// In-place constant fill (see [`BitPlaneVrf::op2`]).
+    #[inline]
+    pub(crate) fn fill_op(&mut self, out: usize, masked: bool, value: bool) {
+        let word = if value { !0u64 } else { 0u64 };
+        if masked {
+            let mask = self.mask_base();
+            for w in 0..self.words {
+                let m = self.storage[mask + w];
+                self.storage[out + w] = (word & m) | (self.storage[out + w] & !m);
+            }
+        } else {
+            self.storage[out..out + self.words].fill(word);
+        }
+        self.finish_write(out);
     }
 
     /// Applies a two-input boolean plane operation: `out = f(a, b)`.
     pub fn apply2(&mut self, a: Plane, b: Plane, out: Plane, f: impl Fn(u64, u64) -> u64) {
-        let av = self.plane(a).to_vec();
-        let bv = self.plane(b);
-        let new: Vec<u64> = av.iter().zip(bv).map(|(&x, &y)| f(x, y)).collect();
-        self.commit(out, new);
+        let a = self.plane_index(a) * self.words;
+        let b = self.plane_index(b) * self.words;
+        let (out, masked) = self.out_base(out);
+        self.op2(a, b, out, masked, f);
     }
 
     /// Applies a three-input boolean plane operation: `out = f(a, b, c)`.
@@ -196,23 +319,24 @@ impl BitPlaneVrf {
         out: Plane,
         f: impl Fn(u64, u64, u64) -> u64,
     ) {
-        let av = self.plane(a).to_vec();
-        let bv = self.plane(b).to_vec();
-        let cv = self.plane(c);
-        let new: Vec<u64> = av.iter().zip(&bv).zip(cv).map(|((&x, &y), &z)| f(x, y, z)).collect();
-        self.commit(out, new);
+        let a = self.plane_index(a) * self.words;
+        let b = self.plane_index(b) * self.words;
+        let c = self.plane_index(c) * self.words;
+        let (out, masked) = self.out_base(out);
+        self.op3(a, b, c, out, masked, f);
     }
 
     /// Copies plane `a` into `out` (a row-copy / buffered copy micro-op).
     pub fn copy_plane(&mut self, a: Plane, out: Plane) {
-        let new = self.plane(a).to_vec();
-        self.commit(out, new);
+        let a = self.plane_index(a) * self.words;
+        let (out, masked) = self.out_base(out);
+        self.copy_op(a, out, masked);
     }
 
     /// Fills `out` with a constant bit (a preset / initialize micro-op).
     pub fn fill_plane(&mut self, out: Plane, value: bool) {
-        let new = vec![if value { !0u64 } else { 0u64 }; self.words];
-        self.commit(out, new);
+        let (out, masked) = self.out_base(out);
+        self.fill_op(out, masked, value);
     }
 
     /// Reads one lane's bit from a plane.
@@ -232,6 +356,13 @@ impl BitPlaneVrf {
         self.plane(plane).iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Number of currently enabled lanes — the cached popcount of the mask
+    /// plane, maintained incrementally so per-instruction energy gating
+    /// does not rescan the plane.
+    pub fn mask_lanes(&self) -> usize {
+        self.mask_lanes
+    }
+
     /// Reads the packed bitvector of a plane (words of 64 lanes).
     pub fn plane_words(&self, plane: Plane) -> &[u64] {
         self.plane(plane)
@@ -245,9 +376,9 @@ impl BitPlaneVrf {
     /// Panics if `words.len()` differs from the plane word count.
     pub fn set_plane_words(&mut self, plane: Plane, words: &[u64]) {
         assert_eq!(words.len(), self.words, "plane word count mismatch");
-        let idx = self.plane_index(plane);
-        self.storage[idx * self.words..(idx + 1) * self.words].copy_from_slice(words);
-        self.trim_tail(idx);
+        let base = self.plane_index(plane) * self.words;
+        self.storage[base..base + self.words].copy_from_slice(words);
+        self.finish_write(base);
     }
 
     /// Temporarily disables lane masking (control-path `GETMASK` path).
@@ -260,40 +391,64 @@ impl BitPlaneVrf {
         self.mask_enabled
     }
 
-    /// Writes 64-bit element values into register `reg`, one per lane.
-    /// Bypasses the mask (this is the host/DMA data-load path).
+    /// Executes a pre-compiled recipe (see [`crate::CompiledRecipe`]):
+    /// plane addresses and mask-target decisions were resolved at
+    /// compile time, so the hot loop is pure word arithmetic over
+    /// `storage`.
     ///
     /// # Panics
     ///
-    /// Panics if `values.len() != lanes`.
+    /// Panics if the recipe was compiled for a different VRF geometry.
+    pub fn run_compiled(&mut self, recipe: &crate::CompiledRecipe) {
+        assert_eq!(
+            (recipe.lanes(), recipe.regs()),
+            (self.lanes, self.regs),
+            "compiled recipe targets a different VRF geometry"
+        );
+        crate::compiled::run(self, recipe);
+    }
+
+    /// Writes 64-bit element values into register `reg`, one per lane,
+    /// starting at lane 0; remaining lanes are zeroed (implicit padding).
+    /// Bypasses the mask (this is the host/DMA data-load path).
+    ///
+    /// Packing goes through a word-level 64×64 bit-matrix transpose: one
+    /// lane block (64 lanes × 64 bits) is transposed in six shift/XOR
+    /// passes and scattered to the register's bit planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() > lanes`.
     pub fn write_lane_values(&mut self, reg: u8, values: &[u64]) {
-        assert_eq!(values.len(), self.lanes, "one value per lane required");
-        for bit in 0..DATA_BITS as u8 {
-            let idx = self.plane_index(Plane::Reg { reg, bit });
-            let base = idx * self.words;
-            for w in 0..self.words {
-                let mut packed = 0u64;
-                for l in 0..64 {
-                    let lane = w * 64 + l;
-                    if lane < self.lanes && (values[lane] >> bit) & 1 == 1 {
-                        packed |= 1 << l;
-                    }
-                }
-                self.storage[base + w] = packed;
+        assert!(values.len() <= self.lanes, "{} values exceed {} lanes", values.len(), self.lanes);
+        let base = self.plane_index(Plane::Reg { reg, bit: 0 }) * self.words;
+        let mut block = [0u64; 64];
+        for w in 0..self.words {
+            let src = &values[values.len().min(w * 64)..];
+            let n = src.len().min(64);
+            block[..n].copy_from_slice(&src[..n]);
+            block[n..].fill(0);
+            transpose_64x64(&mut block);
+            for (bit, &plane_word) in block.iter().enumerate() {
+                self.storage[base + bit * self.words + w] = plane_word;
             }
         }
     }
 
-    /// Reads register `reg` back as 64-bit element values, one per lane.
+    /// Reads register `reg` back as 64-bit element values, one per lane
+    /// (the inverse transpose of [`BitPlaneVrf::write_lane_values`]).
     pub fn read_lane_values(&self, reg: u8) -> Vec<u64> {
+        let base = self.plane_index(Plane::Reg { reg, bit: 0 }) * self.words;
         let mut values = vec![0u64; self.lanes];
-        for bit in 0..DATA_BITS as u8 {
-            let plane = self.plane(Plane::Reg { reg, bit });
-            for (lane, value) in values.iter_mut().enumerate() {
-                if (plane[lane / 64] >> (lane % 64)) & 1 == 1 {
-                    *value |= 1 << bit;
-                }
+        let mut block = [0u64; 64];
+        for w in 0..self.words {
+            for (bit, row) in block.iter_mut().enumerate() {
+                *row = self.storage[base + bit * self.words + w];
             }
+            transpose_64x64(&mut block);
+            let lo = w * 64;
+            let n = (self.lanes - lo).min(64);
+            values[lo..lo + n].copy_from_slice(&block[..n]);
         }
         values
     }
@@ -310,6 +465,45 @@ mod tests {
             (0..100).map(|i| (i as u64).wrapping_mul(0x1234_5678_9abc_def1)).collect();
         vrf.write_lane_values(2, &values);
         assert_eq!(vrf.read_lane_values(2), values);
+    }
+
+    #[test]
+    fn transpose_matches_naive_bit_packing() {
+        // The word-level transpose must place bit b of lane l exactly where
+        // the per-bit packer did: plane (reg, b), word l/64, bit l%64.
+        let lanes = 130;
+        let mut vrf = BitPlaneVrf::new(lanes, 2);
+        let values: Vec<u64> =
+            (0..lanes as u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i << 40)).collect();
+        vrf.write_lane_values(1, &values);
+        for bit in 0..64u8 {
+            let plane = vrf.plane_words(Plane::Reg { reg: 1, bit });
+            for (lane, &v) in values.iter().enumerate() {
+                let expect = (v >> bit) & 1 == 1;
+                let got = (plane[lane / 64] >> (lane % 64)) & 1 == 1;
+                assert_eq!(got, expect, "bit {bit} lane {lane}");
+            }
+            // Tail bits beyond `lanes` stay zero.
+            let extra = lanes.div_ceil(64) * 64 - lanes;
+            assert_eq!(plane[lanes / 64] >> (64 - extra), 0, "tail of bit {bit}");
+        }
+    }
+
+    #[test]
+    fn short_writes_zero_pad_remaining_lanes() {
+        let mut vrf = BitPlaneVrf::new(100, 2);
+        vrf.write_lane_values(0, &[u64::MAX; 100]);
+        vrf.write_lane_values(0, &[7, 7, 7]);
+        let got = vrf.read_lane_values(0);
+        assert_eq!(&got[..3], &[7, 7, 7]);
+        assert!(got[3..].iter().all(|&v| v == 0), "padding lanes must clear");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn oversized_writes_are_rejected() {
+        let mut vrf = BitPlaneVrf::new(64, 2);
+        vrf.write_lane_values(0, &[0; 65]);
     }
 
     #[test]
@@ -330,6 +524,25 @@ mod tests {
             let expect = !(a[lane] | b[lane]) & 1 == 1;
             assert_eq!(vrf.lane_bit(Plane::Scratch(0), lane), expect, "lane {lane}");
         }
+    }
+
+    #[test]
+    fn aliased_outputs_are_pointwise_safe() {
+        let mut vrf = BitPlaneVrf::new(128, 2);
+        vrf.set_plane_words(Plane::Scratch(0), &[0xdead_beef_0123_4567, 0x3]);
+        vrf.set_plane_words(Plane::Scratch(1), &[0xffff_0000_ffff_0000, 0x2]);
+        // out == a
+        vrf.apply2(Plane::Scratch(0), Plane::Scratch(1), Plane::Scratch(0), |x, y| x ^ y);
+        assert_eq!(
+            vrf.plane_words(Plane::Scratch(0)),
+            &[0xdead_beef_0123_4567u64 ^ 0xffff_0000_ffff_0000, 0x1]
+        );
+        // out == b
+        vrf.apply2(Plane::Scratch(0), Plane::Scratch(1), Plane::Scratch(1), |x, y| x & y);
+        assert_eq!(
+            vrf.plane_words(Plane::Scratch(1)),
+            &[(0xdead_beef_0123_4567u64 ^ 0xffff_0000_ffff_0000) & 0xffff_0000_ffff_0000, 0x0]
+        );
     }
 
     #[test]
@@ -361,6 +574,23 @@ mod tests {
         vrf.fill_plane(Plane::Mask, false); // all lanes off
         vrf.fill_plane(Plane::Mask, true); // must still re-enable
         assert_eq!(vrf.count_lanes_set(Plane::Mask), 64);
+    }
+
+    #[test]
+    fn mask_popcount_cache_tracks_every_write_path() {
+        let mut vrf = BitPlaneVrf::new(100, 2);
+        assert_eq!(vrf.mask_lanes(), 100);
+        vrf.fill_plane(Plane::Mask, false);
+        assert_eq!(vrf.mask_lanes(), 0);
+        vrf.set_plane_words(Plane::Mask, &[0xff, 0x1]);
+        assert_eq!(vrf.mask_lanes(), 9);
+        vrf.copy_plane(Plane::Const(true), Plane::Mask);
+        assert_eq!(vrf.mask_lanes(), 100);
+        vrf.apply2(Plane::Const(true), Plane::Const(true), Plane::Mask, |x, y| x & !y);
+        assert_eq!(vrf.mask_lanes(), 0);
+        // Non-mask writes leave the cache untouched but consistent.
+        vrf.fill_plane(Plane::Scratch(0), true);
+        assert_eq!(vrf.mask_lanes(), vrf.count_lanes_set(Plane::Mask));
     }
 
     #[test]

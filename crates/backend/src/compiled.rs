@@ -1,0 +1,320 @@
+//! Pre-compiled recipes: micro-op sequences with plane addresses resolved.
+//!
+//! [`MicroOp::apply`] re-resolves every `Plane` operand — a match plus
+//! bounds asserts — on every application, and a 32-bit MUL replays ~19k
+//! micro-ops per VRF per wave. [`CompiledRecipe`] hoists that work to
+//! synthesis time: each operand becomes a word offset into the VRF's flat
+//! storage, and each output carries its precomputed "honours the lane
+//! mask" flag. The compiled form is built once per `(recipe, geometry)`
+//! and cached alongside the recipe in the simulator's recipe cache/pool,
+//! so the steady-state execution loop is pure word arithmetic.
+//!
+//! Compilation is purely an address-resolution step: a compiled recipe
+//! executes the *same* plane writes in the same order as interpreting the
+//! micro-ops, so results are byte-identical (differential tests in
+//! `tests/inplace_differential.rs` enforce this).
+
+use crate::bitplane::{BitPlaneVrf, Plane, SCRATCH_PLANES};
+use crate::microop::MicroOp;
+use crate::DATA_BITS;
+
+/// Two-input boolean function of a compiled micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Func2 {
+    /// `!(a | b)` (ReRAM NOR).
+    Nor,
+    /// `!a` (input duplicated on both ports).
+    NotA,
+    /// `a & b`.
+    And,
+    /// `a | b`.
+    Or,
+    /// `a ^ b`.
+    Xor,
+}
+
+/// One micro-op with operands resolved to word offsets into VRF storage.
+#[derive(Debug, Clone, Copy)]
+enum CompiledOp {
+    /// Two-input plane op: `out = func(a, b)`.
+    Op2 { func: Func2, a: u32, b: u32, out: u32, masked: bool },
+    /// Majority vote: `out = maj(a, b, c)` (DRAM TRA).
+    Maj { a: u32, b: u32, c: u32, out: u32, masked: bool },
+    /// CMOS full adder; `latch` is the reserved scratch plane staging the
+    /// sum so the carry-in can be read before the carry plane is
+    /// overwritten — the exact plane-write sequence of the interpreter.
+    FullAdd {
+        a: u32,
+        b: u32,
+        carry: u32,
+        sum: u32,
+        latch: u32,
+        carry_masked: bool,
+        sum_masked: bool,
+    },
+    /// Row copy: `out = a`.
+    Copy { a: u32, out: u32, masked: bool },
+    /// Constant preset: `out = value`.
+    Fill { out: u32, masked: bool, value: bool },
+}
+
+/// A recipe compiled for one VRF geometry: plane operands resolved to flat
+/// storage offsets, mask-target decisions precomputed.
+///
+/// Built via [`crate::Recipe::compile`] and executed with
+/// [`BitPlaneVrf::run_compiled`]. Execution is byte-identical to
+/// interpreting the recipe's micro-ops in order.
+#[derive(Debug, Clone)]
+pub struct CompiledRecipe {
+    ops: Vec<CompiledOp>,
+    lanes: usize,
+    regs: usize,
+}
+
+impl CompiledRecipe {
+    /// Lane count this recipe was compiled for.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Architectural register count this recipe was compiled for.
+    pub fn regs(&self) -> usize {
+        self.regs
+    }
+
+    /// Number of compiled micro-ops (equals the source recipe's length).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True for the empty recipe.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Plane-address resolver for a VRF geometry; mirrors the (private)
+/// layout arithmetic of [`BitPlaneVrf`], including its panic conditions,
+/// so compile-time errors match interpret-time errors.
+struct Layout {
+    regs: usize,
+    words: usize,
+}
+
+impl Layout {
+    fn base(&self, plane: Plane) -> u32 {
+        let arch = self.regs * DATA_BITS as usize;
+        let index = match plane {
+            Plane::Reg { reg, bit } => {
+                let (reg, bit) = (reg as usize, bit as usize);
+                assert!(reg < self.regs, "register {reg} out of range (VRF has {})", self.regs);
+                assert!(bit < DATA_BITS as usize, "bit {bit} out of range");
+                reg * DATA_BITS as usize + bit
+            }
+            Plane::Scratch(i) => {
+                assert!((i as usize) < SCRATCH_PLANES, "scratch plane {i} out of range");
+                arch + i as usize
+            }
+            Plane::Cond => arch + SCRATCH_PLANES,
+            Plane::Mask => arch + SCRATCH_PLANES + 1,
+            Plane::Const(false) => arch + SCRATCH_PLANES + 2,
+            Plane::Const(true) => arch + SCRATCH_PLANES + 3,
+        };
+        (index * self.words) as u32
+    }
+
+    fn out(&self, plane: Plane) -> (u32, bool) {
+        assert!(!matches!(plane, Plane::Const(_)), "constant planes are read-only");
+        (self.base(plane), BitPlaneVrf::is_masked_target(plane))
+    }
+}
+
+/// Compiles a micro-op sequence for a `(lanes, regs)` VRF geometry.
+pub(crate) fn compile(ops: &[MicroOp], lanes: usize, regs: usize) -> CompiledRecipe {
+    assert!(lanes > 0, "a VRF needs at least one lane");
+    assert!(regs > 0 && regs <= 64, "register count must be in 1..=64");
+    let layout = Layout { regs, words: lanes.div_ceil(64) };
+    let latch = layout.base(Plane::Scratch(SCRATCH_PLANES as u16 - 1));
+    let compiled = ops
+        .iter()
+        .map(|op| match *op {
+            MicroOp::Nor { a, b, out } => {
+                let (out, masked) = layout.out(out);
+                CompiledOp::Op2 {
+                    func: Func2::Nor,
+                    a: layout.base(a),
+                    b: layout.base(b),
+                    out,
+                    masked,
+                }
+            }
+            MicroOp::Not { a, out } => {
+                let (out, masked) = layout.out(out);
+                let a = layout.base(a);
+                CompiledOp::Op2 { func: Func2::NotA, a, b: a, out, masked }
+            }
+            MicroOp::And { a, b, out } => {
+                let (out, masked) = layout.out(out);
+                CompiledOp::Op2 {
+                    func: Func2::And,
+                    a: layout.base(a),
+                    b: layout.base(b),
+                    out,
+                    masked,
+                }
+            }
+            MicroOp::Or { a, b, out } => {
+                let (out, masked) = layout.out(out);
+                CompiledOp::Op2 {
+                    func: Func2::Or,
+                    a: layout.base(a),
+                    b: layout.base(b),
+                    out,
+                    masked,
+                }
+            }
+            MicroOp::Xor { a, b, out } => {
+                let (out, masked) = layout.out(out);
+                CompiledOp::Op2 {
+                    func: Func2::Xor,
+                    a: layout.base(a),
+                    b: layout.base(b),
+                    out,
+                    masked,
+                }
+            }
+            MicroOp::Tra { a, b, c, out } => {
+                let (out, masked) = layout.out(out);
+                CompiledOp::Maj {
+                    a: layout.base(a),
+                    b: layout.base(b),
+                    c: layout.base(c),
+                    out,
+                    masked,
+                }
+            }
+            MicroOp::FullAdd { a, b, carry, sum } => {
+                let (carry, carry_masked) = layout.out(carry);
+                let (sum, sum_masked) = layout.out(sum);
+                CompiledOp::FullAdd {
+                    a: layout.base(a),
+                    b: layout.base(b),
+                    carry,
+                    sum,
+                    latch,
+                    carry_masked,
+                    sum_masked,
+                }
+            }
+            MicroOp::Copy { a, out } => {
+                let (out, masked) = layout.out(out);
+                CompiledOp::Copy { a: layout.base(a), out, masked }
+            }
+            MicroOp::Set { out, value } => {
+                let (out, masked) = layout.out(out);
+                CompiledOp::Fill { out, masked, value }
+            }
+        })
+        .collect();
+    CompiledRecipe { ops: compiled, lanes, regs }
+}
+
+/// Executes a compiled recipe over a VRF's flat storage. Called through
+/// [`BitPlaneVrf::run_compiled`], which has already checked the geometry.
+pub(crate) fn run(vrf: &mut BitPlaneVrf, recipe: &CompiledRecipe) {
+    // GETMASK-style mask suspension is a control-path affair, but honour it
+    // here too so compiled and interpreted execution can never diverge.
+    let me = vrf.mask_enabled();
+    for op in &recipe.ops {
+        match *op {
+            CompiledOp::Op2 { func, a, b, out, masked } => {
+                let (a, b, out, masked) = (a as usize, b as usize, out as usize, masked && me);
+                match func {
+                    Func2::Nor => vrf.op2(a, b, out, masked, |x, y| !(x | y)),
+                    Func2::NotA => vrf.op2(a, b, out, masked, |x, _| !x),
+                    Func2::And => vrf.op2(a, b, out, masked, |x, y| x & y),
+                    Func2::Or => vrf.op2(a, b, out, masked, |x, y| x | y),
+                    Func2::Xor => vrf.op2(a, b, out, masked, |x, y| x ^ y),
+                }
+            }
+            CompiledOp::Maj { a, b, c, out, masked } => vrf.op3(
+                a as usize,
+                b as usize,
+                c as usize,
+                out as usize,
+                masked && me,
+                |x, y, z| (x & y) | (y & z) | (x & z),
+            ),
+            CompiledOp::FullAdd { a, b, carry, sum, latch, carry_masked, sum_masked } => {
+                let (a, b, carry) = (a as usize, b as usize, carry as usize);
+                // Same three plane writes, in the same order, as the
+                // interpreted FullAdd: stage the sum, update the carry,
+                // then land the sum.
+                vrf.op3(a, b, carry, latch as usize, false, |x, y, z| x ^ y ^ z);
+                vrf.op3(a, b, carry, carry, carry_masked && me, |x, y, z| {
+                    (x & y) | (y & z) | (x & z)
+                });
+                vrf.copy_op(latch as usize, sum as usize, sum_masked && me);
+            }
+            CompiledOp::Copy { a, out, masked } => {
+                vrf.copy_op(a as usize, out as usize, masked && me)
+            }
+            CompiledOp::Fill { out, masked, value } => {
+                vrf.fill_op(out as usize, masked && me, value)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::{build_recipe, RecipeCtx};
+    use crate::LogicFamily;
+    use mpu_isa::{BinaryOp, Instruction, RegId};
+
+    fn ctx(family: LogicFamily) -> RecipeCtx {
+        RecipeCtx { family, temp_regs: (14, 15) }
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_for_add() {
+        let instr =
+            Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
+        for family in [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline] {
+            let recipe = build_recipe(ctx(family), &instr).unwrap();
+            let compiled = recipe.compile(100, 16);
+            assert_eq!(compiled.len(), recipe.len());
+
+            let mut a = BitPlaneVrf::new(100, 16);
+            let xs: Vec<u64> = (0..100).map(|i| i * 3 + 1).collect();
+            let ys: Vec<u64> = (0..100).map(|i| i * 7 + 2).collect();
+            a.write_lane_values(0, &xs);
+            a.write_lane_values(1, &ys);
+            let mut b = a.clone();
+
+            for op in recipe.ops() {
+                op.apply(&mut a);
+            }
+            b.run_compiled(&compiled);
+            assert_eq!(a, b, "family {family:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different VRF geometry")]
+    fn geometry_mismatch_is_rejected() {
+        let instr =
+            Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
+        let recipe = build_recipe(ctx(LogicFamily::Nor), &instr).unwrap();
+        let compiled = recipe.compile(64, 16);
+        let mut vrf = BitPlaneVrf::new(128, 16);
+        vrf.run_compiled(&compiled);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn compiling_const_writes_panics_like_the_interpreter() {
+        compile(&[MicroOp::Set { out: Plane::Const(true), value: false }], 64, 4);
+    }
+}

@@ -13,6 +13,26 @@
 //! bitline logic), and property tests confirm the results match the ISA's
 //! architectural semantics for all three logic families.
 //!
+//! # Execution engine
+//!
+//! Micro-op execution is **allocation-free and in place**: plane operands
+//! resolve to offsets into one flat storage buffer and output words are
+//! computed directly over it, with the lane mask fused into the same word
+//! loop — no temporaries, no separate commit pass. For steady-state
+//! simulation, a [`Recipe`] can additionally be [`Recipe::compile`]d into a
+//! [`CompiledRecipe`] whose plane addresses are pre-resolved per VRF
+//! geometry; the simulator builds these at synthesis time and caches them
+//! through its recipe cache/pool. Host data loads
+//! ([`BitPlaneVrf::write_lane_values`] / `read_lane_values`) go through a
+//! word-level 64×64 bit-matrix transpose rather than per-bit shifts.
+//!
+//! All three paths — interpreted, compiled, and the pre-optimization
+//! reference semantics — are **byte-identical**: same plane contents after
+//! every micro-op, same simulator `Stats`. Differential property tests
+//! (`tests/inplace_differential.rs`) pit the in-place engine against a
+//! naive allocating reference across logic families, mask patterns, and
+//! aliased operands to enforce this determinism guarantee.
+//!
 //! # Example: run an ADD through RACER's NOR-only datapath
 //!
 //! ```
@@ -47,6 +67,7 @@
 
 pub mod area;
 mod bitplane;
+mod compiled;
 mod datapath;
 mod features;
 mod logic;
@@ -55,6 +76,7 @@ pub mod power;
 pub mod recipe;
 
 pub use bitplane::{BitPlaneVrf, Plane, SCRATCH_PLANES};
+pub use compiled::CompiledRecipe;
 pub use datapath::{DatapathBuilder, DatapathKind, DatapathModel, Geometry};
 pub use features::{supports, Feature, Platform};
 pub use logic::{GateBuilder, LogicFamily};

@@ -90,6 +90,15 @@ impl Recipe {
         }
         h
     }
+
+    /// Compiles this recipe for a `(lanes, regs)` VRF geometry: plane
+    /// operands resolve to flat storage offsets and mask-target decisions
+    /// are precomputed, so [`crate::BitPlaneVrf::run_compiled`] executes
+    /// the sequence without per-op plane resolution. Byte-identical to
+    /// interpreting [`Recipe::ops`] in order.
+    pub fn compile(&self, lanes: usize, regs: usize) -> crate::CompiledRecipe {
+        crate::compiled::compile(&self.ops, lanes, regs)
+    }
 }
 
 fn rp(reg: u16, bit: usize) -> Plane {

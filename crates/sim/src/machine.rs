@@ -256,10 +256,12 @@ impl Mpu {
         values: &[u64],
     ) -> Result<(), SimError> {
         self.check_geometry(0, rfh, vrf)?;
+        // Pack straight from the caller's slice: lanes beyond it zero-fill
+        // implicitly, and surplus values are ignored (hardware has no rows
+        // for them).
         let lanes = self.config.datapath.geometry().lanes_per_vrf;
-        let mut padded = values.to_vec();
-        padded.resize(lanes, 0);
-        self.vrf_mut(rfh, vrf).write_lane_values(reg, &padded);
+        let take = values.len().min(lanes);
+        self.vrf_mut(rfh, vrf).write_lane_values(reg, &values[..take]);
         Ok(())
     }
 
@@ -562,11 +564,11 @@ impl Mpu {
         wave: &[(u16, u16)],
         pipeline_warm: &mut bool,
     ) -> Result<(), SimError> {
-        let (recipe, hit) = match self.cache.lookup(&self.config.datapath, instr) {
+        let (cached, hit) = match self.cache.lookup(&self.config.datapath, instr) {
             Some(r) => r,
             None => return Ok(()), // unreachable for compute instructions
         };
-        let recipe: Arc<Recipe> = recipe;
+        let recipe: Arc<Recipe> = cached.recipe;
         // Decode cost: MPU caches templates; Baseline decodes every time.
         match self.config.mode {
             ExecutionMode::Mpu => {
@@ -599,14 +601,15 @@ impl Mpu {
         self.stats.uops += recipe.len() as u64;
 
         // Functional execution + datapath energy (only enabled lanes burn
-        // switching energy — the mask power-gates the drivers).
+        // switching energy — the mask power-gates the drivers). The
+        // compiled form executes the same plane writes as interpreting
+        // `recipe.ops()`, with plane addresses pre-resolved; the enabled
+        // lane count comes from the VRF's cached mask popcount.
         let mut energy = 0.0;
         for &(rfh, vrf) in wave {
             let v = self.vrf_mut(rfh, vrf);
-            let enabled = v.count_lanes_set(Plane::Mask);
-            for op in recipe.ops() {
-                op.apply(v);
-            }
+            let enabled = v.mask_lanes();
+            v.run_compiled(&cached.compiled);
             energy += self.config.datapath.recipe_energy_pj(&recipe, enabled);
         }
         self.stats.energy.datapath_pj += energy;
@@ -719,9 +722,8 @@ impl Mpu {
                             }
                             None => {
                                 self.check_geometry(line, dst_rfh, dst_vrf.0)?;
-                                let padded = values;
                                 self.vrf_mut(dst_rfh, dst_vrf.0)
-                                    .write_lane_values(rd.0 as u8, &padded);
+                                    .write_lane_values(rd.0 as u8, &values);
                             }
                         }
                         // Sequential-consistency: transfers execute one at
@@ -777,11 +779,12 @@ impl Mpu {
     }
 
     fn apply_message(&mut self, msg: &Message) {
+        // Pack straight from the message payload; missing tail lanes
+        // zero-fill implicitly.
+        let lanes = self.config.datapath.geometry().lanes_per_vrf;
         for w in &msg.writes {
-            let lanes = self.config.datapath.geometry().lanes_per_vrf;
-            let mut padded = w.values.clone();
-            padded.resize(lanes, 0);
-            self.vrf_mut(w.rfh, w.vrf).write_lane_values(w.reg, &padded);
+            let take = w.values.len().min(lanes);
+            self.vrf_mut(w.rfh, w.vrf).write_lane_values(w.reg, &w.values[..take]);
         }
     }
 

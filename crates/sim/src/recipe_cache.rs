@@ -5,7 +5,10 @@
 //! model a capacity-bounded cache keyed by the encoded instruction word
 //! (operands included — the template filler's work is folded into the
 //! cached entry), with LRU replacement and hit/miss counters. Baseline
-//! datapaths decode every instruction from scratch.
+//! datapaths decode every instruction from scratch. Each entry carries
+//! both the synthesized micro-op sequence and its geometry-specialized
+//! [`CompiledRecipe`], so plane-address resolution happens once per
+//! template rather than once per executed micro-op.
 //!
 //! Recipes are held behind [`Arc`] so an [`Mpu`](crate::Mpu) is `Send` and
 //! chip sweeps can fan out across threads. Concurrent runs may also share a
@@ -18,21 +21,40 @@
 
 use mpu_isa::Instruction;
 use parking_lot::RwLock;
-use pum_backend::{DatapathModel, Recipe, RecipeCtx};
+use pum_backend::{CompiledRecipe, DatapathModel, Recipe, RecipeCtx};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// A recipe cache entry: the synthesized micro-op sequence plus its
+/// pre-compiled form (plane addresses resolved for the owning datapath's
+/// VRF geometry). Both are `Arc`-shared with the pool, so cloning an entry
+/// is two reference bumps.
+#[derive(Debug, Clone)]
+pub struct CachedRecipe {
+    /// The synthesized micro-op sequence (costing, histograms, display).
+    pub recipe: Arc<Recipe>,
+    /// The geometry-specialized compiled form executed on the hot path.
+    pub compiled: Arc<CompiledRecipe>,
+}
 
 /// A process-wide memo of synthesized recipes, shared across concurrent
 /// simulations.
 ///
-/// Keyed by `(RecipeCtx, encoded instruction)`: recipe synthesis is a pure
-/// function of that pair, so datapaths that agree on logic family and
-/// temporary registers (including ablated variants of the same
-/// [`pum_backend::DatapathKind`]) reuse each other's work safely.
+/// Recipe templates are keyed by `(RecipeCtx, encoded instruction)`:
+/// synthesis is a pure function of that pair, so datapaths that agree on
+/// logic family and temporary registers (including ablated variants of the
+/// same [`pum_backend::DatapathKind`]) reuse each other's work safely.
+/// Compiled forms additionally key on the VRF geometry `(lanes, regs)`
+/// they were resolved for.
 #[derive(Debug, Default)]
 pub struct RecipePool {
     templates: RwLock<HashMap<(RecipeCtx, u32), Arc<Recipe>>>,
+    compiled: RwLock<HashMap<CompiledKey, Arc<CompiledRecipe>>>,
 }
+
+/// Memo key for a compiled form: synthesis context, encoded instruction,
+/// and the VRF geometry `(lanes, regs)` it was resolved for.
+type CompiledKey = (RecipeCtx, u32, usize, usize);
 
 impl RecipePool {
     /// Creates an empty pool.
@@ -59,6 +81,25 @@ impl RecipePool {
         Some(Arc::clone(templates.entry(key).or_insert(recipe)))
     }
 
+    /// Returns the recipe for `instr` together with its compiled form for
+    /// `datapath`'s VRF geometry, memoizing both on first use.
+    pub fn get_or_build_compiled(
+        &self,
+        datapath: &DatapathModel,
+        instr: &Instruction,
+    ) -> Option<CachedRecipe> {
+        let recipe = self.get_or_build(datapath, instr)?;
+        let g = datapath.geometry();
+        let key = (datapath.recipe_ctx(), instr.encode(), g.lanes_per_vrf, g.regs_per_vrf);
+        if let Some(compiled) = self.compiled.read().get(&key) {
+            return Some(CachedRecipe { recipe, compiled: Arc::clone(compiled) });
+        }
+        let compiled = Arc::new(recipe.compile(g.lanes_per_vrf, g.regs_per_vrf));
+        let mut map = self.compiled.write();
+        let compiled = Arc::clone(map.entry(key).or_insert(compiled));
+        Some(CachedRecipe { recipe, compiled })
+    }
+
     /// Number of memoized templates.
     pub fn len(&self) -> usize {
         self.templates.read().len()
@@ -70,11 +111,11 @@ impl RecipePool {
     }
 }
 
-/// A bounded LRU cache of synthesized recipes.
+/// A bounded LRU cache of synthesized recipes (with their compiled forms).
 #[derive(Debug)]
 pub struct RecipeCache {
     capacity: usize,
-    entries: HashMap<u32, (Arc<Recipe>, u64)>,
+    entries: HashMap<u32, (CachedRecipe, u64)>,
     pool: Option<Arc<RecipePool>>,
     tick: u64,
     hits: u64,
@@ -101,26 +142,31 @@ impl RecipeCache {
         self.pool = Some(pool);
     }
 
-    /// Looks up (or synthesizes and caches) the recipe for `instr`,
-    /// reporting whether it was a hit. Returns `None` for control-path
-    /// instructions that have no recipe.
+    /// Looks up (or synthesizes, compiles, and caches) the recipe for
+    /// `instr`, reporting whether it was a hit. Returns `None` for
+    /// control-path instructions that have no recipe.
     pub fn lookup(
         &mut self,
         datapath: &DatapathModel,
         instr: &Instruction,
-    ) -> Option<(Arc<Recipe>, bool)> {
+    ) -> Option<(CachedRecipe, bool)> {
         let key = instr.encode();
-        if let Some((recipe, stamp)) = self.entries.get_mut(&key) {
+        if let Some((entry, stamp)) = self.entries.get_mut(&key) {
             // The LRU clock only advances on lookups that actually touch
             // the table; recipe-less control instructions don't age entries.
             self.tick += 1;
             *stamp = self.tick;
             self.hits += 1;
-            return Some((Arc::clone(recipe), true));
+            return Some((entry.clone(), true));
         }
-        let recipe = match &self.pool {
-            Some(pool) => pool.get_or_build(datapath, instr)?,
-            None => Arc::new(datapath.recipe(instr)?),
+        let entry = match &self.pool {
+            Some(pool) => pool.get_or_build_compiled(datapath, instr)?,
+            None => {
+                let recipe = Arc::new(datapath.recipe(instr)?);
+                let g = datapath.geometry();
+                let compiled = Arc::new(recipe.compile(g.lanes_per_vrf, g.regs_per_vrf));
+                CachedRecipe { recipe, compiled }
+            }
         };
         self.tick += 1;
         self.misses += 1;
@@ -130,8 +176,8 @@ impl RecipeCache {
                 self.entries.remove(&victim);
             }
         }
-        self.entries.insert(key, (Arc::clone(&recipe), self.tick));
-        Some((recipe, false))
+        self.entries.insert(key, (entry.clone(), self.tick));
+        Some((entry, false))
     }
 
     /// Cache hits so far.
@@ -282,7 +328,7 @@ mod tests {
 
         let (pr, ph) = pooled.lookup(&dp, &add(2)).unwrap();
         let (sr, sh) = plain.lookup(&dp, &add(2)).unwrap();
-        assert_eq!(*pr, *sr, "pooled synthesis yields the same recipe");
+        assert_eq!(*pr.recipe, *sr.recipe, "pooled synthesis yields the same recipe");
         assert_eq!(ph, sh, "pool must not alter hit/miss behavior");
         assert_eq!(pool.len(), 1);
 
@@ -293,6 +339,19 @@ mod tests {
         let (_, hit) = second.lookup(&dp, &add(2)).unwrap();
         assert!(!hit, "per-MPU miss is charged even on a pool hit");
         assert_eq!(pool.len(), 1, "no duplicate pool entries");
+    }
+
+    #[test]
+    fn compiled_forms_are_pooled_per_geometry() {
+        let dp = DatapathModel::racer();
+        let pool = Arc::new(RecipePool::new());
+        let a = pool.get_or_build_compiled(&dp, &add(2)).unwrap();
+        let b = pool.get_or_build_compiled(&dp, &add(2)).unwrap();
+        assert!(Arc::ptr_eq(&a.compiled, &b.compiled), "compiled memo is shared");
+        let g = dp.geometry();
+        assert_eq!(a.compiled.lanes(), g.lanes_per_vrf);
+        assert_eq!(a.compiled.regs(), g.regs_per_vrf);
+        assert_eq!(a.compiled.len(), a.recipe.len());
     }
 
     #[test]
