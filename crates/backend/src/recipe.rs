@@ -99,6 +99,38 @@ impl Recipe {
     pub fn compile(&self, lanes: usize, regs: usize) -> crate::CompiledRecipe {
         crate::compiled::compile(&self.ops, lanes, regs)
     }
+
+    /// Builds a recipe from an explicit micro-op sequence.
+    ///
+    /// Intended for conformance tooling (e.g. injecting a deliberately
+    /// corrupted recipe into a recipe pool to prove the differential
+    /// harness catches it) and for experimenting with hand-written
+    /// sequences. The scratch high-water mark is conservatively taken as
+    /// the highest scratch plane index touched, plus one.
+    pub fn from_ops(ops: Vec<MicroOp>) -> Self {
+        let scratch = |p: &Plane| match *p {
+            Plane::Scratch(i) => Some(i as usize + 1),
+            _ => None,
+        };
+        let scratch_high_water = ops
+            .iter()
+            .flat_map(|op| {
+                let planes: Vec<&Plane> = match op {
+                    MicroOp::Nor { a, b, out }
+                    | MicroOp::And { a, b, out }
+                    | MicroOp::Or { a, b, out }
+                    | MicroOp::Xor { a, b, out } => vec![a, b, out],
+                    MicroOp::Tra { a, b, c, out } => vec![a, b, c, out],
+                    MicroOp::Not { a, out } | MicroOp::Copy { a, out } => vec![a, out],
+                    MicroOp::FullAdd { a, b, carry, sum } => vec![a, b, carry, sum],
+                    MicroOp::Set { out, .. } => vec![out],
+                };
+                planes.into_iter().filter_map(scratch).collect::<Vec<_>>()
+            })
+            .max()
+            .unwrap_or(0);
+        Self { ops, scratch_high_water }
+    }
 }
 
 fn rp(reg: u16, bit: usize) -> Plane {

@@ -1,0 +1,515 @@
+//! The conformance case model: a structured, always-terminating subset of
+//! ezpim programs over one or more MPUs, with three interchangeable views —
+//! a tree ([`Case`]), lowered Table II binaries ([`Case::programs`]), and
+//! ezpim source text ([`Case::to_text`]) that round-trips through the
+//! textual parser.
+//!
+//! # Termination by construction
+//!
+//! Dynamic loops are the only source of unbounded execution, so the model
+//! does not carry free-form `while` conditions. Instead [`Stmt::While`] and
+//! [`Stmt::For`] own their complete trip-count machinery: the bound is a
+//! data register masked down to at most 3 (`ctr = src & 3`), the decrement
+//! (or the builder's increment) is part of the node, and the loop-control
+//! registers are excluded from the write set of the loop body by the
+//! generator. A shrinker can delete body statements or flatten a loop to
+//! its body, but it can never delete just the decrement and hang the test.
+
+use ezpim::{Cond, EzError, EzProgram};
+use mpu_isa::{BinaryOp, InitValue, Instruction, Program, RegId, UnaryOp};
+use std::fmt::Write as _;
+
+/// One lowered `MEMCPY` line of a `move` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyLine {
+    /// Source VRF within each source RFH.
+    pub src_vrf: u16,
+    /// Source register.
+    pub rs: RegId,
+    /// Destination VRF within each destination RFH.
+    pub dst_vrf: u16,
+    /// Destination register.
+    pub rd: RegId,
+}
+
+/// A body statement of a compute ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A bare compute/mask instruction (also used for the raw
+    /// `CMP*; SETMASK r63; ...; UNMASK` predication pattern).
+    Op(Instruction),
+    /// `if (cond) { then }`.
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Predicated body.
+        then: Vec<Stmt>,
+    },
+    /// `if (cond) { then } else { otherwise }`.
+    IfElse {
+        /// Branch condition.
+        cond: Cond,
+        /// Taken body.
+        then: Vec<Stmt>,
+        /// Not-taken body.
+        otherwise: Vec<Stmt>,
+    },
+    /// Bounded dynamic loop: `ctr = src & 3; while (ctr > 0) { body; ctr -= 1 }`.
+    ///
+    /// The prep sequence and the trailing decrement are emitted by the
+    /// lowering as part of this node (see [`while_prep`]); `ctr`, `one`
+    /// and `zero` must not be written by `body`.
+    While {
+        /// Register whose value (masked to 2 bits) seeds the trip count.
+        src: RegId,
+        /// Loop counter register.
+        ctr: RegId,
+        /// Register holding the constant 1.
+        one: RegId,
+        /// Register holding the constant 0 (transiently the mask 3).
+        zero: RegId,
+        /// Loop body (decrement excluded).
+        body: Vec<Stmt>,
+    },
+    /// Bounded counted loop: `lim = src & 3; for (ctr = 0; ctr < lim) { body }`.
+    For {
+        /// Register whose value (masked to 2 bits) seeds the limit.
+        src: RegId,
+        /// Counter register (initialized by the builder's `for_loop`).
+        ctr: RegId,
+        /// Register holding the constant 1.
+        one: RegId,
+        /// Limit register.
+        lim: RegId,
+        /// Loop body (increment excluded).
+        body: Vec<Stmt>,
+    },
+}
+
+/// One top-level construct of an MPU's program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Top {
+    /// A compute ensemble over `(rfh, vrf)` members.
+    Ensemble {
+        /// Wave members.
+        members: Vec<(u16, u16)>,
+        /// Ensemble body.
+        body: Vec<Stmt>,
+    },
+    /// A local transfer ensemble.
+    Move {
+        /// `(src_rfh, dst_rfh)` pairs.
+        pairs: Vec<(u16, u16)>,
+        /// The copies applied to every pair.
+        copies: Vec<CopyLine>,
+    },
+    /// An inter-MPU `SEND` block with a single move block.
+    Send {
+        /// Destination MPU id.
+        dst: u16,
+        /// `(local_src_rfh, remote_dst_rfh)` pairs.
+        pairs: Vec<(u16, u16)>,
+        /// The copies applied to every pair.
+        copies: Vec<CopyLine>,
+    },
+    /// `RECV` from the named MPU.
+    Recv {
+        /// Source MPU id.
+        src: u16,
+    },
+    /// `MPU_SYNC`.
+    Sync,
+}
+
+/// An initial register value loaded over the host/DMA path before the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Input {
+    /// Target RFH.
+    pub rfh: u16,
+    /// Target VRF.
+    pub vrf: u16,
+    /// Target register.
+    pub reg: u8,
+    /// Lane values (64 lanes — the common prefix of every geometry).
+    pub values: Vec<u64>,
+}
+
+/// One MPU's program and inputs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MpuCase {
+    /// Top-level constructs, in program order.
+    pub tops: Vec<Top>,
+    /// Initial register contents.
+    pub inputs: Vec<Input>,
+}
+
+/// A complete differential test case: coupled programs for `mpus.len()`
+/// MPUs plus their initial data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Case {
+    /// Per-MPU programs and inputs; the index is the MPU id.
+    pub mpus: Vec<MpuCase>,
+}
+
+/// The fixed prep sequence of a [`Stmt::While`] node:
+/// `one = 1; zero = 2; zero |= one (== 3); ctr = src & zero; zero = 0`.
+pub fn while_prep(src: RegId, ctr: RegId, one: RegId, zero: RegId) -> [Instruction; 5] {
+    [
+        Instruction::Init { value: InitValue::One, rd: one },
+        Instruction::Unary { op: UnaryOp::LShift, rs: one, rd: zero },
+        Instruction::Binary { op: BinaryOp::Or, rs: zero, rt: one, rd: zero },
+        Instruction::Binary { op: BinaryOp::And, rs: src, rt: zero, rd: ctr },
+        Instruction::Init { value: InitValue::Zero, rd: zero },
+    ]
+}
+
+/// The fixed trailing decrement of a [`Stmt::While`] body.
+pub fn while_dec(ctr: RegId, one: RegId) -> Instruction {
+    Instruction::Binary { op: BinaryOp::Sub, rs: ctr, rt: one, rd: ctr }
+}
+
+/// The fixed prep sequence of a [`Stmt::For`] node:
+/// `one = 1; lim = 2; lim |= one (== 3); lim = src & lim`.
+pub fn for_prep(src: RegId, one: RegId, lim: RegId) -> [Instruction; 4] {
+    [
+        Instruction::Init { value: InitValue::One, rd: one },
+        Instruction::Unary { op: UnaryOp::LShift, rs: one, rd: lim },
+        Instruction::Binary { op: BinaryOp::Or, rs: lim, rt: one, rd: lim },
+        Instruction::Binary { op: BinaryOp::And, rs: src, rt: lim, rd: lim },
+    ]
+}
+
+fn emit_stmts(b: &mut ezpim::Body<'_>, stmts: &[Stmt]) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Op(i) => {
+                b.op(*i);
+            }
+            Stmt::If { cond, then } => {
+                b.if_then(*cond, |b| emit_stmts(b, then));
+            }
+            Stmt::IfElse { cond, then, otherwise } => {
+                b.if_else(*cond, |b| emit_stmts(b, then), |b| emit_stmts(b, otherwise));
+            }
+            Stmt::While { src, ctr, one, zero, body } => {
+                for i in while_prep(*src, *ctr, *one, *zero) {
+                    b.op(i);
+                }
+                b.while_loop(Cond::Gt(*ctr, *zero), |b| {
+                    emit_stmts(b, body);
+                    b.op(while_dec(*ctr, *one));
+                });
+            }
+            Stmt::For { src, ctr, one, lim, body } => {
+                for i in for_prep(*src, *one, *lim) {
+                    b.op(i);
+                }
+                b.for_loop(*ctr, *lim, |b| emit_stmts(b, body));
+            }
+        }
+    }
+}
+
+/// Lowers one MPU's case to a validated Table II binary via the ezpim
+/// builder (identical to what parsing [`print_mpu`]'s output produces).
+///
+/// # Errors
+///
+/// Propagates builder errors (mask-pool exhaustion, aliasing) — the
+/// generator never produces them, but shrunk or hand-written cases might.
+pub fn lower(mpu: &MpuCase) -> Result<Program, EzError> {
+    let mut ez = EzProgram::new();
+    for top in &mpu.tops {
+        match top {
+            Top::Ensemble { members, body } => {
+                ez.ensemble(members, |b| emit_stmts(b, body))?;
+            }
+            Top::Move { pairs, copies } => {
+                ez.transfer(pairs, |t| {
+                    for c in copies {
+                        t.memcpy(c.src_vrf, c.rs, c.dst_vrf, c.rd);
+                    }
+                });
+            }
+            Top::Send { dst, pairs, copies } => {
+                ez.send(*dst, |s| {
+                    s.transfer(pairs, |t| {
+                        for c in copies {
+                            t.memcpy(c.src_vrf, c.rs, c.dst_vrf, c.rd);
+                        }
+                    });
+                });
+            }
+            Top::Recv { src } => {
+                ez.recv(*src);
+            }
+            Top::Sync => {
+                ez.sync();
+            }
+        }
+    }
+    ez.assemble()
+}
+
+fn cond_text(c: &Cond) -> String {
+    match *c {
+        Cond::Eq(a, b) => format!("r{} == r{}", a.0, b.0),
+        Cond::Gt(a, b) => format!("r{} > r{}", a.0, b.0),
+        Cond::Lt(a, b) => format!("r{} < r{}", a.0, b.0),
+        Cond::Fuzzy(a, b, skip) => format!("r{} ~= r{} skip r{}", a.0, b.0, skip.0),
+    }
+}
+
+fn print_stmts(out: &mut String, stmts: &[Stmt], indent: usize) {
+    let pad = "    ".repeat(indent);
+    for stmt in stmts {
+        match stmt {
+            Stmt::Op(i) => {
+                let _ = writeln!(out, "{pad}{i}");
+            }
+            Stmt::If { cond, then } => {
+                let _ = writeln!(out, "{pad}if {} {{", cond_text(cond));
+                print_stmts(out, then, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::IfElse { cond, then, otherwise } => {
+                let _ = writeln!(out, "{pad}if {} {{", cond_text(cond));
+                print_stmts(out, then, indent + 1);
+                let _ = writeln!(out, "{pad}}} else {{");
+                print_stmts(out, otherwise, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::While { src, ctr, one, zero, body } => {
+                for i in while_prep(*src, *ctr, *one, *zero) {
+                    let _ = writeln!(out, "{pad}{i}");
+                }
+                let _ = writeln!(out, "{pad}while r{} > r{} {{", ctr.0, zero.0);
+                print_stmts(out, body, indent + 1);
+                let _ = writeln!(out, "{}{}", "    ".repeat(indent + 1), while_dec(*ctr, *one));
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::For { src, ctr, one, lim, body } => {
+                for i in for_prep(*src, *one, *lim) {
+                    let _ = writeln!(out, "{pad}{i}");
+                }
+                let _ = writeln!(out, "{pad}for r{} < r{} {{", ctr.0, lim.0);
+                print_stmts(out, body, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+fn print_move_block(out: &mut String, keyword: &str, pairs: &[(u16, u16)], copies: &[CopyLine]) {
+    let header = pairs.iter().map(|(s, d)| format!("h{s} -> h{d}")).collect::<Vec<_>>().join(" , ");
+    let _ = writeln!(out, "{keyword} {header} {{");
+    for c in copies {
+        let _ =
+            writeln!(out, "    memcpy v{}.r{} -> v{}.r{}", c.src_vrf, c.rs.0, c.dst_vrf, c.rd.0);
+    }
+    let _ = writeln!(out, "}}");
+}
+
+/// Renders one MPU's case as ezpim source text. Parsing this text and
+/// assembling yields exactly the [`lower`]ed binary (the round-trip
+/// property the conformance suite checks).
+pub fn print_mpu(mpu: &MpuCase) -> String {
+    let mut out = String::new();
+    for top in &mpu.tops {
+        match top {
+            Top::Ensemble { members, body } => {
+                let ms =
+                    members.iter().map(|(h, v)| format!("h{h}.v{v}")).collect::<Vec<_>>().join(" ");
+                let _ = writeln!(out, "ensemble {ms} {{");
+                print_stmts(&mut out, body, 1);
+                let _ = writeln!(out, "}}");
+            }
+            Top::Move { pairs, copies } => print_move_block(&mut out, "move", pairs, copies),
+            Top::Send { dst, pairs, copies } => {
+                let _ = writeln!(out, "send mpu{dst} {{");
+                let mut inner = String::new();
+                print_move_block(&mut inner, "move", pairs, copies);
+                for line in inner.lines() {
+                    let _ = writeln!(out, "    {line}");
+                }
+                let _ = writeln!(out, "}}");
+            }
+            Top::Recv { src } => {
+                let _ = writeln!(out, "recv mpu{src}");
+            }
+            Top::Sync => {
+                let _ = writeln!(out, "sync");
+            }
+        }
+    }
+    out
+}
+
+fn stmt_nodes(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Op(_) => 1,
+            Stmt::If { then, .. } => 1 + stmt_nodes(then),
+            Stmt::IfElse { then, otherwise, .. } => 1 + stmt_nodes(then) + stmt_nodes(otherwise),
+            Stmt::While { body, .. } | Stmt::For { body, .. } => 1 + stmt_nodes(body),
+        })
+        .sum()
+}
+
+impl Case {
+    /// Lowers every MPU's program (index = MPU id).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-MPU lowering error.
+    pub fn programs(&self) -> Result<Vec<Program>, EzError> {
+        self.mpus.iter().map(lower).collect()
+    }
+
+    /// Total lowered instruction count, or `None` if lowering fails. This
+    /// is the size metric the shrinker minimizes (and the "reproducer of
+    /// ≤ N instructions" measure).
+    pub fn lowered_len(&self) -> Option<usize> {
+        self.programs().ok().map(|ps| ps.iter().map(Program::len).sum())
+    }
+
+    /// Structural node count (tops + statements), the shrinker tiebreaker.
+    pub fn node_count(&self) -> usize {
+        self.mpus
+            .iter()
+            .map(|m| {
+                m.tops
+                    .iter()
+                    .map(|t| match t {
+                        Top::Ensemble { body, .. } => 1 + stmt_nodes(body),
+                        Top::Move { copies, .. } | Top::Send { copies, .. } => 1 + copies.len(),
+                        Top::Recv { .. } | Top::Sync => 1,
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Weight of the input data (entries plus nonzero lanes), the final
+    /// shrinker tiebreaker.
+    pub fn input_weight(&self) -> usize {
+        self.mpus
+            .iter()
+            .flat_map(|m| &m.inputs)
+            .map(|i| 1 + i.values.iter().filter(|v| **v != 0).count())
+            .sum()
+    }
+
+    /// Renders the whole case (all MPUs and inputs) as annotated ezpim
+    /// text — the reproducer format printed for shrunk mismatches.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (id, mpu) in self.mpus.iter().enumerate() {
+            let _ = writeln!(out, "# ---- mpu {id} ----");
+            for input in &mpu.inputs {
+                let lanes: Vec<String> = input
+                    .values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| **v != 0)
+                    .map(|(lane, v)| format!("{lane}:{v:#x}"))
+                    .collect();
+                let data = if lanes.is_empty() { "all-zero".to_string() } else { lanes.join(" ") };
+                let _ =
+                    writeln!(out, "# input h{}.v{}.r{} = {data}", input.rfh, input.vrf, input.reg);
+            }
+            out.push_str(&print_mpu(mpu));
+        }
+        out
+    }
+}
+
+/// Formats a shrunk mismatch as a self-contained reproducer report.
+pub fn reproducer_text(case: &Case, mismatch: &str) -> String {
+    let size = case.lowered_len().map_or_else(|| "?".into(), |n| n.to_string());
+    format!(
+        "# conformance reproducer ({size} lowered instructions)\n# mismatch: {mismatch}\n{}",
+        case.to_text()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpu_isa::CompareOp;
+
+    fn r(i: u16) -> RegId {
+        RegId(i)
+    }
+
+    fn sample_case() -> Case {
+        Case {
+            mpus: vec![MpuCase {
+                tops: vec![
+                    Top::Ensemble {
+                        members: vec![(0, 0), (1, 1)],
+                        body: vec![
+                            Stmt::Op(Instruction::Binary {
+                                op: BinaryOp::Add,
+                                rs: r(0),
+                                rt: r(1),
+                                rd: r(2),
+                            }),
+                            Stmt::While {
+                                src: r(3),
+                                ctr: r(7),
+                                one: r(8),
+                                zero: r(9),
+                                body: vec![Stmt::If {
+                                    cond: Cond::Gt(r(0), r(1)),
+                                    then: vec![Stmt::Op(Instruction::Unary {
+                                        op: UnaryOp::Inc,
+                                        rs: r(2),
+                                        rd: r(2),
+                                    })],
+                                }],
+                            },
+                            Stmt::Op(Instruction::Compare {
+                                op: CompareOp::Eq,
+                                rs: r(0),
+                                rt: r(1),
+                            }),
+                        ],
+                    },
+                    Top::Move {
+                        pairs: vec![(0, 1)],
+                        copies: vec![CopyLine { src_vrf: 0, rs: r(2), dst_vrf: 1, rd: r(3) }],
+                    },
+                    Top::Sync,
+                ],
+                inputs: vec![Input { rfh: 0, vrf: 0, reg: 0, values: vec![5; 64] }],
+            }],
+        }
+    }
+
+    #[test]
+    fn lowering_matches_parsed_print() {
+        let case = sample_case();
+        let direct = lower(&case.mpus[0]).expect("lower");
+        let text = print_mpu(&case.mpus[0]);
+        let reparsed = ezpim::parse(&text).expect("parse").assemble().expect("assemble");
+        assert_eq!(direct, reparsed, "text:\n{text}");
+    }
+
+    #[test]
+    fn size_metrics_are_consistent() {
+        let case = sample_case();
+        assert_eq!(case.lowered_len().unwrap(), lower(&case.mpus[0]).unwrap().len());
+        assert!(case.node_count() >= 6);
+        assert_eq!(case.input_weight(), 1 + 64);
+    }
+
+    #[test]
+    fn reproducer_mentions_inputs_and_mismatch() {
+        let text = reproducer_text(&sample_case(), "lane 3 differs");
+        assert!(text.contains("# mismatch: lane 3 differs"));
+        assert!(text.contains("# input h0.v0.r0"));
+        assert!(text.contains("ensemble h0.v0 h1.v1 {"));
+    }
+}

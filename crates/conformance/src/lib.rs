@@ -1,0 +1,31 @@
+//! Cross-backend differential fuzzing harness for the MPU stack.
+//!
+//! The harness closes the loop the ISSUE calls for: a seeded generator
+//! ([`generate`]) produces random-but-valid multi-MPU programs over the
+//! full Table II instruction set; [`check_case`] runs each one through the
+//! word-level [`refmodel`] interpreter and through the cycle-accurate
+//! simulator on all three Table III backends (RACER, MIMDRAM, Duality
+//! Cache) over both the interpreted and compiled recipe paths, asserting
+//! lane-exact register equality plus agreement on the architectural
+//! counters; and [`shrink`] reduces any divergence to a short reproducer
+//! rendered as ezpim text by [`reproducer_text`].
+//!
+//! Entry points:
+//!
+//! - `cargo test -p conformance` — bounded differential suite, round-trip
+//!   properties, the injected-bug canary, and golden statistics snapshots.
+//! - `cargo run -p conformance --bin fuzz_conformance -- --seed N --iters N`
+//!   — open-ended fuzzing; on mismatch the shrunk reproducer is printed
+//!   and written to `conformance-reproducer.txt`.
+
+#![forbid(unsafe_code)]
+
+pub mod case;
+pub mod diff;
+pub mod generate;
+pub mod shrink;
+
+pub use case::{reproducer_text, Case, CopyLine, Input, MpuCase, Stmt, Top};
+pub use diff::{check_case, check_case_on, ref_geometry, reference_lanes, simulate, BACKENDS};
+pub use generate::generate;
+pub use shrink::shrink;

@@ -1,0 +1,195 @@
+//! The bounded conformance suite:
+//!
+//! * a differential sweep of generated cases across all backends and both
+//!   recipe paths (`CONFORMANCE_CASES` overrides the case count — CI runs
+//!   it large, the default keeps `cargo test` quick);
+//! * a proptest-driven builder → text → parser round-trip property;
+//! * the injected-bug canary: a deliberately corrupted MAJ adder recipe
+//!   must be caught and shrunk to a ≤ 10-instruction reproducer;
+//! * golden statistics snapshots pinning cycle/energy counters for a
+//!   fixed corpus (re-bless with `MPU_BLESS=1`).
+
+use conformance::{
+    check_case, check_case_on, generate, reproducer_text, shrink, simulate, BACKENDS,
+};
+use conformance::{Case, Stmt, Top};
+use mastodon::RecipePool;
+use mpu_isa::{BinaryOp, Instruction, RegId};
+use pum_backend::{build_recipe, DatapathKind, DatapathModel, MicroOp, Recipe};
+use std::sync::Arc;
+
+#[test]
+fn bounded_differential_suite() {
+    let cases: u64 =
+        std::env::var("CONFORMANCE_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(40);
+    for seed in 1000..1000 + cases {
+        let case = generate(seed);
+        if let Some(mismatch) = check_case(&case) {
+            let (small, m) = shrink(&case, check_case);
+            panic!("seed {seed}: {mismatch}\n{}", reproducer_text(&small, &m));
+        }
+    }
+}
+
+mod round_trip {
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Builder → ezpim text → parser → assemble reproduces the exact
+        /// program for arbitrary generator seeds.
+        #[test]
+        fn ezpim_text_round_trips(seed in any::<u64>()) {
+            let case = conformance::generate(seed);
+            for (id, mpu) in case.mpus.iter().enumerate() {
+                let direct = conformance::case::lower(mpu).expect("lower");
+                let text = conformance::case::print_mpu(mpu);
+                let reparsed = ezpim::parse(&text)
+                    .map_err(|e| TestCaseError::fail(format!("seed {seed} mpu {id}: {e}")))?
+                    .assemble()
+                    .expect("assemble");
+                prop_assert_eq!(direct, reparsed, "seed {} mpu {}\n{}", seed, id, text);
+            }
+        }
+    }
+}
+
+/// Flips the carry chain of a MAJ-family adder recipe: after the first
+/// `TRA` (which computes the new carry), invert the carry plane in place.
+fn flip_carry(recipe: &Recipe) -> Recipe {
+    let mut ops = recipe.ops().to_vec();
+    let pos = ops.iter().position(|op| matches!(op, MicroOp::Tra { .. }));
+    match pos {
+        Some(i) => {
+            let out = match ops[i] {
+                MicroOp::Tra { out, .. } => out,
+                _ => unreachable!(),
+            };
+            ops.insert(i + 1, MicroOp::Not { a: out, out });
+        }
+        None => {
+            // Fallback for non-MAJ families: corrupt the final written plane.
+            if let Some(MicroOp::FullAdd { carry, .. }) = ops.first().copied() {
+                ops.insert(1, MicroOp::Not { a: carry, out: carry });
+            }
+        }
+    }
+    Recipe::from_ops(ops)
+}
+
+fn contains_add(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Op(Instruction::Binary { op: BinaryOp::Add, .. }) => true,
+        Stmt::Op(_) => false,
+        Stmt::If { then, .. } => contains_add(then),
+        Stmt::IfElse { then, otherwise, .. } => contains_add(then) || contains_add(otherwise),
+        Stmt::While { body, .. } | Stmt::For { body, .. } => contains_add(body),
+    })
+}
+
+fn case_has_add(case: &Case) -> bool {
+    case.mpus
+        .iter()
+        .flat_map(|m| &m.tops)
+        .any(|t| matches!(t, Top::Ensemble { body, .. } if contains_add(body)))
+}
+
+#[test]
+fn injected_carry_bug_is_caught_and_shrunk() {
+    // Corrupt the ADD recipe for every operand combination the generator
+    // can emit and plant it in a shared recipe pool.
+    let model = DatapathModel::for_kind(DatapathKind::Mimdram);
+    let ctx = model.recipe_ctx();
+    let pool = Arc::new(RecipePool::new());
+    for rs in 0..14u16 {
+        for rt in 0..14u16 {
+            for rd in 0..10u16 {
+                let instr = Instruction::Binary {
+                    op: BinaryOp::Add,
+                    rs: RegId(rs),
+                    rt: RegId(rt),
+                    rd: RegId(rd),
+                };
+                let recipe = build_recipe(ctx, &instr).expect("ADD recipe");
+                pool.preload(ctx, &instr, flip_carry(&recipe));
+            }
+        }
+    }
+
+    let predicate = |case: &Case| check_case_on(DatapathKind::Mimdram, case, Some(&pool));
+
+    // Find a generated case that actually exercises an ADD and diverges.
+    let mut caught = None;
+    for seed in 0..200u64 {
+        let case = generate(seed);
+        if !case_has_add(&case) {
+            continue;
+        }
+        if predicate(&case).is_some() {
+            caught = Some((seed, case));
+            break;
+        }
+    }
+    let (seed, case) = caught.expect("no generated case tripped the corrupted adder in 200 seeds");
+
+    let (small, mismatch) = shrink(&case, predicate);
+    let len = small.lowered_len().expect("shrunk case must lower");
+    assert!(
+        len <= 10,
+        "seed {seed}: reproducer not small enough ({len} instructions):\n{}",
+        reproducer_text(&small, &mismatch)
+    );
+    assert!(case_has_add(&small), "shrunk reproducer lost the ADD:\n{}", small.to_text());
+    // The clean pool-less run must still pass: the defect is in the
+    // injected recipe, not the stack.
+    assert_eq!(check_case_on(DatapathKind::Mimdram, &small, None), None);
+}
+
+const GOLDEN_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+
+fn golden_lines() -> String {
+    let mut out = String::new();
+    for seed in GOLDEN_SEEDS {
+        let case = generate(seed);
+        for kind in BACKENDS {
+            let stats =
+                simulate(kind, &case).unwrap_or_else(|e| panic!("seed {seed} on {kind:?}: {e}"));
+            let energy = stats.energy.datapath_pj
+                + stats.energy.frontend_pj
+                + stats.energy.transfer_pj
+                + stats.energy.offload_bus_pj
+                + stats.energy.cpu_pj;
+            out.push_str(&format!(
+                "seed={seed} backend={kind:?} cycles={} instructions={} uops={} waves={} \
+                 messages={} noc_bytes={} energy_pj={energy:.3}\n",
+                stats.cycles,
+                stats.instructions,
+                stats.uops,
+                stats.scheduler_waves,
+                stats.messages_sent,
+                stats.noc_bytes,
+            ));
+        }
+    }
+    out
+}
+
+/// Pins cycle and energy counters for a fixed corpus. Any timing or
+/// energy-model change shows up as a diff here; re-bless deliberately with
+/// `MPU_BLESS=1 cargo test -p conformance golden`.
+#[test]
+fn golden_stats_snapshot() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/stats.txt");
+    let actual = golden_lines();
+    if std::env::var("MPU_BLESS").is_ok() {
+        std::fs::write(path, &actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {path}: {e} (run with MPU_BLESS=1)"));
+    assert_eq!(
+        actual, expected,
+        "golden statistics drifted; if intentional, re-bless with MPU_BLESS=1"
+    );
+}

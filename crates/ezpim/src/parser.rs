@@ -40,7 +40,7 @@
 //! `rA ~= rB skip rC` (fuzzy). `for rC < rL` is the counted loop with
 //! counter `rC` and limit `rL`.
 
-use crate::builder::{Body, Cond, EzError, EzProgram};
+use crate::builder::{Body, Cond, EzProgram};
 use mpu_isa::{Instruction, RegId};
 use std::fmt;
 
@@ -60,12 +60,6 @@ impl fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
-
-impl From<EzError> for ParseError {
-    fn from(e: EzError) -> Self {
-        ParseError { line: 0, message: e.to_string() }
-    }
-}
 
 #[derive(Debug, Clone)]
 enum Stmt {
@@ -130,6 +124,12 @@ impl<'a> Lines<'a> {
         }
         item
     }
+
+    /// Line number of the last content line — where "unexpected end of
+    /// input" errors point (instead of a meaningless line 0).
+    fn last_line(&self) -> usize {
+        self.lines.last().map_or(0, |(ln, _)| *ln)
+    }
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
@@ -137,16 +137,25 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 }
 
 fn parse_reg(line: usize, tok: &str) -> Result<RegId, ParseError> {
-    tok.strip_prefix('r')
-        .and_then(|d| d.parse::<u16>().ok())
-        .map(RegId)
-        .ok_or_else(|| err(line, format!("expected register like `r0`, found `{tok}`")))
+    let digits = tok
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register like `r0`, found `{tok}`")))?;
+    let index = digits.parse::<u16>().map_err(|_| {
+        err(line, format!("register index in `{tok}` is not a number (expected `r0`..`r63`)"))
+    })?;
+    if index > RegId::MAX {
+        return Err(err(line, format!("register `{tok}` out of range (r0..r{})", RegId::MAX)));
+    }
+    Ok(RegId(index))
 }
 
 fn parse_u16(line: usize, tok: &str, prefix: &str) -> Result<u16, ParseError> {
-    tok.strip_prefix(prefix)
-        .and_then(|d| d.parse::<u16>().ok())
-        .ok_or_else(|| err(line, format!("expected `{prefix}N`, found `{tok}`")))
+    let digits = tok
+        .strip_prefix(prefix)
+        .ok_or_else(|| err(line, format!("expected `{prefix}N`, found `{tok}`")))?;
+    digits
+        .parse::<u16>()
+        .map_err(|_| err(line, format!("`{prefix}` index in `{tok}` is not a number")))
 }
 
 /// Parses `h0.v1` into an `(rfh, vrf)` pair.
@@ -175,12 +184,34 @@ fn parse_cond(line: usize, toks: &[&str]) -> Result<Cond, ParseError> {
     }
 }
 
+/// Rejects multi-step instructions whose destination aliases a source at
+/// the statement's own line — the builder would reject them anyway (see
+/// [`crate::EzError::RegisterAliasing`]), but only with the enclosing
+/// construct's location.
+fn check_aliasing(line: usize, instr: &Instruction) -> Result<(), ParseError> {
+    use mpu_isa::BinaryOp;
+    if let Instruction::Binary { op, rs, rt, rd } = instr {
+        let multi_step = matches!(
+            op,
+            BinaryOp::Mul | BinaryOp::Mac | BinaryOp::QDiv | BinaryOp::QRDiv | BinaryOp::RDiv
+        );
+        if multi_step && (rd == rs || rd == rt) {
+            return Err(err(
+                line,
+                format!("{} destination r{} aliases a source register", instr.mnemonic(), rd.0),
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Parses statements until the matching `}`; returns `(stmts, saw_else)`.
 fn parse_body(lines: &mut Lines<'_>) -> Result<(Vec<Stmt>, bool), ParseError> {
     let mut stmts = Vec::new();
     loop {
-        let (ln, text) =
-            lines.next().ok_or_else(|| err(0, "unexpected end of input: missing `}`"))?;
+        let (ln, text) = lines
+            .next()
+            .ok_or_else(|| err(lines.last_line(), "unexpected end of input: missing `}`"))?;
         if text == "}" {
             return Ok((stmts, false));
         }
@@ -223,6 +254,7 @@ fn parse_body(lines: &mut Lines<'_>) -> Result<(Vec<Stmt>, bool), ParseError> {
             ["call", name] => stmts.push(Stmt::Call(name.to_string())),
             _ => {
                 let instr: Instruction = text.parse().map_err(|m: String| err(ln, m))?;
+                check_aliasing(ln, &instr)?;
                 stmts.push(Stmt::Instr(instr));
             }
         }
@@ -233,8 +265,9 @@ fn parse_body(lines: &mut Lines<'_>) -> Result<(Vec<Stmt>, bool), ParseError> {
 fn parse_move_body(lines: &mut Lines<'_>) -> Result<Vec<MemcpyLine>, ParseError> {
     let mut copies = Vec::new();
     loop {
-        let (ln, text) =
-            lines.next().ok_or_else(|| err(0, "unexpected end of input in move block"))?;
+        let (ln, text) = lines
+            .next()
+            .ok_or_else(|| err(lines.last_line(), "unexpected end of input in move block"))?;
         if text == "}" {
             return Ok(copies);
         }
@@ -268,8 +301,8 @@ fn parse_move_header(line: usize, toks: &[&str]) -> Result<Vec<(u16, u16)>, Pars
     Ok(pairs)
 }
 
-fn parse_top(lines: &mut Lines<'_>) -> Result<Vec<Top>, ParseError> {
-    let mut tops = Vec::new();
+fn parse_top(lines: &mut Lines<'_>) -> Result<Vec<(usize, Top)>, ParseError> {
+    let mut tops: Vec<(usize, Top)> = Vec::new();
     while let Some((ln, text)) = lines.next() {
         let toks: Vec<&str> = text.split_whitespace().collect();
         match toks.as_slice() {
@@ -285,12 +318,12 @@ fn parse_top(lines: &mut Lines<'_>) -> Result<Vec<Top>, ParseError> {
                 if saw_else {
                     return Err(err(ln, "dangling `else`"));
                 }
-                tops.push(Top::Ensemble(members, body));
+                tops.push((ln, Top::Ensemble(members, body)));
             }
             ["move", .., "{"] => {
                 let pairs = parse_move_header(ln, &toks)?;
                 let copies = parse_move_body(lines)?;
-                tops.push(Top::Move(pairs, copies));
+                tops.push((ln, Top::Move(pairs, copies)));
             }
             ["send", mpu, "{"] => {
                 let dst = parse_u16(ln, mpu, "mpu")?;
@@ -312,16 +345,16 @@ fn parse_top(lines: &mut Lines<'_>) -> Result<Vec<Top>, ParseError> {
                         _ => return Err(err(ln2, "send blocks contain only move blocks")),
                     }
                 }
-                tops.push(Top::Send(dst, moves));
+                tops.push((ln, Top::Send(dst, moves)));
             }
-            ["recv", mpu] => tops.push(Top::Recv(parse_u16(ln, mpu, "mpu")?)),
-            ["sync"] => tops.push(Top::Sync),
+            ["recv", mpu] => tops.push((ln, Top::Recv(parse_u16(ln, mpu, "mpu")?))),
+            ["sync"] => tops.push((ln, Top::Sync)),
             ["sub", name, "{"] => {
                 let (body, saw_else) = parse_body(lines)?;
                 if saw_else {
                     return Err(err(ln, "dangling `else`"));
                 }
-                tops.push(Top::Sub(name.to_string(), body));
+                tops.push((ln, Top::Sub(name.to_string(), body)));
             }
             _ => return Err(err(ln, format!("unrecognized top-level statement `{text}`"))),
         }
@@ -365,10 +398,11 @@ pub fn parse(text: &str) -> Result<EzProgram, ParseError> {
     let mut lines = Lines::new(text);
     let tops = parse_top(&mut lines)?;
     let mut ez = EzProgram::new();
-    for top in &tops {
+    for (ln, top) in &tops {
         match top {
             Top::Ensemble(members, body) => {
-                ez.ensemble(members, |b| emit_stmts(b, body))?;
+                ez.ensemble(members, |b| emit_stmts(b, body))
+                    .map_err(|e| err(*ln, e.to_string()))?;
             }
             Top::Move(pairs, copies) => {
                 ez.transfer(pairs, |t| {
@@ -395,7 +429,8 @@ pub fn parse(text: &str) -> Result<EzProgram, ParseError> {
                 ez.sync();
             }
             Top::Sub(name, body) => {
-                ez.subroutine(name, |b| emit_stmts(b, body))?;
+                ez.subroutine(name, |b| emit_stmts(b, body))
+                    .map_err(|e| err(*ln, e.to_string()))?;
             }
         }
     }
@@ -496,5 +531,93 @@ sub sqrt {
     fn send_rejects_non_move_content() {
         let e = parse("send mpu1 {\n NOP\n}").unwrap_err();
         assert!(e.message.contains("only move blocks"));
+    }
+
+    #[test]
+    fn register_token_errors_are_specific() {
+        // Missing `r` prefix.
+        let e = parse("ensemble h0.v0 {\n while x0 > r1 {\n NOP\n }\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected register"), "{}", e.message);
+        // Non-numeric index.
+        let e = parse("ensemble h0.v0 {\n if r0 == rX {\n NOP\n }\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("not a number"), "{}", e.message);
+        // Out-of-range index.
+        let e = parse("ensemble h0.v0 {\n if r64 == r0 {\n NOP\n }\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("out of range"), "{}", e.message);
+    }
+
+    #[test]
+    fn member_token_errors_are_specific() {
+        let e = parse("ensemble h0.q0 {\n NOP\n}").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("expected `v"), "{}", e.message);
+        let e = parse("ensemble hX.v0 {\n NOP\n}").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("not a number"), "{}", e.message);
+        let e = parse("ensemble h0v0 {\n NOP\n}").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("hN.vM"), "{}", e.message);
+    }
+
+    #[test]
+    fn mpu_token_errors_carry_lines() {
+        let e = parse("sync\nrecv mpuX").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("not a number"), "{}", e.message);
+        let e = parse("send pu3 {\n}").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("expected `mpuN`"), "{}", e.message);
+    }
+
+    #[test]
+    fn eof_errors_point_at_the_last_line() {
+        let e = parse("ensemble h0.v0 {\n NOP\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("missing `}`"), "{}", e.message);
+        let e = parse("move h0 -> h1 {\n memcpy v0.r0 -> v0.r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("move block"), "{}", e.message);
+    }
+
+    #[test]
+    fn malformed_memcpy_reports_its_line() {
+        let e = parse("move h0 -> h1 {\n memcpy v0.rX -> v0.r1\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("not a number"), "{}", e.message);
+        let e = parse("move h0 -> h1 {\n memcpy v0.r0 v0.r1\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("memcpy"), "{}", e.message);
+    }
+
+    #[test]
+    fn aliasing_reports_the_statement_line() {
+        let e = parse("ensemble h0.v0 {\n NOP\n MUL r0 r1 r0\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("aliases"), "{}", e.message);
+    }
+
+    #[test]
+    fn lowering_errors_carry_the_construct_line() {
+        // Mask-pool exhaustion: three nested masked constructs exceed the
+        // two-level pool; the error points at the ensemble header (the
+        // construct whose lowering failed), not line 0.
+        let src = "\
+sync
+ensemble h0.v0 {
+    while r0 > r1 {
+        while r2 > r3 {
+            while r4 > r5 {
+                NOP
+            }
+        }
+    }
+}
+";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("mask register pool exhausted"), "{}", e.message);
     }
 }

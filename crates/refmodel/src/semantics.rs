@@ -1,0 +1,158 @@
+//! Architectural lane semantics of the arithmetic/logic/compare
+//! instructions, written straight from the ISA definition (Table II).
+//!
+//! Everything here operates on one 64-bit lane value at a time. The
+//! multiply/divide family takes narrow (32-bit) operands and produces
+//! zero-extended results; everything else is full-width, unsigned,
+//! two's-complement wrapping.
+
+use mpu_isa::{BinaryOp, CompareOp, InitValue, UnaryOp};
+
+/// Narrow multiply: the low 32 bits of each operand, full 64-bit product.
+pub fn mul_narrow(rs: u64, rt: u64) -> u64 {
+    u64::from(rs as u32) * u64::from(rt as u32)
+}
+
+/// Narrow division: `(quotient, remainder)` of the low 32 bits of each
+/// operand, zero-extended. Division by zero returns an all-ones 32-bit
+/// quotient and the dividend as remainder.
+pub fn div_narrow(rs: u64, rt: u64) -> (u64, u64) {
+    let (n, d) = (rs as u32, rt as u32);
+    match (n.checked_div(d), n.checked_rem(d)) {
+        (Some(q), Some(r)) => (u64::from(q), u64::from(r)),
+        _ => (u64::from(u32::MAX), u64::from(n)),
+    }
+}
+
+/// `rd = rs OP rt`. `MUX` selects per bit by the *old* destination value
+/// and `MAC` accumulates into it, so both take `rd_old` as a third input.
+///
+/// `QRDIV` additionally writes the remainder back into `rt`; callers
+/// handle that second write (see [`div_narrow`]).
+pub fn binary(op: BinaryOp, rs: u64, rt: u64, rd_old: u64) -> u64 {
+    match op {
+        BinaryOp::Add => rs.wrapping_add(rt),
+        BinaryOp::Sub => rs.wrapping_sub(rt),
+        BinaryOp::Mul => mul_narrow(rs, rt),
+        BinaryOp::Mac => rd_old.wrapping_add(mul_narrow(rs, rt)),
+        BinaryOp::QDiv | BinaryOp::QRDiv => div_narrow(rs, rt).0,
+        BinaryOp::RDiv => div_narrow(rs, rt).1,
+        BinaryOp::And => rs & rt,
+        BinaryOp::Nand => !(rs & rt),
+        BinaryOp::Nor => !(rs | rt),
+        BinaryOp::Or => rs | rt,
+        BinaryOp::Xor => rs ^ rt,
+        BinaryOp::Xnor => !(rs ^ rt),
+        BinaryOp::Mux => (rs & rd_old) | (rt & !rd_old),
+        BinaryOp::Max => {
+            if rs >= rt {
+                rs
+            } else {
+                rt
+            }
+        }
+        BinaryOp::Min => {
+            if rs <= rt {
+                rs
+            } else {
+                rt
+            }
+        }
+    }
+}
+
+/// `rd = OP rs`.
+pub fn unary(op: UnaryOp, rs: u64) -> u64 {
+    match op {
+        UnaryOp::Inc => rs.wrapping_add(1),
+        UnaryOp::Popc => u64::from(rs.count_ones()),
+        UnaryOp::Relu => {
+            if (rs as i64) < 0 {
+                0
+            } else {
+                rs
+            }
+        }
+        UnaryOp::Inv => !rs,
+        UnaryOp::BFlip => rs.reverse_bits(),
+        UnaryOp::LShift => rs << 1,
+        UnaryOp::Mov => rs,
+    }
+}
+
+/// Per-lane unsigned comparison → conditional-register bit.
+pub fn compare(op: CompareOp, rs: u64, rt: u64) -> bool {
+    match op {
+        CompareOp::Eq => rs == rt,
+        CompareOp::Gt => rs > rt,
+        CompareOp::Lt => rs < rt,
+    }
+}
+
+/// `FUZZY`: equality with the bit positions set in `rd` treated as
+/// don't-care.
+pub fn fuzzy(rs: u64, rt: u64, rd: u64) -> bool {
+    (rs | rd) == (rt | rd)
+}
+
+/// `CAS` compare-and-swap sort: the `(rs, rt)` pair with the smaller
+/// value first.
+pub fn cas(rs: u64, rt: u64) -> (u64, u64) {
+    if rs <= rt {
+        (rs, rt)
+    } else {
+        (rt, rs)
+    }
+}
+
+/// `INIT0` / `INIT1` immediate.
+pub fn init(value: InitValue) -> u64 {
+    match value {
+        InitValue::Zero => 0,
+        InitValue::One => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_multiply_uses_low_halves_only() {
+        assert_eq!(mul_narrow(u64::MAX, 2), (u64::from(u32::MAX)) * 2);
+        assert_eq!(mul_narrow(0x1_0000_0000, 7), 0);
+        assert_eq!(mul_narrow(u32::MAX as u64, u32::MAX as u64), 0xffff_fffe_0000_0001);
+    }
+
+    #[test]
+    fn division_by_zero_is_saturated() {
+        assert_eq!(div_narrow(123, 0), (u64::from(u32::MAX), 123));
+        assert_eq!(div_narrow(17, 5), (3, 2));
+    }
+
+    #[test]
+    fn fuzzy_ignores_dont_care_bits() {
+        assert!(fuzzy(0b1010, 0b1110, 0b0100));
+        assert!(!fuzzy(0b1010, 0b1110, 0b0001));
+        // Same truth table as ((rs ^ rt) & !rd) == 0.
+        for rs in 0..8u64 {
+            for rt in 0..8u64 {
+                for rd in 0..8u64 {
+                    assert_eq!(fuzzy(rs, rt, rd), (rs ^ rt) & !rd == 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects_per_bit_by_old_destination() {
+        assert_eq!(binary(mpu_isa::BinaryOp::Mux, 0xff00, 0x00ff, 0xf0f0), 0xf00f);
+    }
+
+    #[test]
+    fn relu_uses_the_sign_bit() {
+        assert_eq!(unary(mpu_isa::UnaryOp::Relu, 5), 5);
+        assert_eq!(unary(mpu_isa::UnaryOp::Relu, 1 << 63), 0);
+        assert_eq!(unary(mpu_isa::UnaryOp::Relu, u64::MAX), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Multi-MPU reference execution: the same deadlock-free rendezvous
+//! scheduling loop as the simulator (MPUs stepped in ID order, blocked
+//! `RECV`s re-stepped when new messages arrive), with messages delivered
+//! instantly — NoC latency only affects timing, never architectural state.
+
+use crate::machine::{RefError, RefMpu, RefStep, RefTrace};
+use crate::RefGeometry;
+use mpu_isa::Program;
+use std::fmt;
+
+/// A deadlock or per-MPU failure in a reference system run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefSystemError {
+    /// One MPU's execution failed.
+    Mpu {
+        /// Which MPU failed.
+        id: u16,
+        /// The underlying error.
+        error: RefError,
+    },
+    /// No MPU can make progress (all blocked on `RECV`).
+    Deadlock {
+        /// IDs of the blocked MPUs and the sender each is waiting on.
+        waiting: Vec<(u16, u16)>,
+    },
+}
+
+impl fmt::Display for RefSystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefSystemError::Mpu { id, error } => write!(f, "MPU {id}: {error}"),
+            RefSystemError::Deadlock { waiting } => {
+                write!(f, "deadlock: blocked RECVs {waiting:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefSystemError {}
+
+/// A system of reference machines running coupled programs.
+#[derive(Debug, Clone)]
+pub struct RefSystem {
+    mpus: Vec<RefMpu>,
+    programs: Vec<Program>,
+}
+
+impl RefSystem {
+    /// Creates a system of `count` reference MPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the geometry's chip budget.
+    pub fn new(geometry: RefGeometry, count: usize) -> Self {
+        assert!(count > 0, "a system needs at least one MPU");
+        assert!(
+            count <= geometry.mpus_per_chip,
+            "{count} MPUs exceed the chip budget of {}",
+            geometry.mpus_per_chip
+        );
+        let mpus = (0..count).map(|i| RefMpu::new(geometry, i as u16)).collect();
+        Self { mpus, programs: vec![Program::new(); count] }
+    }
+
+    /// Number of MPUs.
+    pub fn len(&self) -> usize {
+        self.mpus.len()
+    }
+
+    /// True if the system has no MPUs (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.mpus.is_empty()
+    }
+
+    /// Assigns the program MPU `id` will run.
+    pub fn set_program(&mut self, id: usize, program: Program) {
+        self.programs[id] = program;
+    }
+
+    /// Mutable access to one MPU (data setup / result readout).
+    pub fn mpu_mut(&mut self, id: usize) -> &mut RefMpu {
+        &mut self.mpus[id]
+    }
+
+    /// Sum of all per-MPU architectural counters (events concatenated in
+    /// MPU-ID order).
+    pub fn total_trace(&self) -> RefTrace {
+        let mut total = RefTrace::default();
+        for mpu in &self.mpus {
+            total.absorb(mpu.trace());
+        }
+        total
+    }
+
+    /// Runs all programs to completion with the simulator's scheduling
+    /// discipline: MPUs step in ID order, a `SEND` delivers immediately,
+    /// and a round with no progress is a deadlock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RefSystemError::Deadlock`] if every unfinished MPU is
+    /// blocked on a `RECV` with no matching message in flight.
+    pub fn run(&mut self) -> Result<(), RefSystemError> {
+        let n = self.mpus.len();
+        let mut done = vec![false; n];
+        let mut blocked: Vec<Option<u16>> = vec![None; n];
+        for mpu in &mut self.mpus {
+            mpu.reset_pc();
+        }
+        loop {
+            let mut progressed = false;
+            for i in 0..n {
+                if done[i] {
+                    continue;
+                }
+                let event = self.mpus[i]
+                    .step(&self.programs[i])
+                    .map_err(|error| RefSystemError::Mpu { id: i as u16, error })?;
+                match event {
+                    RefStep::Completed => {
+                        done[i] = true;
+                        blocked[i] = None;
+                        progressed = true;
+                    }
+                    RefStep::Sent(msg) => {
+                        let dst = msg.dst as usize;
+                        self.mpus[dst].deliver(*msg);
+                        blocked[i] = None;
+                        progressed = true;
+                    }
+                    RefStep::AwaitingRecv { src } => {
+                        if blocked[i] != Some(src) {
+                            progressed = true;
+                        }
+                        blocked[i] = Some(src);
+                    }
+                }
+            }
+            if done.iter().all(|&d| d) {
+                return Ok(());
+            }
+            if !progressed {
+                let waiting = (0..n)
+                    .filter(|&i| !done[i])
+                    .map(|i| (i as u16, blocked[i].unwrap_or(u16::MAX)))
+                    .collect();
+                return Err(RefSystemError::Deadlock { waiting });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RefGeometry;
+
+    fn asm(text: &str) -> Program {
+        Program::parse_asm(text).expect("valid asm")
+    }
+
+    #[test]
+    fn point_to_point_message_delivers_data() {
+        let mut sys = RefSystem::new(RefGeometry::racer(), 2);
+        sys.set_program(0, asm("SEND mpu1\nMOVE h0 h2\nMEMCPY v0 r0 v1 r3\nMOVE_DONE\nSEND_DONE"));
+        sys.set_program(1, asm("RECV mpu0"));
+        sys.mpu_mut(0).write_register(0, 0, 0, &[123; 64]);
+        sys.run().unwrap();
+        assert_eq!(sys.mpu_mut(1).read_register(2, 1, 3)[0], 123);
+        let total = sys.total_trace();
+        assert_eq!(total.messages_sent, 1);
+        assert_eq!(total.noc_bytes, 64 * 8);
+    }
+
+    #[test]
+    fn exchange_with_lower_id_sending_first() {
+        let mut sys = RefSystem::new(RefGeometry::racer(), 2);
+        sys.set_program(
+            0,
+            asm("SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE\nRECV mpu1"),
+        );
+        sys.set_program(
+            1,
+            asm("RECV mpu0\nSEND mpu0\nMOVE h1 h1\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE"),
+        );
+        sys.mpu_mut(0).write_register(0, 0, 0, &[7; 64]);
+        sys.mpu_mut(1).write_register(1, 0, 0, &[9; 64]);
+        sys.run().unwrap();
+        assert_eq!(sys.mpu_mut(1).read_register(0, 0, 0)[0], 7);
+        assert_eq!(sys.mpu_mut(0).read_register(1, 0, 0)[0], 9);
+    }
+
+    #[test]
+    fn deadlock_reports_complete_waiting_list() {
+        let mut sys = RefSystem::new(RefGeometry::racer(), 3);
+        sys.set_program(0, asm("RECV mpu1"));
+        sys.set_program(1, asm("RECV mpu2"));
+        sys.set_program(2, asm("RECV mpu0"));
+        let err = sys.run().unwrap_err();
+        assert_eq!(err, RefSystemError::Deadlock { waiting: vec![(0, 1), (1, 2), (2, 0)] });
+    }
+
+    #[test]
+    fn receiver_computes_on_received_data() {
+        let mut sys = RefSystem::new(RefGeometry::racer(), 2);
+        sys.set_program(0, asm("SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE"));
+        sys.set_program(1, asm("RECV mpu0\nCOMPUTE h0 v0\nINC r0 r1\nCOMPUTE_DONE"));
+        sys.mpu_mut(0).write_register(0, 0, 0, &[41; 64]);
+        sys.run().unwrap();
+        assert_eq!(sys.mpu_mut(1).read_register(0, 0, 1)[0], 42);
+    }
+}

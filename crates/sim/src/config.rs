@@ -122,6 +122,12 @@ pub struct SimConfig {
     pub frontend_dynamic_mw: f64,
     /// Front-end static power, mW.
     pub frontend_static_mw: f64,
+    /// Execute compute instructions by interpreting their micro-op
+    /// sequence one op at a time instead of running the geometry-compiled
+    /// form. Timing, energy, and statistics are identical either way; the
+    /// conformance suite runs both paths differentially to prove it.
+    #[serde(default)]
+    pub interpret_recipes: bool,
 }
 
 impl SimConfig {
@@ -148,6 +154,7 @@ impl SimConfig {
             template_entries: 1024,
             frontend_dynamic_mw: fe.total_dynamic_mw(),
             frontend_static_mw: fe.total_static_mw(),
+            interpret_recipes: false,
         }
     }
 

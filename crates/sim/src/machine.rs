@@ -606,10 +606,17 @@ impl Mpu {
         // `recipe.ops()`, with plane addresses pre-resolved; the enabled
         // lane count comes from the VRF's cached mask popcount.
         let mut energy = 0.0;
+        let interpret = self.config.interpret_recipes;
         for &(rfh, vrf) in wave {
             let v = self.vrf_mut(rfh, vrf);
             let enabled = v.mask_lanes();
-            v.run_compiled(&cached.compiled);
+            if interpret {
+                for op in recipe.ops() {
+                    op.apply(v);
+                }
+            } else {
+                v.run_compiled(&cached.compiled);
+            }
             energy += self.config.datapath.recipe_energy_pj(&recipe, enabled);
         }
         self.stats.energy.datapath_pj += energy;

@@ -100,6 +100,21 @@ impl RecipePool {
         Some(CachedRecipe { recipe, compiled })
     }
 
+    /// Installs an explicit template for `(ctx, instr)`, replacing any
+    /// memoized one and dropping stale compiled forms derived from it.
+    ///
+    /// This is the conformance harness's fault-injection hook: preloading a
+    /// deliberately corrupted recipe (built with
+    /// [`pum_backend::Recipe::from_ops`]) makes every pooled MPU execute
+    /// the corrupted sequence on both the interpreted and compiled paths,
+    /// which the differential suite must then catch. Preload before any
+    /// simulation uses the pool.
+    pub fn preload(&self, ctx: RecipeCtx, instr: &Instruction, recipe: Recipe) {
+        let word = instr.encode();
+        self.templates.write().insert((ctx, word), Arc::new(recipe));
+        self.compiled.write().retain(|&(c, w, _, _), _| !(c == ctx && w == word));
+    }
+
     /// Number of memoized templates.
     pub fn len(&self) -> usize {
         self.templates.read().len()

@@ -1,0 +1,149 @@
+//! NoC delivery-order properties, extending the deadlock unit tests in
+//! `system.rs`: across random topologies and random SEND/RECV schedules,
+//! every message is delivered exactly once, each link behaves as a FIFO,
+//! and removing a message's send turns the schedule into a detected
+//! deadlock rather than a hang or a misdelivery.
+
+use mastodon::{SimConfig, System, SystemError};
+use mpu_isa::Program;
+use proptest::prelude::*;
+use pum_backend::DatapathKind;
+
+/// One inter-MPU message: `(src, dst)` with `src != dst`.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    src: usize,
+    dst: usize,
+}
+
+/// Per-MPU assembly for a global event schedule. Sender `s`'s `k`-th send
+/// ships a unique tag staged in `r{k}`; receiver `d`'s `j`-th receive
+/// lands in `r6` and is archived to `r{8+j}` before the next receive can
+/// overwrite it.
+struct Schedule {
+    programs: Vec<String>,
+    /// `(mpu, staging reg, tag)` registers to preload.
+    stage: Vec<(usize, u8, u64)>,
+    /// Expected archive per receiver: `(mpu, archive reg, tag)`.
+    expect: Vec<(usize, u8, u64)>,
+}
+
+fn tag_of(event_index: usize) -> u64 {
+    1000 + event_index as u64
+}
+
+fn build_schedule(n: usize, events: &[Event]) -> Schedule {
+    let mut programs = vec![String::from("NOP\n"); n];
+    let mut stage = Vec::new();
+    let mut expect = Vec::new();
+    let mut outs = vec![0u8; n];
+    let mut ins = vec![0u8; n];
+    for (i, ev) in events.iter().enumerate() {
+        let out = outs[ev.src];
+        outs[ev.src] += 1;
+        stage.push((ev.src, out, tag_of(i)));
+        programs[ev.src].push_str(&format!(
+            "SEND mpu{}\nMOVE h0 h0\nMEMCPY v0 r{out} v0 r6\nMOVE_DONE\nSEND_DONE\n",
+            ev.dst
+        ));
+        let slot = 8 + ins[ev.dst];
+        ins[ev.dst] += 1;
+        expect.push((ev.dst, slot, tag_of(i)));
+        programs[ev.dst].push_str(&format!(
+            "RECV mpu{}\nCOMPUTE h0 v0\nMOV r6 r{slot}\nCOMPUTE_DONE\n",
+            ev.src
+        ));
+    }
+    Schedule { programs, stage, expect }
+}
+
+fn run_schedule(schedule: &Schedule) -> (System, Result<mastodon::Stats, SystemError>) {
+    let n = schedule.programs.len();
+    let mut sys = System::new(SimConfig::mpu(DatapathKind::Racer), n);
+    for (id, text) in schedule.programs.iter().enumerate() {
+        sys.set_program(id, Program::parse_asm(text).expect("valid schedule asm"));
+    }
+    for &(mpu, reg, tag) in &schedule.stage {
+        sys.mpu_mut(mpu).write_register(0, 0, reg, &vec![tag; 64]).expect("stage tag");
+    }
+    let result = sys.run();
+    (sys, result)
+}
+
+/// Random `(n, events)` with `2 <= n <= 5` and at most 6 messages. Each
+/// sender stays within its 6 staging registers and each receiver within
+/// its 6 archive registers because the whole schedule has at most 6 events.
+fn schedules() -> impl Strategy<Value = (usize, Vec<Event>)> {
+    (2..=5usize, prop::collection::vec((any::<u16>(), any::<u16>()), 0..7)).prop_map(|(n, raw)| {
+        let events = raw
+            .into_iter()
+            .map(|(a, b)| {
+                let src = a as usize % n;
+                let mut dst = b as usize % n;
+                if dst == src {
+                    dst = (src + 1) % n;
+                }
+                Event { src, dst }
+            })
+            .collect();
+        (n, events)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exactly-once, per-link-FIFO delivery: each receiver archives the
+    /// tags of the messages targeting it, in the global schedule order.
+    #[test]
+    fn messages_deliver_exactly_once_in_fifo_order((n, events) in schedules()) {
+        let schedule = build_schedule(n, &events);
+        let (mut sys, result) = run_schedule(&schedule);
+        let stats = result.expect("schedule is deadlock-free by construction");
+        prop_assert_eq!(stats.messages_sent, events.len() as u64);
+        for &(mpu, reg, tag) in &schedule.expect {
+            let lanes = sys.mpu_mut(mpu).read_register(0, 0, reg).expect("archive reg");
+            prop_assert!(
+                lanes.iter().all(|&v| v == tag),
+                "mpu{} r{} expected tag {} got {:?} (events {:?})",
+                mpu, reg, tag, &lanes[..4.min(lanes.len())], events
+            );
+        }
+    }
+
+    /// Dropping one send (keeping its receive) starves that receiver: the
+    /// run must end in a detected deadlock naming it, never a wrong-tag
+    /// delivery or a hang.
+    #[test]
+    fn orphaned_recv_is_reported_as_deadlock((n, events) in schedules()) {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut schedule = build_schedule(n, &events);
+        // Re-derive the last event's send text and remove exactly it.
+        let last = events.len() - 1;
+        let ev = events[last];
+        let out = events[..last].iter().filter(|e| e.src == ev.src).count();
+        let send_text = format!(
+            "SEND mpu{}\nMOVE h0 h0\nMEMCPY v0 r{out} v0 r6\nMOVE_DONE\nSEND_DONE\n",
+            ev.dst
+        );
+        let program = &mut schedule.programs[ev.src];
+        let pos = program.rfind(&send_text).expect("send text present");
+        prop_assert_eq!(pos + send_text.len(), program.len(), "last send is the suffix");
+        program.truncate(pos);
+        let (_, result) = run_schedule(&schedule);
+        match result {
+            Err(SystemError::Deadlock { waiting }) => {
+                prop_assert!(
+                    waiting
+                        .iter()
+                        .any(|&(blocked, on)| blocked as usize == ev.dst && on as usize == ev.src),
+                    "deadlock report {:?} must name mpu{} waiting on mpu{}",
+                    waiting, ev.dst, ev.src
+                );
+            }
+            other => prop_assert!(false, "expected deadlock, got {:?}", other.map(|_| ())),
+        }
+    }
+}
