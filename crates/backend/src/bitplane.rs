@@ -19,6 +19,8 @@
 //! already-read input words of the same index. Host data loads go through
 //! a word-level 64×64 bit-matrix transpose instead of per-bit shifting.
 
+use crate::fault::FaultModel;
+use crate::microop::MicroOpKind;
 use crate::DATA_BITS;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -112,6 +114,12 @@ pub struct BitPlaneVrf {
     /// plane is written (it is a pure function of `storage`, so derived
     /// equality and serialization stay consistent).
     mask_lanes: usize,
+    /// Optional seeded hardware fault model (see [`crate::fault`]). `None`
+    /// (the default) keeps every hot-path hook down to one branch, so a
+    /// fault-free VRF behaves byte-identically to one built without the
+    /// fault layer.
+    #[serde(default)]
+    faults: Option<Box<FaultModel>>,
 }
 
 impl BitPlaneVrf {
@@ -133,6 +141,7 @@ impl BitPlaneVrf {
             storage: vec![0u64; n_planes * words],
             mask_enabled: true,
             mask_lanes: 0,
+            faults: None,
         };
         // Mask starts all-enabled; const1 plane all ones.
         vrf.fill_plane(Plane::Mask, true);
@@ -201,13 +210,21 @@ impl BitPlaneVrf {
 
     /// Post-write bookkeeping for the plane at word offset `base`: zeroes
     /// bits beyond `lanes` in the last word (whole-plane reductions stay
-    /// exact) and refreshes the cached mask popcount if the mask plane was
-    /// the target.
+    /// exact), forces permanently stuck/dead lanes to their stuck values,
+    /// and refreshes the cached mask popcount if the mask plane was the
+    /// target.
     #[inline]
     fn finish_write(&mut self, base: usize) {
         let extra = self.words * 64 - self.lanes;
         if extra > 0 {
             self.storage[base + self.words - 1] &= !0u64 >> extra;
+        }
+        if let Some(f) = &self.faults {
+            if f.has_forced_lanes() {
+                for w in 0..self.words {
+                    self.storage[base + w] = f.force_word(w, self.storage[base + w]);
+                }
+            }
         }
         if base == self.mask_base() {
             self.mask_lanes =
@@ -408,6 +425,129 @@ impl BitPlaneVrf {
         crate::compiled::run(self, recipe);
     }
 
+    /// Transient-fault hook, called once per executed micro-op by the
+    /// interpreted path ([`crate::MicroOp::apply`]) with the op's output
+    /// plane. With no fault model attached this is a single branch.
+    #[inline]
+    pub(crate) fn post_op(&mut self, kind: MicroOpKind, out: Plane) {
+        if self.faults.is_some() {
+            let base = self.plane_index(out) * self.words;
+            self.post_op_at(kind, base);
+        }
+    }
+
+    /// Transient-fault hook over a pre-resolved output plane offset (the
+    /// compiled path's form of [`BitPlaneVrf::post_op`]). Both paths call
+    /// it exactly once per micro-op with the same `(kind, plane)`
+    /// sequence, so interpreted and compiled execution draw identical
+    /// fault sites and stay byte-identical under injection.
+    #[inline]
+    pub(crate) fn post_op_at(&mut self, kind: MicroOpKind, out_base: usize) {
+        let mask_base = self.mask_base();
+        let lanes = self.lanes;
+        let Some(f) = self.faults.as_deref_mut() else { return };
+        if let Some(lane) = f.draw_flip(kind, lanes) {
+            let (w, bit) = (lane / 64, 1u64 << (lane % 64));
+            // A flip on a permanently forced lane is absorbed by the
+            // stuck value and does not count as an injection.
+            let flipped = f.force_word(w, self.storage[out_base + w] ^ bit);
+            if flipped != self.storage[out_base + w] {
+                self.storage[out_base + w] = flipped;
+                f.note_injected();
+                if out_base == mask_base {
+                    self.mask_lanes = self.storage[mask_base..mask_base + self.words]
+                        .iter()
+                        .map(|w| w.count_ones() as usize)
+                        .sum();
+                }
+            }
+        }
+    }
+
+    /// RFH write-corruption hook, called by the simulator after a
+    /// *runtime* register write lands (message delivery, transfer-block
+    /// landing) — never for host data loads, which model an ideal test
+    /// interface. On a hit, flips one bit of one lane of `reg`; returns
+    /// whether a corruption landed.
+    pub fn corrupt_register_write(&mut self, reg: u8) -> bool {
+        if self.faults.is_none() {
+            return false;
+        }
+        let base = self.plane_index(Plane::Reg { reg, bit: 0 }) * self.words;
+        let lanes = self.lanes;
+        let Some(f) = self.faults.as_deref_mut() else { return false };
+        let Some((lane, bit)) = f.draw_write_corruption(lanes) else { return false };
+        let (w, lane_bit) = (lane / 64, 1u64 << (lane % 64));
+        let i = base + bit as usize * self.words + w;
+        let flipped = f.force_word(w, self.storage[i] ^ lane_bit);
+        if flipped == self.storage[i] {
+            return false;
+        }
+        self.storage[i] = flipped;
+        f.note_injected();
+        true
+    }
+
+    /// Attaches (or detaches, with `None`) a hardware fault model. Any
+    /// permanently stuck lanes take effect immediately across all planes —
+    /// a stuck bit-line is stuck from power-on, not from its next write.
+    pub fn set_fault_model(&mut self, model: Option<FaultModel>) {
+        self.faults = model.map(Box::new);
+        if let Some(f) = &self.faults {
+            if f.has_forced_lanes() {
+                let planes = self.storage.len() / self.words;
+                for p in 0..planes {
+                    for w in 0..self.words {
+                        let i = p * self.words + w;
+                        self.storage[i] = f.force_word(w, self.storage[i]);
+                    }
+                }
+                let base = self.mask_base();
+                self.mask_lanes = self.storage[base..base + self.words]
+                    .iter()
+                    .map(|w| w.count_ones() as usize)
+                    .sum();
+            }
+        }
+    }
+
+    /// The attached fault model, if any.
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.faults.as_deref()
+    }
+
+    /// Mutable access to the attached fault model, if any.
+    pub fn fault_model_mut(&mut self) -> Option<&mut FaultModel> {
+        self.faults.as_deref_mut()
+    }
+
+    /// Drains the fault model's landed-injection counter (0 if no model).
+    pub fn take_injected(&mut self) -> u64 {
+        self.faults.as_deref_mut().map_or(0, FaultModel::take_injected)
+    }
+
+    /// Captures the full plane storage for checkpoint/redundancy replay.
+    /// The fault model (and its PRNG site) is deliberately *not* part of
+    /// the snapshot: re-running after a restore must draw fresh fault
+    /// sites, not replay the same ones.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.storage.clone()
+    }
+
+    /// Restores plane storage captured by [`BitPlaneVrf::snapshot`] and
+    /// refreshes derived state (the cached mask popcount).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a different VRF geometry.
+    pub fn restore(&mut self, snapshot: &[u64]) {
+        assert_eq!(snapshot.len(), self.storage.len(), "snapshot geometry mismatch");
+        self.storage.copy_from_slice(snapshot);
+        let base = self.mask_base();
+        self.mask_lanes =
+            self.storage[base..base + self.words].iter().map(|w| w.count_ones() as usize).sum();
+    }
+
     /// Writes 64-bit element values into register `reg`, one per lane,
     /// starting at lane 0; remaining lanes are zeroed (implicit padding).
     /// Bypasses the mask (this is the host/DMA data-load path).
@@ -431,6 +571,19 @@ impl BitPlaneVrf {
             transpose_64x64(&mut block);
             for (bit, &plane_word) in block.iter().enumerate() {
                 self.storage[base + bit * self.words + w] = plane_word;
+            }
+        }
+        // This path bypasses `finish_write`, so apply the permanent-lane
+        // forcing explicitly: data loaded onto a stuck bit-line reads back
+        // at the stuck value.
+        if let Some(f) = &self.faults {
+            if f.has_forced_lanes() {
+                for bit in 0..DATA_BITS as usize {
+                    for w in 0..self.words {
+                        let i = base + bit * self.words + w;
+                        self.storage[i] = f.force_word(w, self.storage[i]);
+                    }
+                }
             }
         }
     }
@@ -635,6 +788,72 @@ mod tests {
         vrf.fill_plane(Plane::Cond, false);
         // Only the 16 enabled lanes were cleared.
         assert_eq!(vrf.count_lanes_set(Plane::Cond), 48);
+    }
+
+    #[test]
+    fn stuck_lanes_force_every_write_path() {
+        let mut vrf = BitPlaneVrf::new(64, 2);
+        let mut fm = FaultModel::new(1, 64);
+        fm.add_stuck_lane(5, true);
+        fm.add_stuck_lane(9, false);
+        vrf.set_fault_model(Some(fm));
+        // Host data load: every bit of lane 5 forced to 1, lane 9 to 0.
+        vrf.write_lane_values(0, &[0u64; 64]);
+        assert_eq!(vrf.read_lane_values(0)[5], u64::MAX);
+        vrf.write_lane_values(1, &[u64::MAX; 64]);
+        assert_eq!(vrf.read_lane_values(1)[9], 0);
+        // Plane ops go through finish_write forcing.
+        vrf.fill_plane(Plane::Scratch(0), false);
+        assert!(vrf.lane_bit(Plane::Scratch(0), 5));
+        vrf.fill_plane(Plane::Scratch(0), true);
+        assert!(!vrf.lane_bit(Plane::Scratch(0), 9));
+        // Attach-time forcing already propagated to the mask plane.
+        assert!(!vrf.lane_bit(Plane::Mask, 9));
+        assert_eq!(vrf.mask_lanes(), vrf.count_lanes_set(Plane::Mask));
+    }
+
+    #[test]
+    fn transient_flips_land_and_are_counted() {
+        let mut vrf = BitPlaneVrf::new(64, 1);
+        let mut fm = FaultModel::new(3, 64);
+        fm.set_transient_rate(MicroOpKind::Set, 1.0);
+        vrf.set_fault_model(Some(fm));
+        vrf.fill_plane(Plane::Scratch(0), false);
+        vrf.post_op(MicroOpKind::Set, Plane::Scratch(0));
+        assert_eq!(vrf.count_lanes_set(Plane::Scratch(0)), 1, "exactly one lane flipped");
+        assert_eq!(vrf.take_injected(), 1);
+        assert_eq!(vrf.take_injected(), 0);
+    }
+
+    #[test]
+    fn register_write_corruption_flips_one_bit() {
+        let mut vrf = BitPlaneVrf::new(64, 2);
+        let mut fm = FaultModel::new(11, 64);
+        fm.set_write_corruption_rate(1.0);
+        vrf.set_fault_model(Some(fm));
+        vrf.write_lane_values(0, &[0u64; 64]);
+        assert!(vrf.corrupt_register_write(0));
+        let vals = vrf.read_lane_values(0);
+        let set: u32 = vals.iter().map(|v| v.count_ones()).sum();
+        assert_eq!(set, 1, "exactly one bit of one lane flipped");
+        assert_eq!(vrf.take_injected(), 1);
+        // Without a model the hook is inert.
+        vrf.set_fault_model(None);
+        assert!(!vrf.corrupt_register_write(0));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_storage_and_mask_cache() {
+        let mut vrf = BitPlaneVrf::new(100, 2);
+        vrf.write_lane_values(0, &[0xabcd; 100]);
+        vrf.set_plane_words(Plane::Mask, &[0xff, 0x0]);
+        let snap = vrf.snapshot();
+        let saved_masks = vrf.mask_lanes();
+        vrf.write_lane_values(0, &[0; 100]);
+        vrf.fill_plane(Plane::Mask, true);
+        vrf.restore(&snap);
+        assert_eq!(vrf.read_lane_values(0), vec![0xabcd; 100]);
+        assert_eq!(vrf.mask_lanes(), saved_masks);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! `tests/inplace_differential.rs` enforce this).
 
 use crate::bitplane::{BitPlaneVrf, Plane, SCRATCH_PLANES};
-use crate::microop::MicroOp;
+use crate::microop::{MicroOp, MicroOpKind};
 use crate::DATA_BITS;
 
 /// Two-input boolean function of a compiled micro-op.
@@ -225,7 +225,12 @@ pub(crate) fn run(vrf: &mut BitPlaneVrf, recipe: &CompiledRecipe) {
     // GETMASK-style mask suspension is a control-path affair, but honour it
     // here too so compiled and interpreted execution can never diverge.
     let me = vrf.mask_enabled();
+    let inject = vrf.fault_model().is_some();
     for op in &recipe.ops {
+        // With a fault model attached, draw exactly one transient-fault
+        // site per micro-op on its output plane — the same `(kind, plane)`
+        // sequence the interpreter draws, so both paths stay
+        // byte-identical under injection.
         match *op {
             CompiledOp::Op2 { func, a, b, out, masked } => {
                 let (a, b, out, masked) = (a as usize, b as usize, out as usize, masked && me);
@@ -236,15 +241,30 @@ pub(crate) fn run(vrf: &mut BitPlaneVrf, recipe: &CompiledRecipe) {
                     Func2::Or => vrf.op2(a, b, out, masked, |x, y| x | y),
                     Func2::Xor => vrf.op2(a, b, out, masked, |x, y| x ^ y),
                 }
+                if inject {
+                    let kind = match func {
+                        Func2::Nor => MicroOpKind::Nor,
+                        Func2::NotA => MicroOpKind::Not,
+                        Func2::And => MicroOpKind::And,
+                        Func2::Or => MicroOpKind::Or,
+                        Func2::Xor => MicroOpKind::Xor,
+                    };
+                    vrf.post_op_at(kind, out);
+                }
             }
-            CompiledOp::Maj { a, b, c, out, masked } => vrf.op3(
-                a as usize,
-                b as usize,
-                c as usize,
-                out as usize,
-                masked && me,
-                |x, y, z| (x & y) | (y & z) | (x & z),
-            ),
+            CompiledOp::Maj { a, b, c, out, masked } => {
+                vrf.op3(
+                    a as usize,
+                    b as usize,
+                    c as usize,
+                    out as usize,
+                    masked && me,
+                    |x, y, z| (x & y) | (y & z) | (x & z),
+                );
+                if inject {
+                    vrf.post_op_at(MicroOpKind::Tra, out as usize);
+                }
+            }
             CompiledOp::FullAdd { a, b, carry, sum, latch, carry_masked, sum_masked } => {
                 let (a, b, carry) = (a as usize, b as usize, carry as usize);
                 // Same three plane writes, in the same order, as the
@@ -255,12 +275,21 @@ pub(crate) fn run(vrf: &mut BitPlaneVrf, recipe: &CompiledRecipe) {
                     (x & y) | (y & z) | (x & z)
                 });
                 vrf.copy_op(latch as usize, sum as usize, sum_masked && me);
+                if inject {
+                    vrf.post_op_at(MicroOpKind::FullAdd, sum as usize);
+                }
             }
             CompiledOp::Copy { a, out, masked } => {
-                vrf.copy_op(a as usize, out as usize, masked && me)
+                vrf.copy_op(a as usize, out as usize, masked && me);
+                if inject {
+                    vrf.post_op_at(MicroOpKind::Copy, out as usize);
+                }
             }
             CompiledOp::Fill { out, masked, value } => {
-                vrf.fill_op(out as usize, masked && me, value)
+                vrf.fill_op(out as usize, masked && me, value);
+                if inject {
+                    vrf.post_op_at(MicroOpKind::Set, out as usize);
+                }
             }
         }
     }
@@ -298,6 +327,37 @@ mod tests {
             }
             b.run_compiled(&compiled);
             assert_eq!(a, b, "family {family:?}");
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_byte_identical_across_paths() {
+        // Both execution paths must draw the same fault-site sequence:
+        // one draw per micro-op, on the op's output plane.
+        let instr =
+            Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
+        for family in [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline] {
+            let recipe = build_recipe(ctx(family), &instr).unwrap();
+            let compiled = recipe.compile(100, 16);
+
+            let mut a = BitPlaneVrf::new(100, 16);
+            a.write_lane_values(0, &[0x1234_5678; 100]);
+            a.write_lane_values(1, &[0x9abc_def0; 100]);
+            let mut fm = crate::FaultModel::new(0xBEEF, 100);
+            for kind in crate::MicroOpKind::ALL {
+                fm.set_transient_rate(kind, 0.25);
+            }
+            a.set_fault_model(Some(fm));
+            let mut b = a.clone();
+
+            for op in recipe.ops() {
+                op.apply(&mut a);
+            }
+            b.run_compiled(&compiled);
+            assert_eq!(a, b, "family {family:?}");
+            let model = a.fault_model().unwrap();
+            assert!(model.site() > 0, "a 25% rate over a full ADD recipe must draw");
+            assert!(model.injected() > 0, "and some flips must land");
         }
     }
 

@@ -64,11 +64,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod area;
 mod bitplane;
 mod compiled;
 mod datapath;
+pub mod fault;
 mod features;
 mod logic;
 mod microop;
@@ -78,6 +81,7 @@ pub mod recipe;
 pub use bitplane::{BitPlaneVrf, Plane, SCRATCH_PLANES};
 pub use compiled::CompiledRecipe;
 pub use datapath::{DatapathBuilder, DatapathKind, DatapathModel, Geometry};
+pub use fault::{FaultModel, FaultPrng};
 pub use features::{supports, Feature, Platform};
 pub use logic::{GateBuilder, LogicFamily};
 pub use microop::{MicroOp, MicroOpKind};

@@ -171,9 +171,29 @@ impl MicroOp {
         }
     }
 
+    /// The plane this micro-op writes (for [`MicroOp::FullAdd`], the sum
+    /// plane — the single fault-injection target of the fused operation).
+    fn out_plane(&self) -> Plane {
+        match *self {
+            MicroOp::Nor { out, .. }
+            | MicroOp::Tra { out, .. }
+            | MicroOp::Not { out, .. }
+            | MicroOp::And { out, .. }
+            | MicroOp::Or { out, .. }
+            | MicroOp::Xor { out, .. }
+            | MicroOp::Copy { out, .. }
+            | MicroOp::Set { out, .. } => out,
+            MicroOp::FullAdd { sum, .. } => sum,
+        }
+    }
+
     /// Applies this micro-op's functional semantics to a VRF. All lanes are
     /// processed in parallel; writes to architectural planes honour the
     /// lane mask (see [`BitPlaneVrf`]).
+    ///
+    /// If the VRF carries a fault model, one transient-fault draw is made
+    /// per executed micro-op against its output plane — the same sequence
+    /// the compiled path draws, keeping both paths byte-identical.
     pub fn apply(&self, vrf: &mut BitPlaneVrf) {
         match *self {
             MicroOp::Nor { a, b, out } => vrf.apply2(a, b, out, |x, y| !(x | y)),
@@ -204,6 +224,7 @@ impl MicroOp {
             MicroOp::Copy { a, out } => vrf.copy_plane(a, out),
             MicroOp::Set { out, value } => vrf.fill_plane(out, value),
         }
+        vrf.post_op(self.kind(), self.out_plane());
     }
 }
 

@@ -22,10 +22,12 @@
 
 pub mod case;
 pub mod diff;
+pub mod fault;
 pub mod generate;
 pub mod shrink;
 
 pub use case::{reproducer_text, Case, CopyLine, Input, MpuCase, Stmt, Top};
 pub use diff::{check_case, check_case_on, ref_geometry, reference_lanes, simulate, BACKENDS};
+pub use fault::{remap_recovers, render_report, run_sweep, PolicyKind, SweepConfig, SweepReport};
 pub use generate::generate;
 pub use shrink::shrink;

@@ -1,5 +1,6 @@
 //! Simulation configuration (paper Table III plus offload/NoC parameters).
 
+use crate::fault::{FaultConfig, RecoveryPolicy};
 use pum_backend::{DatapathKind, DatapathModel};
 use serde::{Deserialize, Serialize};
 
@@ -128,6 +129,12 @@ pub struct SimConfig {
     /// conformance suite runs both paths differentially to prove it.
     #[serde(default)]
     pub interpret_recipes: bool,
+    /// Seeded hardware fault injection. Default: disabled (no seed).
+    #[serde(default)]
+    pub fault: FaultConfig,
+    /// Detection and recovery policy. Default: everything off.
+    #[serde(default)]
+    pub recovery: RecoveryPolicy,
 }
 
 impl SimConfig {
@@ -155,6 +162,8 @@ impl SimConfig {
             frontend_dynamic_mw: fe.total_dynamic_mw(),
             frontend_static_mw: fe.total_static_mw(),
             interpret_recipes: false,
+            fault: FaultConfig::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 

@@ -69,9 +69,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod autotune;
 mod config;
+mod fault;
 mod machine;
 mod noc;
 mod recipe_cache;
@@ -80,10 +83,12 @@ mod system;
 
 pub use autotune::{autotune, EnsembleShape, TuneResult};
 pub use config::{ControlCosts, ExecutionMode, NocParams, OffloadParams, SimConfig};
+pub use fault::{kind_weight, FaultConfig, RecoveryPolicy, Redundancy, StuckLane};
 pub use machine::{
-    run_single, run_single_pooled, Message, Mpu, RegisterInit, RemoteWrite, SimError, StepEvent,
+    run_single, run_single_pooled, EnsembleKind, Message, Mpu, RegisterInit, RemoteWrite, SimError,
+    StepEvent,
 };
 pub use noc::MeshNoc;
 pub use recipe_cache::{RecipeCache, RecipePool};
-pub use stats::{EnergyStats, Stats};
+pub use stats::{EnergyStats, FaultStats, Stats};
 pub use system::{System, SystemError};

@@ -10,6 +10,7 @@
 //! the datapath model and control-path cost table as the program runs.
 
 use crate::config::{ExecutionMode, SimConfig};
+use crate::fault::Redundancy;
 use crate::recipe_cache::{RecipeCache, RecipePool};
 use crate::stats::Stats;
 use mpu_isa::{Instruction, MpuId, Program, COND_REG};
@@ -58,6 +59,78 @@ pub enum SimError {
         /// Index of the first missing instruction (== program length).
         line: usize,
     },
+    /// Redundant executions of a compute instruction kept disagreeing
+    /// after exhausting the retry budget
+    /// ([`crate::RecoveryPolicy::max_retries`]).
+    UncorrectedFault {
+        /// Offending instruction index.
+        line: usize,
+    },
+    /// An ensemble body exceeded its instruction budget
+    /// ([`crate::RecoveryPolicy::watchdog_instructions`]) — typically a
+    /// fault-corrupted loop counter spinning the EFI forever.
+    WatchdogTriggered {
+        /// Instruction index where the budget ran out.
+        line: usize,
+        /// Body instructions executed when the watchdog fired.
+        instructions: u64,
+    },
+    /// A blocking `RECV` waited past its cycle budget
+    /// ([`crate::RecoveryPolicy::recv_timeout`]) for a sender that can no
+    /// longer deliver (completed, faulted, or its message was lost).
+    RecvTimeout {
+        /// The waiting MPU.
+        mpu: u16,
+        /// The sender it was waiting on.
+        from: u16,
+        /// Cycles spent waiting before giving up.
+        waited: u64,
+    },
+    /// An error raised inside an ensemble, annotated with where it
+    /// happened. Use [`SimError::root_cause`] to match on the underlying
+    /// error.
+    InEnsemble {
+        /// MPU executing the ensemble.
+        mpu: u16,
+        /// Instruction index of the ensemble's opening header.
+        line: usize,
+        /// Which kind of ensemble was executing.
+        kind: EnsembleKind,
+        /// The underlying error.
+        source: Box<SimError>,
+    },
+}
+
+/// The ensemble kind carried by [`SimError::InEnsemble`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnsembleKind {
+    /// A `COMPUTE … COMPUTE_DONE` ensemble.
+    Compute,
+    /// A `MOVE … MOVE_DONE` transfer block.
+    Transfer,
+    /// A `SEND … SEND_DONE` block.
+    Send,
+}
+
+impl fmt::Display for EnsembleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EnsembleKind::Compute => "COMPUTE",
+            EnsembleKind::Transfer => "MOVE",
+            EnsembleKind::Send => "SEND",
+        })
+    }
+}
+
+impl SimError {
+    /// Unwraps [`SimError::InEnsemble`] context layers down to the
+    /// underlying error.
+    pub fn root_cause(&self) -> &SimError {
+        match self {
+            SimError::InEnsemble { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -79,11 +152,30 @@ impl fmt::Display for SimError {
             SimError::UnexpectedEnd { line } => {
                 write!(f, "line {line}: execution ran past the end of the program")
             }
+            SimError::UncorrectedFault { line } => {
+                write!(f, "line {line}: redundant executions disagreed past the retry budget")
+            }
+            SimError::WatchdogTriggered { line, instructions } => {
+                write!(f, "line {line}: watchdog fired after {instructions} body instructions")
+            }
+            SimError::RecvTimeout { mpu, from, waited } => {
+                write!(f, "mpu{mpu}: RECV from mpu{from} timed out after {waited} cycles")
+            }
+            SimError::InEnsemble { mpu, line, kind, source } => {
+                write!(f, "mpu{mpu}: in {kind} ensemble at line {line}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InEnsemble { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// One register's worth of data shipped to another MPU.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -158,6 +250,12 @@ pub struct Mpu {
     config: SimConfig,
     id: MpuId,
     vrfs: HashMap<(u16, u16), BitPlaneVrf>,
+    /// Logical-lane → physical-lane map per VRF, present only when
+    /// permanent-fault remapping is active: the host-visible vector lives
+    /// on the healthy lanes, dead lanes are skipped, and the logical
+    /// width is `lanes_per_vrf - spare_lanes` (shrinking further if dead
+    /// lanes outnumber the spares).
+    lane_maps: HashMap<(u16, u16), Vec<usize>>,
     cache: RecipeCache,
     stats: Stats,
     pc: usize,
@@ -173,6 +271,7 @@ impl Mpu {
             config,
             id,
             vrfs: HashMap::new(),
+            lane_maps: HashMap::new(),
             cache,
             stats: Stats::default(),
             pc: 0,
@@ -236,10 +335,121 @@ impl Mpu {
     }
 
     fn vrf_mut(&mut self, rfh: u16, vrf: u16) -> &mut BitPlaneVrf {
+        if !self.vrfs.contains_key(&(rfh, vrf)) {
+            self.init_vrf(rfh, vrf);
+        }
+        match self.vrfs.get_mut(&(rfh, vrf)) {
+            Some(v) => v,
+            None => unreachable!("init_vrf inserts the VRF"),
+        }
+    }
+
+    /// Powers on one VRF: attaches its derived fault model (stuck lanes
+    /// assert from power-on) and, under the remap policy, runs the boot
+    /// self-test that power-gates dead lanes and maps the logical vector
+    /// onto the healthy ones.
+    fn init_vrf(&mut self, rfh: u16, vrf: u16) {
         let g = self.config.datapath.geometry();
-        self.vrfs
-            .entry((rfh, vrf))
-            .or_insert_with(|| BitPlaneVrf::new(g.lanes_per_vrf, g.regs_per_vrf))
+        let mut v = BitPlaneVrf::new(g.lanes_per_vrf, g.regs_per_vrf);
+        if self.config.fault.enabled() {
+            v.set_fault_model(self.config.fault.vrf_model(
+                self.config.datapath.family(),
+                self.id.0,
+                rfh,
+                vrf,
+                g.lanes_per_vrf,
+            ));
+            if self.config.recovery.remap {
+                let map = self.self_test_and_remap(&mut v, g.lanes_per_vrf);
+                self.lane_maps.insert((rfh, vrf), map);
+            }
+        }
+        self.vrfs.insert((rfh, vrf), v);
+    }
+
+    /// Boot self-test: march an all-ones then an all-zeros pattern through
+    /// register 0 — a lane that cannot hold either value is dead. Dead
+    /// lanes are power-gated (forced to 0 on every plane, including the
+    /// mask, so they never participate again) and the logical vector is
+    /// packed onto the remaining healthy lanes, spending the configured
+    /// spares first. The march and repack are charged as transfer work.
+    fn self_test_and_remap(&mut self, v: &mut BitPlaneVrf, lanes: usize) -> Vec<usize> {
+        v.write_lane_values(0, &vec![u64::MAX; lanes]);
+        let ones = v.read_lane_values(0);
+        v.write_lane_values(0, &vec![0; lanes]);
+        let zeros = v.read_lane_values(0);
+        let dead: Vec<usize> =
+            (0..lanes).filter(|&l| ones[l] != u64::MAX || zeros[l] != 0).collect();
+        if !dead.is_empty() {
+            if let Some(model) = v.fault_model_mut() {
+                for &lane in &dead {
+                    model.kill_lane(lane);
+                }
+            }
+            // Re-attach so the power-gating forces every plane now.
+            let model = v.fault_model().cloned();
+            v.set_fault_model(model);
+        }
+        let logical = lanes.saturating_sub(self.config.recovery.spare_lanes).max(1);
+        let map: Vec<usize> = (0..lanes).filter(|l| !dead.contains(l)).take(logical).collect();
+        let st = &mut self.stats.faults;
+        st.dead_lanes += dead.len() as u64;
+        st.remapped_lanes += map.iter().enumerate().filter(|&(i, &p)| i != p).count() as u64;
+        st.lanes_lost += (logical - map.len()) as u64;
+        // Overhead: two write/read march passes over one register.
+        let words = 4 * lanes as u64;
+        let cycles = words * self.config.datapath.transfer_cycles_per_word();
+        self.stats.cycles += cycles;
+        self.stats.transfer_cycles += cycles;
+        self.stats.energy.transfer_pj +=
+            words as f64 * self.config.datapath.transfer_energy_pj_per_word();
+        map
+    }
+
+    /// Writes host-visible element values through the logical→physical
+    /// lane map (identity when remapping is off).
+    fn write_lanes_logical(&mut self, rfh: u16, vrf: u16, reg: u8, values: &[u64]) {
+        let lanes = self.config.datapath.geometry().lanes_per_vrf;
+        self.vrf_mut(rfh, vrf); // materialize (runs the boot self-test)
+        let map = self.lane_maps.get(&(rfh, vrf));
+        let Some(v) = self.vrfs.get_mut(&(rfh, vrf)) else { return };
+        match map {
+            Some(map) => {
+                let mut physical = vec![0u64; lanes];
+                for (i, &p) in map.iter().enumerate() {
+                    physical[p] = values.get(i).copied().unwrap_or(0);
+                }
+                v.write_lane_values(reg, &physical);
+            }
+            None => {
+                // Lanes beyond the slice zero-fill implicitly; surplus
+                // values are ignored (hardware has no rows for them).
+                let take = values.len().min(lanes);
+                v.write_lane_values(reg, &values[..take]);
+            }
+        }
+    }
+
+    /// Reads host-visible element values through the logical→physical
+    /// lane map (identity when remapping is off).
+    fn read_lanes_logical(&mut self, rfh: u16, vrf: u16, reg: u8) -> Vec<u64> {
+        self.vrf_mut(rfh, vrf);
+        let Some(v) = self.vrfs.get(&(rfh, vrf)) else { return Vec::new() };
+        let physical = v.read_lane_values(reg);
+        match self.lane_maps.get(&(rfh, vrf)) {
+            Some(map) => map.iter().map(|&p| physical[p]).collect(),
+            None => physical,
+        }
+    }
+
+    /// Host-visible vector width of a VRF: the full lane count normally,
+    /// the remapped logical width when lane remapping is active.
+    pub fn logical_lanes(&mut self, rfh: u16, vrf: u16) -> usize {
+        self.vrf_mut(rfh, vrf);
+        match self.lane_maps.get(&(rfh, vrf)) {
+            Some(map) => map.len(),
+            None => self.config.datapath.geometry().lanes_per_vrf,
+        }
     }
 
     /// Host/DMA path: loads element values into a register (untimed; the
@@ -256,12 +466,7 @@ impl Mpu {
         values: &[u64],
     ) -> Result<(), SimError> {
         self.check_geometry(0, rfh, vrf)?;
-        // Pack straight from the caller's slice: lanes beyond it zero-fill
-        // implicitly, and surplus values are ignored (hardware has no rows
-        // for them).
-        let lanes = self.config.datapath.geometry().lanes_per_vrf;
-        let take = values.len().min(lanes);
-        self.vrf_mut(rfh, vrf).write_lane_values(reg, &values[..take]);
+        self.write_lanes_logical(rfh, vrf, reg, values);
         Ok(())
     }
 
@@ -272,7 +477,7 @@ impl Mpu {
     /// Returns [`SimError::GeometryExceeded`] for out-of-range indices.
     pub fn read_register(&mut self, rfh: u16, vrf: u16, reg: u8) -> Result<Vec<u64>, SimError> {
         self.check_geometry(0, rfh, vrf)?;
-        Ok(self.vrf_mut(rfh, vrf).read_lane_values(reg))
+        Ok(self.read_lanes_logical(rfh, vrf, reg))
     }
 
     /// Runs a complete program that performs no inter-MPU communication.
@@ -300,6 +505,8 @@ impl Mpu {
     /// Finalizes end-of-run energy (front-end power in MPU mode, CPU idle
     /// power in Baseline mode) and returns a snapshot of the statistics.
     pub fn finish(&mut self) -> Stats {
+        self.stats.faults.injected +=
+            self.vrfs.values_mut().map(BitPlaneVrf::take_injected).sum::<u64>();
         match self.config.mode {
             ExecutionMode::Mpu => {
                 self.stats.energy.frontend_pj += (self.config.frontend_dynamic_mw
@@ -335,8 +542,12 @@ impl Mpu {
         while self.pc < len && !self.halted {
             let line = self.pc;
             match program[line] {
-                Instruction::Compute { .. } => self.exec_compute_ensemble(program)?,
-                Instruction::Move { .. } => self.exec_transfer_block(program, None)?,
+                Instruction::Compute { .. } => self
+                    .exec_compute_ensemble(program)
+                    .map_err(|e| self.in_ensemble(line, EnsembleKind::Compute, e))?,
+                Instruction::Move { .. } => self
+                    .exec_transfer_block(program, None)
+                    .map_err(|e| self.in_ensemble(line, EnsembleKind::Transfer, e))?,
                 Instruction::MpuSync => {
                     // One compute controller → ensembles already serialized;
                     // the fence costs a marker.
@@ -348,7 +559,9 @@ impl Mpu {
                 Instruction::Send { dst } => {
                     // Baseline datapaths have no inter-MPU message passing:
                     // the host CPU mediates every collective step.
-                    let msg = self.exec_send_block(program, dst)?;
+                    let msg = self
+                        .exec_send_block(program, dst)
+                        .map_err(|e| self.in_ensemble(line, EnsembleKind::Send, e))?;
                     self.offload_comm(msg.bytes);
                     return Ok(StepEvent::Sent(Box::new(msg)));
                 }
@@ -386,11 +599,81 @@ impl Mpu {
         Ok(StepEvent::Completed)
     }
 
+    /// Annotates an ensemble-internal error with this MPU's id, the
+    /// ensemble's opening line, and its kind (idempotent: errors already
+    /// carrying context pass through).
+    fn in_ensemble(&self, line: usize, kind: EnsembleKind, source: SimError) -> SimError {
+        match source {
+            wrapped @ SimError::InEnsemble { .. } => wrapped,
+            source => SimError::InEnsemble { mpu: self.id.0, line, kind, source: Box::new(source) },
+        }
+    }
+
     // ----- compute ensembles ------------------------------------------
+
+    /// Executes one compute ensemble, rolling back to a checkpoint of the
+    /// VRF state and restarting (up to
+    /// [`crate::RecoveryPolicy::max_restarts`] times) when redundancy
+    /// escalates an uncorrected fault or the watchdog fires. Re-runs draw
+    /// fresh fault sites, so a restart usually completes clean.
+    fn exec_compute_ensemble(&mut self, program: &Program) -> Result<(), SimError> {
+        if !self.config.recovery.checkpoint_restart {
+            return self.exec_compute_ensemble_inner(program);
+        }
+        let start_pc = self.pc;
+        let checkpoint: Vec<((u16, u16), Vec<u64>)> =
+            self.vrfs.iter().map(|(&k, v)| (k, v.snapshot())).collect();
+        // Checkpointing streams every live register row out to stable
+        // storage: charge it as transfer work.
+        let words: u64 = checkpoint.iter().map(|(_, s)| s.len() as u64).sum();
+        let cp_cycles = words * self.config.datapath.transfer_cycles_per_word();
+        let cp_pj = words as f64 * self.config.datapath.transfer_energy_pj_per_word();
+        self.stats.cycles += cp_cycles;
+        self.stats.transfer_cycles += cp_cycles;
+        self.stats.energy.transfer_pj += cp_pj;
+        let mut restarts = 0u32;
+        loop {
+            match self.exec_compute_ensemble_inner(program) {
+                Ok(()) => return Ok(()),
+                Err(e)
+                    if restarts < self.config.recovery.max_restarts
+                        && matches!(
+                            e.root_cause(),
+                            SimError::UncorrectedFault { .. } | SimError::WatchdogTriggered { .. }
+                        ) =>
+                {
+                    restarts += 1;
+                    self.stats.faults.ensemble_restarts += 1;
+                    self.pc = start_pc;
+                    let keys: Vec<(u16, u16)> = self.vrfs.keys().copied().collect();
+                    for k in keys {
+                        let snap = checkpoint.iter().find(|(ck, _)| *ck == k).map(|(_, s)| s);
+                        let Some(v) = self.vrfs.get_mut(&k) else { continue };
+                        match snap {
+                            Some(snap) => v.restore(snap),
+                            None => {
+                                // Materialized during the failed attempt:
+                                // back to power-on zeros (re-forcing any
+                                // stuck lanes).
+                                v.restore(&vec![0; v.snapshot().len()]);
+                                let model = v.fault_model().cloned();
+                                v.set_fault_model(model);
+                            }
+                        }
+                    }
+                    // Restore streams the checkpoint back in.
+                    self.stats.cycles += cp_cycles;
+                    self.stats.transfer_cycles += cp_cycles;
+                    self.stats.energy.transfer_pj += cp_pj;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
 
     /// Executes one compute ensemble starting at `self.pc` (its first
     /// `COMPUTE` header instruction), including thermal-wave replay.
-    fn exec_compute_ensemble(&mut self, program: &Program) -> Result<(), SimError> {
+    fn exec_compute_ensemble_inner(&mut self, program: &Program) -> Result<(), SimError> {
         let marker = self.config.control.ensemble_marker;
         // Collect the contiguous COMPUTE header.
         let mut members: Vec<(u16, u16)> = Vec::new();
@@ -446,6 +729,9 @@ impl Mpu {
         // Playback-buffer occupancy: bodies longer than the buffer incur
         // refills.
         let mut playback_used = 0usize;
+        // Watchdog: bound on body instructions per wave pass, so a
+        // fault-corrupted loop counter cannot spin the EFI forever.
+        let mut body_instructions = 0u64;
 
         // Reset masks: an ensemble starts with all lanes enabled.
         for &(rfh, vrf) in wave {
@@ -455,6 +741,12 @@ impl Mpu {
         loop {
             let line = pc;
             let instr = Self::fetch(program, line)?;
+            body_instructions += 1;
+            if let Some(limit) = self.config.recovery.watchdog_instructions {
+                if body_instructions > limit {
+                    return Err(SimError::WatchdogTriggered { line, instructions: limit });
+                }
+            }
             playback_used += 1;
             if playback_used > self.config.playback_entries {
                 playback_used = 1;
@@ -477,7 +769,7 @@ impl Mpu {
                     // In Baseline mode the CPU stays engaged across the
                     // whole control region (it issues these datapath ops
                     // remotely), so an open offload batch persists.
-                    self.exec_compute_instr(&instr, wave, &mut pipeline_warm)?;
+                    self.exec_compute_instr(&instr, wave, &mut pipeline_warm, line)?;
                     pc += 1;
                 }
                 Instruction::SetMask { rs } => {
@@ -557,18 +849,20 @@ impl Mpu {
         }
     }
 
-    /// Issues one compute instruction to every VRF of the wave.
+    /// Issues one compute instruction to every VRF of the wave, under the
+    /// configured redundancy policy.
     fn exec_compute_instr(
         &mut self,
         instr: &Instruction,
         wave: &[(u16, u16)],
         pipeline_warm: &mut bool,
+        line: usize,
     ) -> Result<(), SimError> {
         let (cached, hit) = match self.cache.lookup(&self.config.datapath, instr) {
             Some(r) => r,
             None => return Ok(()), // unreachable for compute instructions
         };
-        let recipe: Arc<Recipe> = cached.recipe;
+        let recipe: Arc<Recipe> = Arc::clone(&cached.recipe);
         // Decode cost: MPU caches templates; Baseline decodes every time.
         match self.config.mode {
             ExecutionMode::Mpu => {
@@ -595,16 +889,37 @@ impl Mpu {
             serial
         };
         *pipeline_warm = true;
+        self.stats.instructions += 1;
+
+        match self.config.recovery.redundancy {
+            Redundancy::None => {
+                self.run_wave_once(&cached, &recipe, wave, cycles);
+                Ok(())
+            }
+            Redundancy::Dmr => self.run_wave_dmr(&cached, &recipe, wave, cycles, line),
+            Redundancy::Tmr => {
+                self.run_wave_tmr(&cached, &recipe, wave, cycles);
+                Ok(())
+            }
+        }
+    }
+
+    /// One functional execution of a recipe over the wave, charging its
+    /// issue cycles, micro-ops, and datapath energy (only enabled lanes
+    /// burn switching energy — the mask power-gates the drivers). The
+    /// compiled form executes the same plane writes as interpreting
+    /// `recipe.ops()`, with plane addresses pre-resolved; the enabled
+    /// lane count comes from the VRF's cached mask popcount.
+    fn run_wave_once(
+        &mut self,
+        cached: &crate::recipe_cache::CachedRecipe,
+        recipe: &Recipe,
+        wave: &[(u16, u16)],
+        cycles: u64,
+    ) {
         self.stats.cycles += cycles;
         self.stats.compute_cycles += cycles;
-        self.stats.instructions += 1;
         self.stats.uops += recipe.len() as u64;
-
-        // Functional execution + datapath energy (only enabled lanes burn
-        // switching energy — the mask power-gates the drivers). The
-        // compiled form executes the same plane writes as interpreting
-        // `recipe.ops()`, with plane addresses pre-resolved; the enabled
-        // lane count comes from the VRF's cached mask popcount.
         let mut energy = 0.0;
         let interpret = self.config.interpret_recipes;
         for &(rfh, vrf) in wave {
@@ -617,10 +932,95 @@ impl Mpu {
             } else {
                 v.run_compiled(&cached.compiled);
             }
-            energy += self.config.datapath.recipe_energy_pj(&recipe, enabled);
+            energy += self.config.datapath.recipe_energy_pj(recipe, enabled);
         }
         self.stats.energy.datapath_pj += energy;
-        Ok(())
+    }
+
+    /// Snapshots every wave VRF (pre- or post-execution state).
+    fn snapshot_wave(&mut self, wave: &[(u16, u16)]) -> Vec<Vec<u64>> {
+        wave.iter().map(|&(rfh, vrf)| self.vrf_mut(rfh, vrf).snapshot()).collect()
+    }
+
+    /// Restores every wave VRF from a snapshot set.
+    fn restore_wave(&mut self, wave: &[(u16, u16)], snapshots: &[Vec<u64>]) {
+        for (i, &(rfh, vrf)) in wave.iter().enumerate() {
+            self.vrf_mut(rfh, vrf).restore(&snapshots[i]);
+        }
+    }
+
+    /// Duplicate-and-compare: execute twice from the same input state and
+    /// compare the full VRF images lane-exactly. A mismatch is a detected
+    /// fault; retry the pair (fresh fault draws each time) up to the
+    /// retry budget, then escalate as [`SimError::UncorrectedFault`].
+    fn run_wave_dmr(
+        &mut self,
+        cached: &crate::recipe_cache::CachedRecipe,
+        recipe: &Recipe,
+        wave: &[(u16, u16)],
+        cycles: u64,
+        line: usize,
+    ) -> Result<(), SimError> {
+        let input = self.snapshot_wave(wave);
+        let mut attempt = 0u32;
+        loop {
+            self.run_wave_once(cached, recipe, wave, cycles);
+            let first = self.snapshot_wave(wave);
+            self.restore_wave(wave, &input);
+            self.stats.faults.redundant_runs += 1;
+            self.run_wave_once(cached, recipe, wave, cycles);
+            let second = self.snapshot_wave(wave);
+            if first == second {
+                if attempt > 0 {
+                    self.stats.faults.corrected += 1;
+                }
+                return Ok(());
+            }
+            self.stats.faults.detected += 1;
+            if attempt >= self.config.recovery.max_retries {
+                return Err(SimError::UncorrectedFault { line });
+            }
+            attempt += 1;
+            self.stats.faults.retries += 1;
+            self.restore_wave(wave, &input);
+        }
+    }
+
+    /// Triple modular redundancy: execute three times from the same input
+    /// state and commit the bitwise word-level majority, correcting any
+    /// fault confined to a single run in place.
+    fn run_wave_tmr(
+        &mut self,
+        cached: &crate::recipe_cache::CachedRecipe,
+        recipe: &Recipe,
+        wave: &[(u16, u16)],
+        cycles: u64,
+    ) {
+        let input = self.snapshot_wave(wave);
+        self.run_wave_once(cached, recipe, wave, cycles);
+        let a = self.snapshot_wave(wave);
+        self.restore_wave(wave, &input);
+        self.stats.faults.redundant_runs += 1;
+        self.run_wave_once(cached, recipe, wave, cycles);
+        let b = self.snapshot_wave(wave);
+        self.restore_wave(wave, &input);
+        self.stats.faults.redundant_runs += 1;
+        self.run_wave_once(cached, recipe, wave, cycles);
+        let c = self.snapshot_wave(wave);
+        if a == b && a == c {
+            return; // unanimous; current state (== c) stands
+        }
+        self.stats.faults.detected += 1;
+        self.stats.faults.corrected += 1;
+        for (i, &(rfh, vrf)) in wave.iter().enumerate() {
+            let majority: Vec<u64> = a[i]
+                .iter()
+                .zip(&b[i])
+                .zip(&c[i])
+                .map(|((&x, &y), &z)| (x & y) | (y & z) | (x & z))
+                .collect();
+            self.vrf_mut(rfh, vrf).restore(&majority);
+        }
     }
 
     /// Charges the Baseline host round trip for a control-flow instruction
@@ -713,10 +1113,9 @@ impl Mpu {
                     let line = self.pc;
                     for &(src_rfh, dst_rfh) in &pairs {
                         self.check_geometry(line, src_rfh, src_vrf.0)?;
-                        let values = {
-                            let v = self.vrf_mut(src_rfh, src_vrf.0);
-                            v.read_lane_values(rs.0 as u8)
-                        };
+                        // Payloads carry *logical* values, so transfers
+                        // between differently-remapped VRFs stay coherent.
+                        let values = self.read_lanes_logical(src_rfh, src_vrf.0, rs.0 as u8);
                         match message.as_deref_mut() {
                             Some(msg) => {
                                 msg.writes.push(RemoteWrite {
@@ -729,8 +1128,12 @@ impl Mpu {
                             }
                             None => {
                                 self.check_geometry(line, dst_rfh, dst_vrf.0)?;
-                                self.vrf_mut(dst_rfh, dst_vrf.0)
-                                    .write_lane_values(rd.0 as u8, &values);
+                                self.write_lanes_logical(dst_rfh, dst_vrf.0, rd.0 as u8, &values);
+                                // Runtime landing write: subject to RFH
+                                // write-corruption faults.
+                                if let Some(v) = self.vrfs.get_mut(&(dst_rfh, dst_vrf.0)) {
+                                    v.corrupt_register_write(rd.0 as u8);
+                                }
                             }
                         }
                         // Sequential-consistency: transfers execute one at
@@ -788,10 +1191,13 @@ impl Mpu {
     fn apply_message(&mut self, msg: &Message) {
         // Pack straight from the message payload; missing tail lanes
         // zero-fill implicitly.
-        let lanes = self.config.datapath.geometry().lanes_per_vrf;
         for w in &msg.writes {
-            let take = w.values.len().min(lanes);
-            self.vrf_mut(w.rfh, w.vrf).write_lane_values(w.reg, &w.values[..take]);
+            self.write_lanes_logical(w.rfh, w.vrf, w.reg, &w.values);
+            // Runtime landing write: subject to RFH write-corruption
+            // faults.
+            if let Some(v) = self.vrfs.get_mut(&(w.rfh, w.vrf)) {
+                v.corrupt_register_write(w.reg);
+            }
         }
     }
 
@@ -1077,7 +1483,18 @@ mod tests {
     fn geometry_violations_are_reported() {
         let p = asm("COMPUTE h9 v0\nNOP\nCOMPUTE_DONE");
         let err = run_single(racer(), &p, &[]).unwrap_err();
-        assert!(matches!(err, SimError::GeometryExceeded { .. }));
+        assert!(matches!(err.root_cause(), SimError::GeometryExceeded { .. }), "got {err:?}");
+        // The ensemble wrapper records where it happened.
+        match &err {
+            SimError::InEnsemble { mpu, line, kind, .. } => {
+                assert_eq!(*mpu, 0);
+                assert_eq!(*line, 0);
+                assert_eq!(*kind, EnsembleKind::Compute);
+            }
+            other => panic!("expected ensemble context, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("mpu0") && msg.contains("COMPUTE"), "got {msg}");
     }
 
     #[test]
@@ -1183,5 +1600,217 @@ mod tests {
         assert!(e.to_string().contains("line 7"));
         let e = SimError::StrayInstruction { line: 3, mnemonic: "MEMCPY" };
         assert!(e.to_string().contains("MEMCPY"));
+        let e = SimError::RecvTimeout { mpu: 2, from: 5, waited: 900 };
+        let msg = e.to_string();
+        assert!(msg.contains("mpu2") && msg.contains("mpu5") && msg.contains("900"), "got {msg}");
+        let e = SimError::InEnsemble {
+            mpu: 1,
+            line: 4,
+            kind: EnsembleKind::Send,
+            source: Box::new(SimError::UncorrectedFault { line: 6 }),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("mpu1") && msg.contains("SEND") && msg.contains("line 6"), "{msg}");
+        assert_eq!(e.root_cause(), &SimError::UncorrectedFault { line: 6 });
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    // ----- fault injection & recovery ---------------------------------
+
+    use crate::fault::{FaultConfig, Redundancy, StuckLane};
+
+    fn faulty_racer(rate: f64, seed: u64) -> SimConfig {
+        let mut c = racer();
+        c.fault = FaultConfig { seed: Some(seed), transient_rate: rate, ..Default::default() };
+        c
+    }
+
+    fn add_chain(n: usize) -> Program {
+        let mut text = String::from("COMPUTE h0 v0\n");
+        for _ in 0..n {
+            text.push_str("ADD r0 r1 r2\nADD r2 r1 r2\n");
+        }
+        text.push_str("COMPUTE_DONE");
+        asm(&text)
+    }
+
+    #[test]
+    fn armed_but_zero_rate_fault_layer_is_byte_identical() {
+        let p = add_chain(4);
+        let inputs: [RegisterInit; 2] = [((0, 0, 0), vec![5; 64]), ((0, 0, 1), vec![9; 64])];
+        let (clean_stats, mut clean) = run_single(racer(), &p, &inputs).unwrap();
+        let (armed_stats, mut armed) =
+            run_single(faulty_racer(0.0, 0xD15EA5E), &p, &inputs).unwrap();
+        assert_eq!(clean_stats, armed_stats);
+        assert_eq!(clean.read_register(0, 0, 2).unwrap(), armed.read_register(0, 0, 2).unwrap());
+        assert_eq!(armed_stats.faults.injected, 0);
+    }
+
+    #[test]
+    fn transient_faults_inject_and_are_counted() {
+        let p = add_chain(8);
+        let inputs: [RegisterInit; 2] = [((0, 0, 0), vec![5; 64]), ((0, 0, 1), vec![9; 64])];
+        let (stats, _) = run_single(faulty_racer(0.5, 42), &p, &inputs).unwrap();
+        assert!(stats.faults.injected > 0, "rate 0.5 over 16 ADDs must land faults");
+    }
+
+    #[test]
+    fn tmr_masks_faults_to_the_fault_free_result() {
+        let p = add_chain(8);
+        let inputs: [RegisterInit; 2] = [((0, 0, 0), vec![5; 64]), ((0, 0, 1), vec![9; 64])];
+        let (_, mut clean) = run_single(racer(), &p, &inputs).unwrap();
+        // TMR guarantees correction only while at most one of the three
+        // runs is faulty per vote, so the rate must keep expected flips
+        // per instruction per run well below one (a RACER ADD is ~641
+        // micro-ops: 1e-4 ≈ 0.06 expected flips per run).
+        let mut cfg = faulty_racer(1e-4, 2);
+        cfg.recovery.redundancy = Redundancy::Tmr;
+        let (stats, mut tmr) = run_single(cfg, &p, &inputs).unwrap();
+        assert_eq!(
+            clean.read_register(0, 0, 2).unwrap(),
+            tmr.read_register(0, 0, 2).unwrap(),
+            "TMR must vote out single-run faults"
+        );
+        assert!(stats.faults.injected > 0, "faults must actually land to make the test meaningful");
+        assert_eq!(stats.faults.detected, stats.faults.corrected);
+        assert!(stats.faults.redundant_runs > 0);
+    }
+
+    #[test]
+    fn dmr_detects_and_escalates_when_retries_exhaust() {
+        let p = add_chain(8);
+        let inputs: [RegisterInit; 2] = [((0, 0, 0), vec![5; 64]), ((0, 0, 1), vec![9; 64])];
+        // At rate 0.9 every paired run corrupts differently: DMR detects
+        // each mismatch, burns its retries, and escalates.
+        let mut cfg = faulty_racer(0.9, 3);
+        cfg.recovery.redundancy = Redundancy::Dmr;
+        cfg.recovery.max_retries = 2;
+        let err = run_single(cfg, &p, &inputs).unwrap_err();
+        assert!(matches!(err.root_cause(), SimError::UncorrectedFault { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn dmr_retry_recovers_from_sparse_faults() {
+        let p = add_chain(8);
+        let inputs: [RegisterInit; 2] = [((0, 0, 0), vec![5; 64]), ((0, 0, 1), vec![9; 64])];
+        let (_, mut clean) = run_single(racer(), &p, &inputs).unwrap();
+        // Sparse faults: at most one of the paired runs corrupts, the
+        // compare catches it, and a retry pair almost surely runs clean.
+        let mut cfg = faulty_racer(1e-4, 6);
+        cfg.recovery.redundancy = Redundancy::Dmr;
+        cfg.recovery.max_retries = 8;
+        let (stats, mut dmr) = run_single(cfg, &p, &inputs).unwrap();
+        assert_eq!(
+            clean.read_register(0, 0, 2).unwrap(),
+            dmr.read_register(0, 0, 2).unwrap(),
+            "DMR + retry must converge to the fault-free result"
+        );
+        assert!(stats.faults.injected > 0);
+        assert!(stats.faults.corrected > 0);
+        assert!(stats.faults.detected >= stats.faults.corrected);
+    }
+
+    #[test]
+    fn checkpoint_restart_retries_a_failed_ensemble() {
+        let p = add_chain(8);
+        let inputs: [RegisterInit; 2] = [((0, 0, 0), vec![5; 64]), ((0, 0, 1), vec![9; 64])];
+        let (_, mut clean) = run_single(racer(), &p, &inputs).unwrap();
+        // Tight retry budget so some instruction escalates, then the
+        // ensemble restart absorbs it (fresh draws each attempt).
+        let mut cfg = faulty_racer(3e-4, 2);
+        cfg.recovery.redundancy = Redundancy::Dmr;
+        cfg.recovery.max_retries = 0;
+        cfg.recovery.checkpoint_restart = true;
+        cfg.recovery.max_restarts = 64;
+        let (stats, mut rec) = run_single(cfg, &p, &inputs).unwrap();
+        assert_eq!(clean.read_register(0, 0, 2).unwrap(), rec.read_register(0, 0, 2).unwrap());
+        assert!(stats.faults.ensemble_restarts > 0, "expected at least one rollback");
+    }
+
+    #[test]
+    fn stuck_lane_remaps_onto_spares() {
+        let lanes = 64;
+        let mut cfg = racer();
+        cfg.fault = FaultConfig {
+            seed: Some(1),
+            stuck_lanes: vec![StuckLane { mpu: 0, rfh: 0, vrf: 0, lane: 5, value: true }],
+            ..Default::default()
+        };
+        cfg.recovery.remap = true;
+        cfg.recovery.spare_lanes = 4;
+        let logical = lanes - 4;
+        let a: Vec<u64> = (0..logical as u64).collect();
+        let b = vec![100; logical];
+        let p = asm("COMPUTE h0 v0\nADD r0 r1 r2\nCOMPUTE_DONE");
+        let (stats, mut mpu) =
+            run_single(cfg, &p, &[((0, 0, 0), a.clone()), ((0, 0, 1), b.clone())]).unwrap();
+        let got = mpu.read_register(0, 0, 2).unwrap();
+        assert_eq!(got.len(), logical);
+        for i in 0..logical {
+            assert_eq!(got[i], a[i] + 100, "logical lane {i}");
+        }
+        assert_eq!(mpu.logical_lanes(0, 0), logical);
+        assert_eq!(stats.faults.dead_lanes, 1);
+        assert!(stats.faults.remapped_lanes > 0, "lanes past the dead one must shift");
+        assert_eq!(stats.faults.lanes_lost, 0, "one dead lane fits in four spares");
+    }
+
+    #[test]
+    fn dead_lanes_beyond_spares_degrade_gracefully() {
+        let mut cfg = racer();
+        cfg.fault = FaultConfig {
+            seed: Some(1),
+            stuck_lanes: vec![
+                StuckLane { mpu: 0, rfh: 0, vrf: 0, lane: 0, value: true },
+                StuckLane { mpu: 0, rfh: 0, vrf: 0, lane: 1, value: false },
+                StuckLane { mpu: 0, rfh: 0, vrf: 0, lane: 2, value: true },
+            ],
+            ..Default::default()
+        };
+        cfg.recovery.remap = true;
+        cfg.recovery.spare_lanes = 1;
+        let p = asm("COMPUTE h0 v0\nINC r0 r1\nCOMPUTE_DONE");
+        let (stats, mut mpu) = run_single(cfg, &p, &[((0, 0, 0), vec![7; 64])]).unwrap();
+        // 64 physical - 1 spare = 63 logical wanted, but 3 dead > 1 spare:
+        // only 61 healthy lanes remain.
+        assert_eq!(mpu.logical_lanes(0, 0), 61);
+        assert_eq!(stats.faults.dead_lanes, 3);
+        assert_eq!(stats.faults.lanes_lost, 2);
+        assert_eq!(mpu.read_register(0, 0, 1).unwrap(), vec![8; 61]);
+    }
+
+    #[test]
+    fn stuck_at_0_lane_without_remap_corrupts_results() {
+        // Sanity check that the fault actually bites when unprotected.
+        let mut cfg = racer();
+        cfg.fault = FaultConfig {
+            seed: Some(1),
+            stuck_lanes: vec![StuckLane { mpu: 0, rfh: 0, vrf: 0, lane: 5, value: false }],
+            ..Default::default()
+        };
+        let p = asm("COMPUTE h0 v0\nINC r0 r1\nCOMPUTE_DONE");
+        let (_, mut mpu) = run_single(cfg, &p, &[((0, 0, 0), vec![7; 64])]).unwrap();
+        let got = mpu.read_register(0, 0, 1).unwrap();
+        assert_eq!(got[5], 0, "stuck-at-0 lane pins every plane to zero");
+        assert_eq!(got[6], 8, "healthy lanes are unaffected");
+    }
+
+    #[test]
+    fn watchdog_stops_runaway_ensemble_bodies() {
+        // Mask never clears → the EFI loops forever without a watchdog.
+        let p = Program::from_instructions(vec![
+            Instruction::Compute { rfh: 0.into(), vrf: VrfId(0) },
+            Instruction::Nop,
+            Instruction::JumpCond { target: LineNum(1) },
+            Instruction::ComputeDone,
+        ]);
+        let mut cfg = racer();
+        cfg.recovery.watchdog_instructions = Some(500);
+        let err = run_single(cfg, &p, &[]).unwrap_err();
+        assert!(
+            matches!(err.root_cause(), SimError::WatchdogTriggered { instructions: 500, .. }),
+            "got {err:?}"
+        );
     }
 }

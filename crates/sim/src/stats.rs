@@ -42,6 +42,55 @@ impl AddAssign for EnergyStats {
     }
 }
 
+/// Fault-injection and recovery accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Transient bit-plane flips and register-write corruptions that
+    /// actually landed (flips absorbed by forced lanes don't count).
+    pub injected: u64,
+    /// Faults detected by redundancy comparison (DMR mismatch / TMR vote).
+    pub detected: u64,
+    /// Faults corrected in place (DMR retry success / TMR majority).
+    pub corrected: u64,
+    /// DMR retry rounds executed after a mismatch.
+    pub retries: u64,
+    /// Extra redundant executions beyond the first (2× for DMR, 3× for
+    /// TMR, plus retries).
+    pub redundant_runs: u64,
+    /// Compute ensembles rolled back to their checkpoint and restarted.
+    pub ensemble_restarts: u64,
+    /// Lanes found dead by the boot self-test (power-gated).
+    pub dead_lanes: u64,
+    /// Logical lanes relocated to a different physical lane by remapping.
+    pub remapped_lanes: u64,
+    /// Logical lanes lost because dead lanes exceeded the spares
+    /// (graceful degradation: reduced occupancy).
+    pub lanes_lost: u64,
+    /// NoC messages dropped in flight.
+    pub messages_dropped: u64,
+    /// NoC messages delivered with a corrupted payload.
+    pub messages_corrupted: u64,
+    /// NoC retransmissions issued by the retry policy.
+    pub retransmissions: u64,
+}
+
+impl AddAssign for FaultStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.injected += rhs.injected;
+        self.detected += rhs.detected;
+        self.corrected += rhs.corrected;
+        self.retries += rhs.retries;
+        self.redundant_runs += rhs.redundant_runs;
+        self.ensemble_restarts += rhs.ensemble_restarts;
+        self.dead_lanes += rhs.dead_lanes;
+        self.remapped_lanes += rhs.remapped_lanes;
+        self.lanes_lost += rhs.lanes_lost;
+        self.messages_dropped += rhs.messages_dropped;
+        self.messages_corrupted += rhs.messages_corrupted;
+        self.retransmissions += rhs.retransmissions;
+    }
+}
+
 /// Full statistics for one simulated execution.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Stats {
@@ -74,6 +123,9 @@ pub struct Stats {
     pub messages_sent: u64,
     /// Bytes moved between MPUs.
     pub noc_bytes: u64,
+    /// Fault-injection and recovery accounting.
+    #[serde(default)]
+    pub faults: FaultStats,
     /// Energy breakdown.
     pub energy: EnergyStats,
 }
@@ -136,6 +188,7 @@ impl Stats {
         self.scheduler_waves += other.scheduler_waves;
         self.messages_sent += other.messages_sent;
         self.noc_bytes += other.noc_bytes;
+        self.faults += other.faults;
         self.energy += other.energy;
     }
 }

@@ -11,6 +11,18 @@ use crate::machine::{Message, Mpu, SimError, StepEvent};
 use crate::noc::MeshNoc;
 use crate::stats::Stats;
 use mpu_isa::{MpuId, Program};
+use pum_backend::fault::{rate_to_threshold, FaultPrng};
+
+/// Seeded drop/corruption state for the NoC (its own PRNG stream, derived
+/// from the chip's fault seed so it is independent of every VRF's).
+#[derive(Debug)]
+struct NocFaultState {
+    prng: FaultPrng,
+    drop_threshold: u64,
+    corrupt_threshold: u64,
+    retry: bool,
+    max_retries: u32,
+}
 
 /// A chip-level simulation of multiple MPUs running coupled programs.
 ///
@@ -38,6 +50,7 @@ pub struct System {
     mpus: Vec<Mpu>,
     programs: Vec<Program>,
     noc: MeshNoc,
+    noc_faults: Option<NocFaultState>,
 }
 
 /// A deadlock or per-MPU failure in a system run.
@@ -81,8 +94,15 @@ impl System {
         let budget = config.datapath.geometry().mpus_per_chip;
         assert!(count <= budget, "{count} MPUs exceed the iso-area chip budget of {budget}");
         let noc = MeshNoc::new(count, config.noc);
+        let noc_faults = config.fault.noc_seed().map(|seed| NocFaultState {
+            prng: FaultPrng::new(seed),
+            drop_threshold: rate_to_threshold(config.fault.noc_drop_rate),
+            corrupt_threshold: rate_to_threshold(config.fault.noc_corruption_rate),
+            retry: config.recovery.noc_retry,
+            max_retries: config.recovery.max_retries,
+        });
         let mpus = (0..count).map(|i| Mpu::new(config.clone(), MpuId(i as u16))).collect();
-        Self { mpus, programs: vec![Program::new(); count], noc }
+        Self { mpus, programs: vec![Program::new(); count], noc, noc_faults }
     }
 
     /// Like [`System::new`], but every MPU shares `pool` for host-side
@@ -175,6 +195,32 @@ impl System {
                 break;
             }
             if !progressed {
+                // A blocked RECV whose sender already finished can never be
+                // served (the message was lost or never sent): under a
+                // recv-timeout policy the lowest-ID such victim burns its
+                // cycle budget and surfaces a timeout. Cyclic waits among
+                // live MPUs remain a deadlock — every member could still be
+                // served, so no timeout can soundly pick a victim.
+                for i in 0..n {
+                    if done[i] {
+                        continue;
+                    }
+                    let (Some(from), Some(budget)) =
+                        (blocked[i], self.mpus[i].config().recovery.recv_timeout)
+                    else {
+                        continue;
+                    };
+                    let sender_finished = (from as usize) >= n || done[from as usize];
+                    if sender_finished {
+                        let waited = budget;
+                        let local = self.mpus[i].local_cycles();
+                        self.mpus[i].advance_to(local + waited);
+                        return Err(SystemError::Mpu {
+                            id: i as u16,
+                            error: SimError::RecvTimeout { mpu: i as u16, from, waited },
+                        });
+                    }
+                }
                 let waiting = (0..n)
                     .filter(|&i| !done[i])
                     .map(|i| (i as u16, blocked[i].unwrap_or(u16::MAX)))
@@ -189,19 +235,62 @@ impl System {
         Ok(total)
     }
 
-    /// Routes a message through the NoC to its destination's inbox.
+    /// Routes a message through the NoC to its destination's inbox,
+    /// applying seeded drop/corruption faults in flight. Under the
+    /// `noc_retry` policy a lost or corrupted traversal is detected
+    /// (timeout / checksum) and retransmitted — costing one extra
+    /// traversal's latency and energy each time — up to the retry budget;
+    /// without it, drops lose the message and corruptions deliver a
+    /// payload with one bit flipped.
     fn route(&mut self, msg: Message) {
         let src = msg.src.index();
         let dst = msg.dst.index();
         let latency = self.noc.latency_cycles(src, dst, msg.bytes);
         let energy = self.noc.energy_pj(src, dst, msg.bytes);
-        let arrival = msg.departure_cycle + latency;
+        let mut msg = msg;
+        let mut traversals = 1u64;
+        if let Some(f) = self.noc_faults.as_mut() {
+            let stats = self.mpus[dst].stats_mut();
+            // Drop faults: each traversal can lose the message.
+            let mut retransmits = 0u32;
+            while f.drop_threshold > 0 && f.prng.next_draw() < f.drop_threshold {
+                stats.faults.messages_dropped += 1;
+                if !f.retry || retransmits >= f.max_retries {
+                    // Lost for good: the wire time was still spent.
+                    stats.transfer_cycles += traversals * latency;
+                    stats.energy.transfer_pj += traversals as f64 * energy;
+                    return;
+                }
+                retransmits += 1;
+                traversals += 1;
+                stats.faults.retransmissions += 1;
+            }
+            // Corruption faults: one bit of one payload word flips.
+            if f.corrupt_threshold > 0 && f.prng.next_draw() < f.corrupt_threshold {
+                if f.retry {
+                    // Checksum catches it; one clean retransmission (the
+                    // seeded stream moves on, so the retry delivers clean).
+                    traversals += 1;
+                    stats.faults.retransmissions += 1;
+                } else if !msg.writes.is_empty() {
+                    let wi = (f.prng.next_draw() % msg.writes.len() as u64) as usize;
+                    let values = &mut msg.writes[wi].values;
+                    if !values.is_empty() {
+                        let vi = (f.prng.next_draw() % values.len() as u64) as usize;
+                        let bit = f.prng.next_draw() % 64;
+                        values[vi] ^= 1 << bit;
+                        stats.faults.messages_corrupted += 1;
+                    }
+                }
+            }
+        }
+        let arrival = msg.departure_cycle + traversals * latency;
         let dst_mpu = &mut self.mpus[dst];
         dst_mpu.deliver(msg, arrival);
         // Receiver pays the wire time & energy (avoids double counting).
         let s = dst_mpu.stats_mut();
-        s.transfer_cycles += latency;
-        s.energy.transfer_pj += energy;
+        s.transfer_cycles += traversals * latency;
+        s.energy.transfer_pj += traversals as f64 * energy;
     }
 }
 
@@ -355,5 +444,118 @@ mod tests {
     #[should_panic(expected = "exceed the iso-area chip budget")]
     fn chip_budget_is_enforced() {
         System::new(SimConfig::mpu(DatapathKind::DualityCache), 500);
+    }
+
+    // ----- NoC faults & RECV timeout ----------------------------------
+
+    use crate::fault::FaultConfig;
+
+    fn send_recv_programs(sys: &mut System) {
+        sys.set_program(0, asm("SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE"));
+        sys.set_program(1, asm("RECV mpu0"));
+    }
+
+    #[test]
+    fn dropped_message_with_recv_timeout_surfaces_not_deadlocks() {
+        let mut cfg = SimConfig::mpu(DatapathKind::Racer);
+        cfg.fault = FaultConfig { seed: Some(5), noc_drop_rate: 1.0, ..Default::default() };
+        cfg.recovery.recv_timeout = Some(10_000);
+        let mut sys = System::new(cfg, 2);
+        send_recv_programs(&mut sys);
+        let err = sys.run().unwrap_err();
+        match err {
+            SystemError::Mpu { id, error } => {
+                assert_eq!(id, 1);
+                assert_eq!(error, SimError::RecvTimeout { mpu: 1, from: 0, waited: 10_000 });
+            }
+            other => panic!("expected a RECV timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_message_without_timeout_is_a_deadlock() {
+        let mut cfg = SimConfig::mpu(DatapathKind::Racer);
+        cfg.fault = FaultConfig { seed: Some(5), noc_drop_rate: 1.0, ..Default::default() };
+        let mut sys = System::new(cfg, 2);
+        send_recv_programs(&mut sys);
+        let err = sys.run().unwrap_err();
+        assert_eq!(err, SystemError::Deadlock { waiting: vec![(1, 0)] });
+    }
+
+    #[test]
+    fn cyclic_wait_stays_a_deadlock_even_with_recv_timeout() {
+        // Every member of the cycle is still alive, so no timeout may
+        // soundly pick a victim: the detector must still call it deadlock.
+        let mut cfg = SimConfig::mpu(DatapathKind::Racer);
+        cfg.recovery.recv_timeout = Some(1_000);
+        let mut sys = System::new(cfg, 3);
+        sys.set_program(0, asm("RECV mpu1"));
+        sys.set_program(1, asm("RECV mpu2"));
+        sys.set_program(2, asm("RECV mpu0"));
+        let err = sys.run().unwrap_err();
+        assert_eq!(err, SystemError::Deadlock { waiting: vec![(0, 1), (1, 2), (2, 0)] });
+    }
+
+    #[test]
+    fn noc_retry_retransmits_dropped_messages() {
+        let mut cfg = SimConfig::mpu(DatapathKind::Racer);
+        cfg.fault = FaultConfig { seed: Some(9), noc_drop_rate: 0.5, ..Default::default() };
+        cfg.recovery.noc_retry = true;
+        cfg.recovery.max_retries = 16;
+        let mut sys = System::new(cfg, 2);
+        // Several messages so the seeded stream hits at least one drop.
+        sys.set_program(
+            0,
+            asm("SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r0\nMOVE_DONE\nSEND_DONE\n\
+                 SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r1\nMOVE_DONE\nSEND_DONE\n\
+                 SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r2\nMOVE_DONE\nSEND_DONE\n\
+                 SEND mpu1\nMOVE h0 h0\nMEMCPY v0 r0 v0 r3\nMOVE_DONE\nSEND_DONE"),
+        );
+        sys.set_program(1, asm("RECV mpu0\nRECV mpu0\nRECV mpu0\nRECV mpu0"));
+        sys.mpu_mut(0).write_register(0, 0, 0, &vec![77; 64]).unwrap();
+        let stats = sys.run().unwrap();
+        for reg in 0..4 {
+            assert_eq!(sys.mpu_mut(1).read_register(0, 0, reg).unwrap()[0], 77);
+        }
+        assert!(stats.faults.retransmissions > 0, "rate 0.5 over 4 sends must drop at least once");
+        assert_eq!(stats.faults.messages_dropped, stats.faults.retransmissions);
+    }
+
+    #[test]
+    fn noc_corruption_flips_a_payload_bit_and_retry_cleans_it() {
+        let mut cfg = SimConfig::mpu(DatapathKind::Racer);
+        cfg.fault = FaultConfig { seed: Some(3), noc_corruption_rate: 1.0, ..Default::default() };
+        let mut sys = System::new(cfg.clone(), 2);
+        send_recv_programs(&mut sys);
+        sys.mpu_mut(0).write_register(0, 0, 0, &vec![42; 64]).unwrap();
+        let stats = sys.run().unwrap();
+        assert_eq!(stats.faults.messages_corrupted, 1);
+        let got = sys.mpu_mut(1).read_register(0, 0, 0).unwrap();
+        let wrong = got.iter().filter(|&&v| v != 42).count();
+        assert_eq!(wrong, 1, "exactly one element carries the flipped bit");
+
+        cfg.recovery.noc_retry = true;
+        let mut sys = System::new(cfg, 2);
+        send_recv_programs(&mut sys);
+        sys.mpu_mut(0).write_register(0, 0, 0, &vec![42; 64]).unwrap();
+        let stats = sys.run().unwrap();
+        assert_eq!(stats.faults.messages_corrupted, 0);
+        assert_eq!(stats.faults.retransmissions, 1);
+        assert_eq!(sys.mpu_mut(1).read_register(0, 0, 0).unwrap(), vec![42; 64]);
+    }
+
+    #[test]
+    fn fault_free_system_matches_armed_zero_rate_system() {
+        let clean_cfg = SimConfig::mpu(DatapathKind::Racer);
+        let mut armed_cfg = clean_cfg.clone();
+        armed_cfg.fault.seed = Some(0xFEED);
+        let run = |cfg: SimConfig| {
+            let mut sys = System::new(cfg, 2);
+            send_recv_programs(&mut sys);
+            sys.mpu_mut(0).write_register(0, 0, 0, &vec![7; 64]).unwrap();
+            let stats = sys.run().unwrap();
+            (stats, sys.mpu_mut(1).read_register(0, 0, 0).unwrap())
+        };
+        assert_eq!(run(clean_cfg), run(armed_cfg));
     }
 }
