@@ -69,6 +69,7 @@ pub struct CompiledRecipe {
     ops: Vec<CompiledOp>,
     lanes: usize,
     regs: usize,
+    mix: [u32; MicroOpKind::ALL.len()],
 }
 
 impl CompiledRecipe {
@@ -90,6 +91,13 @@ impl CompiledRecipe {
     /// True for the empty recipe.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// Micro-op counts per kind, indexed by [`MicroOpKind::index`].
+    /// Precomputed at compile time so execution tracing can attribute
+    /// micro-op classes without rescanning the recipe.
+    pub fn mix(&self) -> [u32; MicroOpKind::ALL.len()] {
+        self.mix
     }
 }
 
@@ -135,6 +143,10 @@ pub(crate) fn compile(ops: &[MicroOp], lanes: usize, regs: usize) -> CompiledRec
     assert!(regs > 0 && regs <= 64, "register count must be in 1..=64");
     let layout = Layout { regs, words: lanes.div_ceil(64) };
     let latch = layout.base(Plane::Scratch(SCRATCH_PLANES as u16 - 1));
+    let mut mix = [0u32; MicroOpKind::ALL.len()];
+    for op in ops {
+        mix[op.kind().index()] += 1;
+    }
     let compiled = ops
         .iter()
         .map(|op| match *op {
@@ -216,7 +228,7 @@ pub(crate) fn compile(ops: &[MicroOp], lanes: usize, regs: usize) -> CompiledRec
             }
         })
         .collect();
-    CompiledRecipe { ops: compiled, lanes, regs }
+    CompiledRecipe { ops: compiled, lanes, regs, mix }
 }
 
 /// Executes a compiled recipe over a VRF's flat storage. Called through

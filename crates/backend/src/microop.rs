@@ -136,6 +136,22 @@ impl MicroOpKind {
         MicroOpKind::Copy,
         MicroOpKind::Set,
     ];
+
+    /// This kind's position in [`MicroOpKind::ALL`], for dense per-kind
+    /// tables (histograms, attribution profiles) without a map allocation.
+    pub const fn index(self) -> usize {
+        match self {
+            MicroOpKind::Nor => 0,
+            MicroOpKind::Tra => 1,
+            MicroOpKind::Not => 2,
+            MicroOpKind::And => 3,
+            MicroOpKind::Or => 4,
+            MicroOpKind::Xor => 5,
+            MicroOpKind::FullAdd => 6,
+            MicroOpKind::Copy => 7,
+            MicroOpKind::Set => 8,
+        }
+    }
 }
 
 impl fmt::Display for MicroOpKind {

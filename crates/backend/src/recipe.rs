@@ -91,6 +91,17 @@ impl Recipe {
         h
     }
 
+    /// Micro-op counts per kind as a dense array indexed by
+    /// [`MicroOpKind::index`] — the allocation-free form of
+    /// [`Recipe::histogram`], used by tracing on the execution hot path.
+    pub fn kind_counts(&self) -> [u32; MicroOpKind::ALL.len()] {
+        let mut counts = [0u32; MicroOpKind::ALL.len()];
+        for op in &self.ops {
+            counts[op.kind().index()] += 1;
+        }
+        counts
+    }
+
     /// Compiles this recipe for a `(lanes, regs)` VRF geometry: plane
     /// operands resolve to flat storage offsets and mask-target decisions
     /// are precomputed, so [`crate::BitPlaneVrf::run_compiled`] executes

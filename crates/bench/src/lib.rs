@@ -4,9 +4,15 @@
 //! executes micro-ops and kernels on the host) plus ablation measurements
 //! of the design choices DESIGN.md §6 calls out (recipe caching,
 //! bit-pipelining, thermal limits), reported via Criterion.
+//!
+//! The [`perf`] module is different in kind: a *deterministic* regression
+//! gate over simulated architectural counters (never wall clock), run as a
+//! normal test via `cargo test -p bench`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod perf;
 
 use mastodon::SimConfig;
 use pum_backend::DatapathKind;

@@ -1,0 +1,66 @@
+//! The perf-regression gate: compares the current 21-kernel sweep's
+//! architectural counters against the blessed `BENCH_kernels.json`.
+//!
+//! * `cargo test -p bench` — runs the gate; fails on any counter drifting
+//!   beyond tolerance and writes `perf-regression-report.txt` next to the
+//!   baseline for CI to upload.
+//! * `MPU_BLESS=1 cargo test -p bench` — re-blesses the baseline after an
+//!   intentional performance change.
+//! * `MPU_PERF_TOL=0.02 cargo test -p bench` — allows ±2% drift.
+
+use bench::perf::{
+    baseline_path, collect_records, compare, from_json, render_report, to_json, tolerance,
+};
+
+#[test]
+fn kernel_counters_match_blessed_baseline() {
+    let current = collect_records();
+    assert_eq!(current.len(), 21, "the paper's 21-kernel suite must all run");
+    let path = baseline_path();
+
+    if std::env::var("MPU_BLESS").as_deref() == Ok("1") {
+        std::fs::write(&path, to_json(&current)).expect("write blessed baseline");
+        eprintln!("blessed {} kernel records into {}", current.len(), path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing perf baseline {} ({e}); generate it with MPU_BLESS=1 cargo test -p bench",
+            path.display()
+        )
+    });
+    let baseline = from_json(&text).expect("baseline parses");
+    let tol = tolerance();
+    let violations = compare(&baseline, &current, tol);
+    if !violations.is_empty() {
+        let report = render_report(&violations, tol);
+        let report_path = path.with_file_name("perf-regression-report.txt");
+        std::fs::write(&report_path, &report).ok();
+        panic!("{report}\n(report written to {})", report_path.display());
+    }
+}
+
+#[test]
+fn gate_catches_injected_drift() {
+    // End-to-end dry run of the failure path: perturb one counter of the
+    // real sweep by 10% and check the gate reports exactly that counter.
+    let records = collect_records();
+    let mut drifted = records.clone();
+    drifted[0].cycles += drifted[0].cycles.div_ceil(10);
+    let violations = compare(&records, &drifted, 0.0);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert!(violations[0].contains("cycles"), "{violations:?}");
+    assert!(violations[0].contains(&drifted[0].kernel), "{violations:?}");
+    assert!(
+        compare(&records, &records, 0.0).is_empty(),
+        "the unperturbed sweep must pass its own gate"
+    );
+}
+
+#[test]
+fn sweep_records_round_trip_through_json() {
+    let records = collect_records();
+    let parsed = from_json(&to_json(&records)).expect("round trip parses");
+    assert_eq!(parsed, records, "baseline serialization must be lossless");
+}

@@ -150,11 +150,7 @@ impl SweepReport {
     }
 }
 
-fn oracle_boxes(
-    backend: DatapathKind,
-    case: &Case,
-    programs: &[Program],
-) -> Option<Vec<LaneBox>> {
+fn oracle_boxes(backend: DatapathKind, case: &Case, programs: &[Program]) -> Option<Vec<LaneBox>> {
     let mut sys = RefSystem::new(ref_geometry(backend), case.mpus.len());
     for (id, (mpu, program)) in case.mpus.iter().zip(programs).enumerate() {
         sys.set_program(id, program.clone());

@@ -1,0 +1,116 @@
+//! Observability conformance: across random generated programs, all three
+//! backends, and both recipe-execution modes, (1) arming a tracer never
+//! changes execution — lane values and per-MPU statistics are
+//! byte-identical to a disarmed run — and (2) the attribution profile
+//! built from the trace conserves every counter and energy field exactly.
+
+use conformance::{generate, BACKENDS, BOX_RFHS, BOX_VRFS};
+use mastodon::{EventLog, Profile, SimConfig, Stats, System, TraceEvent};
+use proptest::prelude::*;
+use pum_backend::DatapathKind;
+
+/// Registers compared per VRF (mirrors the diff harness's comparison box).
+const CMP_REGS: u8 = 14;
+
+type LaneBox = Vec<((u16, u16, u8), Vec<u64>)>;
+
+struct Observed {
+    lanes: Vec<LaneBox>,
+    per_mpu: Vec<Stats>,
+    system: Stats,
+    events: Vec<TraceEvent>,
+}
+
+/// Runs a generated case on the simulator, optionally traced. Cases whose
+/// programs fail to lower or run (shrinker-style artifacts) return `None`
+/// and are skipped — the point here is trace transparency, not validity.
+fn run_case(kind: DatapathKind, interpret: bool, seed: u64, armed: bool) -> Option<Observed> {
+    let case = generate(seed);
+    let programs = case.programs().ok()?;
+    let mut config = SimConfig::mpu(kind);
+    config.interpret_recipes = interpret;
+    let mut sys = System::new(config, case.mpus.len());
+    let log = EventLog::new();
+    if armed {
+        sys.set_event_log(&log);
+    }
+    for (id, (mpu, program)) in case.mpus.iter().zip(&programs).enumerate() {
+        sys.set_program(id, program.clone());
+        for input in &mpu.inputs {
+            sys.mpu_mut(id).write_register(input.rfh, input.vrf, input.reg, &input.values).ok()?;
+        }
+    }
+    let system = sys.run().ok()?;
+    let mut lanes = Vec::with_capacity(case.mpus.len());
+    let mut per_mpu = Vec::with_capacity(case.mpus.len());
+    for id in 0..case.mpus.len() {
+        let mut lane_box = Vec::new();
+        for rfh in 0..BOX_RFHS {
+            for vrf in 0..BOX_VRFS {
+                for reg in 0..CMP_REGS {
+                    lane_box.push((
+                        (rfh, vrf, reg),
+                        sys.mpu_mut(id).read_register(rfh, vrf, reg).ok()?,
+                    ));
+                }
+            }
+        }
+        lanes.push(lane_box);
+        per_mpu.push(*sys.mpu_mut(id).stats());
+    }
+    Some(Observed { lanes, per_mpu, system, events: log.take() })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tracing transparency and conservation over random programs: the
+    /// armed run is byte-identical to the disarmed run, and folding the
+    /// armed run's event deltas reproduces every [`Stats`] field exactly
+    /// (including f64 energies, bit for bit — `Stats` derives
+    /// `PartialEq`).
+    #[test]
+    fn tracing_is_transparent_and_profiles_conserve(seed in 0u64..4096) {
+        for kind in BACKENDS {
+            for interpret in [false, true] {
+                let armed = run_case(kind, interpret, seed, true);
+                let disarmed = run_case(kind, interpret, seed, false);
+                let (armed, disarmed) = match (armed, disarmed) {
+                    (Some(a), Some(d)) => (a, d),
+                    (None, None) => continue,
+                    _ => {
+                        prop_assert!(false, "armed/disarmed runnability diverged \
+                                             ({kind:?}, interpret={interpret}, seed={seed})");
+                        unreachable!()
+                    }
+                };
+                prop_assert_eq!(
+                    &armed.lanes, &disarmed.lanes,
+                    "lane values diverged ({:?}, interpret={}, seed={})", kind, interpret, seed
+                );
+                prop_assert_eq!(
+                    &armed.per_mpu, &disarmed.per_mpu,
+                    "per-MPU stats diverged ({:?}, interpret={}, seed={})", kind, interpret, seed
+                );
+                prop_assert_eq!(
+                    armed.system, disarmed.system,
+                    "system stats diverged ({:?}, interpret={}, seed={})", kind, interpret, seed
+                );
+
+                let profile = Profile::build(&armed.events);
+                for m in &profile.mpus {
+                    prop_assert_eq!(
+                        &m.totals, &armed.per_mpu[m.mpu as usize],
+                        "profile totals failed conservation for mpu{} \
+                         ({:?}, interpret={}, seed={})", m.mpu, kind, interpret, seed
+                    );
+                }
+                prop_assert_eq!(
+                    profile.merged(), armed.system,
+                    "merged profile failed conservation ({:?}, interpret={}, seed={})",
+                    kind, interpret, seed
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! `mpu_profile` — trace one kernel and emit its cycle/energy attribution
+//! profile plus a Perfetto-loadable Chrome trace.
+//!
+//! ```text
+//! mpu_profile --kernel vecadd [--backend racer|mimdram|dualitycache]
+//!             [--mode mpu|baseline] [--n 4096] [--seed 42]
+//!             [--out trace.json]
+//! ```
+//!
+//! The attribution profile (program line → instruction → micro-op class,
+//! with exact cycle/energy sums) prints to stdout; the Chrome trace is
+//! written to `--out` (default `mpu_profile.json`) and loads directly in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use experiments::{parse_backend, profile_kernel};
+use pum_backend::DatapathKind;
+use std::process::ExitCode;
+
+struct Args {
+    kernel: String,
+    backend: DatapathKind,
+    baseline: bool,
+    n: u64,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut kernel = None;
+    let mut backend = DatapathKind::Racer;
+    let mut baseline = false;
+    let mut n = 1 << 12;
+    let mut seed = 42;
+    let mut out = String::from("mpu_profile.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match arg.as_str() {
+            "--kernel" => kernel = Some(value("--kernel")?),
+            "--backend" => backend = parse_backend(&value("--backend")?)?,
+            "--mode" => {
+                baseline = match value("--mode")?.as_str() {
+                    "mpu" => false,
+                    "baseline" => true,
+                    other => {
+                        return Err(format!("unknown mode {other:?}; expected mpu or baseline"))
+                    }
+                }
+            }
+            "--n" => {
+                n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?;
+            }
+            "--seed" => {
+                seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => out = value("--out")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: mpu_profile --kernel <name> [--backend racer|mimdram|dualitycache] \
+                            [--mode mpu|baseline] [--n N] [--seed S] [--out trace.json]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    let kernel = kernel.ok_or("missing required --kernel <name> (try --help)")?;
+    Ok(Args { kernel, backend, baseline, n, seed, out })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match profile_kernel(&args.kernel, args.backend, args.baseline, args.n, args.seed)
+    {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("mpu_profile: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# {} on {} (n={}, seed={}), verified={}",
+        args.kernel, report.run.label, args.n, args.seed, report.run.verified
+    );
+    print!("{}", report.profile_text);
+    if let Err(e) = std::fs::write(&args.out, &report.chrome_json) {
+        eprintln!("mpu_profile: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nwrote Chrome trace to {} — load it in chrome://tracing or https://ui.perfetto.dev",
+        args.out
+    );
+    ExitCode::SUCCESS
+}

@@ -241,6 +241,68 @@ pub fn app_matrix_jobs(seed: u64, jobs: Option<usize>) -> Vec<AppComparison> {
         .collect()
 }
 
+/// Everything the `mpu_profile` binary emits for one traced kernel run:
+/// the verified chip run, the rendered attribution profile, and a
+/// Perfetto-loadable Chrome trace export.
+#[derive(Debug, Clone)]
+pub struct KernelProfileReport {
+    /// The (verified) chip run whose wave was traced.
+    pub run: ChipRun,
+    /// Deterministic text rendering of the attribution tree.
+    pub profile_text: String,
+    /// Chrome trace-event JSON (load in `chrome://tracing` or Perfetto).
+    pub chrome_json: String,
+}
+
+/// Runs one kernel with tracing armed and builds its attribution profile
+/// and Chrome trace export. `baseline` selects host-offload mode.
+///
+/// # Errors
+///
+/// Returns a message naming the kernel (with the list of valid names) or
+/// forwarding the harness failure.
+pub fn profile_kernel(
+    kernel_name: &str,
+    backend: DatapathKind,
+    baseline: bool,
+    n: u64,
+    seed: u64,
+) -> Result<KernelProfileReport, String> {
+    let kernels = all_kernels();
+    let kernel = kernels.iter().find(|k| k.name() == kernel_name).ok_or_else(|| {
+        let names: Vec<&str> = kernels.iter().map(|k| k.name()).collect();
+        format!("unknown kernel {kernel_name:?}; available: {}", names.join(", "))
+    })?;
+    let config = if baseline { SimConfig::baseline(backend) } else { SimConfig::mpu(backend) };
+    let log = mastodon::EventLog::new();
+    let run = workloads::run_kernel_traced(kernel.as_ref(), &config, n, seed, &log)
+        .map_err(|e| e.to_string())?;
+    let events = log.take();
+    let profile = mastodon::Profile::build(&events);
+    debug_assert_eq!(profile.merged(), run.wave, "profile must conserve the wave stats");
+    Ok(KernelProfileReport {
+        run,
+        profile_text: profile.render(),
+        chrome_json: mastodon::chrome_trace_json(&events),
+    })
+}
+
+/// Parses a backend name for the profiling CLI.
+///
+/// # Errors
+///
+/// Returns a message listing the accepted spellings.
+pub fn parse_backend(name: &str) -> Result<DatapathKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "racer" => Ok(DatapathKind::Racer),
+        "mimdram" => Ok(DatapathKind::Mimdram),
+        "dualitycache" | "duality-cache" | "dc" => Ok(DatapathKind::DualityCache),
+        other => {
+            Err(format!("unknown backend {other:?}; expected racer, mimdram, or dualitycache"))
+        }
+    }
+}
+
 /// Parses a `--jobs N` / `--jobs=N` override from the process arguments
 /// (the experiment binaries' worker-thread flag; `MPU_JOBS` applies when
 /// absent).

@@ -1,0 +1,232 @@
+//! Chrome trace-event (Perfetto-loadable) export of a trace stream.
+//!
+//! The exporter emits the JSON object format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one track
+//! (`tid`) per MPU plus a dedicated NoC track, timestamps in simulated
+//! cycles. Ensemble spans become `B`/`E` pairs; every other event becomes
+//! a complete (`X`) slice whose duration is the cycle charge it carried,
+//! so zooming into a track shows exactly where the cycles went.
+//!
+//! The output is deterministic: the same event stream always serializes to
+//! the identical string.
+
+use crate::trace::{TraceEvent, TraceKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// The `tid` carrying NoC traversals (kept clear of real MPU ids).
+pub const NOC_TID: u32 = 65535;
+
+/// Serializes a trace-event stream (as collected by [`crate::EventLog`])
+/// into Chrome trace-event JSON.
+///
+/// Guarantees, relied on by the observability tests:
+/// * well-formed JSON with a `traceEvents` array;
+/// * `B`/`E` events are balanced per track (unclosed spans at the end of
+///   the stream are closed at that track's last timestamp);
+/// * timestamps are monotonically non-decreasing within each track.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut records: Vec<String> = Vec::new();
+
+    // Metadata: name each MPU track, in id order, plus the NoC track.
+    let mut mpu_ids: Vec<u16> = events.iter().map(|e| e.mpu).collect();
+    mpu_ids.sort_unstable();
+    mpu_ids.dedup();
+    let has_noc = events.iter().any(|e| matches!(e.kind, TraceKind::Noc { .. }));
+    for id in &mpu_ids {
+        records.push(meta_thread_name(u32::from(*id), &format!("mpu{id}")));
+    }
+    if has_noc {
+        records.push(meta_thread_name(NOC_TID, "noc"));
+    }
+
+    // NoC slices land on a shared track but are stamped by the receiving
+    // MPU's clock, so they must be re-sorted to keep the track monotonic.
+    let mut noc: Vec<(u64, String)> = Vec::new();
+    // Open B spans per track (name, for diagnostics) and last timestamp.
+    let mut open: HashMap<u32, Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<u32, u64> = HashMap::new();
+
+    for ev in events {
+        let tid = u32::from(ev.mpu);
+        let cycles = ev.delta.cycles;
+        let ts = ev.cycle.saturating_sub(cycles);
+        match &ev.kind {
+            TraceKind::EnsembleBegin { kind } => {
+                let name = format!("{kind} @{}", ev.line);
+                records.push(format!(
+                    "{{\"name\":\"{}\",\"ph\":\"B\",\"pid\":0,\"tid\":{tid},\"ts\":{}}}",
+                    esc(&name),
+                    ev.cycle
+                ));
+                open.entry(tid).or_default().push(name);
+                last_ts.insert(tid, ev.cycle);
+            }
+            TraceKind::EnsembleEnd { .. } => {
+                if open.entry(tid).or_default().pop().is_some() {
+                    records.push(format!(
+                        "{{\"ph\":\"E\",\"pid\":0,\"tid\":{tid},\"ts\":{}}}",
+                        ev.cycle
+                    ));
+                    last_ts.insert(tid, ev.cycle);
+                }
+            }
+            TraceKind::Noc { src, dst, bytes, delivered } => {
+                let name = format!("mpu{src} -> mpu{dst}");
+                let mut args = format!("\"bytes\":{bytes},\"delivered\":{delivered}");
+                push_energy(&mut args, ev);
+                noc.push((ts, complete_event(&name, NOC_TID, ts, cycles, &args)));
+            }
+            kind => {
+                let name = slice_name(kind, ev.line);
+                let mut args = format!("\"line\":{}", ev.line);
+                if ev.delta.uops > 0 {
+                    let _ = write!(args, ",\"uops\":{}", ev.delta.uops);
+                }
+                push_energy(&mut args, ev);
+                records.push(complete_event(&name, tid, ts, cycles, &args));
+                last_ts.insert(tid, ev.cycle);
+            }
+        }
+    }
+
+    // Close any span left open (e.g. a run that errored mid-ensemble).
+    let mut dangling: Vec<u32> =
+        open.iter().filter(|(_, v)| !v.is_empty()).map(|(t, _)| *t).collect();
+    dangling.sort_unstable();
+    for tid in dangling {
+        let ts = last_ts.get(&tid).copied().unwrap_or(0);
+        for _ in 0..open[&tid].len() {
+            records.push(format!("{{\"ph\":\"E\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}"));
+        }
+    }
+
+    noc.sort_by_key(|(ts, _)| *ts);
+    records.extend(noc.into_iter().map(|(_, r)| r));
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(rec);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn slice_name(kind: &TraceKind, line: usize) -> String {
+    match kind {
+        TraceKind::Wave { index, vrfs } => format!("wave {index} ({vrfs} vrfs)"),
+        TraceKind::Instr { mnemonic, .. } => format!("{line}: {mnemonic}"),
+        TraceKind::Exec { vrfs, .. } => format!("exec ({vrfs} vrfs)"),
+        TraceKind::RecipeLookup { hit: true, .. } => "recipe hit".to_string(),
+        TraceKind::RecipeLookup { hit: false, pool } => match pool {
+            Some(true) => "recipe miss (pool hit)".to_string(),
+            Some(false) => "recipe miss (pool miss)".to_string(),
+            None => "recipe miss".to_string(),
+        },
+        TraceKind::PlaybackRefill => "playback refill".to_string(),
+        TraceKind::Offload { batched: true } => "offload (batched)".to_string(),
+        TraceKind::Offload { batched: false } => "offload round trip".to_string(),
+        TraceKind::Memcpy { src_rfh, dst_rfh } => format!("memcpy h{src_rfh} -> h{dst_rfh}"),
+        TraceKind::Checkpoint => "checkpoint".to_string(),
+        TraceKind::Restart => "restart".to_string(),
+        TraceKind::SelfTest { dead, remapped, lost } => {
+            format!("self-test ({dead} dead, {remapped} remapped, {lost} lost)")
+        }
+        TraceKind::Fault(action) => format!("fault: {action:?}"),
+        TraceKind::Finish => "finish".to_string(),
+        TraceKind::EnsembleBegin { .. } | TraceKind::EnsembleEnd { .. } | TraceKind::Noc { .. } => {
+            unreachable!("handled by the caller")
+        }
+    }
+}
+
+fn complete_event(name: &str, tid: u32, ts: u64, dur: u64, args: &str) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\"args\":{{{args}}}}}",
+        esc(name)
+    )
+}
+
+fn meta_thread_name(tid: u32, name: &str) -> String {
+    format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+        esc(name)
+    )
+}
+
+fn push_energy(args: &mut String, ev: &TraceEvent) {
+    let pj = ev.delta.energy.total_pj();
+    if pj > 0.0 {
+        let _ = write!(args, ",\"energy_pj\":{pj}");
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Stats;
+
+    fn ev(mpu: u16, line: usize, cycle: u64, kind: TraceKind, cycles: u64) -> TraceEvent {
+        let delta = Stats { cycles, ..Stats::default() };
+        TraceEvent { mpu, line, cycle, kind, delta }
+    }
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn closes_dangling_spans() {
+        use crate::machine::EnsembleKind;
+        let events = vec![
+            ev(0, 0, 10, TraceKind::EnsembleBegin { kind: EnsembleKind::Compute }, 0),
+            ev(
+                0,
+                1,
+                20,
+                TraceKind::Instr { mnemonic: "NOP", class: crate::trace::InstrClass::Control },
+                10,
+            ),
+        ];
+        let json = chrome_trace_json(&events);
+        let b = json.matches("\"ph\":\"B\"").count();
+        let e = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, 1);
+        assert_eq!(e, 1, "unclosed span must be auto-closed: {json}");
+    }
+
+    #[test]
+    fn noc_track_is_sorted_by_timestamp() {
+        let events = vec![
+            ev(1, 0, 50, TraceKind::Noc { src: 0, dst: 1, bytes: 8, delivered: true }, 0),
+            ev(2, 0, 30, TraceKind::Noc { src: 0, dst: 2, bytes: 8, delivered: true }, 0),
+        ];
+        let json = chrome_trace_json(&events);
+        let first = json.find("mpu0 -> mpu2").expect("earlier noc slice present");
+        let second = json.find("mpu0 -> mpu1").expect("later noc slice present");
+        assert!(first < second, "noc slices must be time-ordered: {json}");
+    }
+}

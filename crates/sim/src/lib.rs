@@ -73,22 +73,28 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod autotune;
+mod chrome;
 mod config;
 mod fault;
 mod machine;
 mod noc;
+mod profile;
 mod recipe_cache;
 mod stats;
 mod system;
+mod trace;
 
 pub use autotune::{autotune, EnsembleShape, TuneResult};
+pub use chrome::{chrome_trace_json, NOC_TID};
 pub use config::{ControlCosts, ExecutionMode, NocParams, OffloadParams, SimConfig};
 pub use fault::{kind_weight, FaultConfig, RecoveryPolicy, Redundancy, StuckLane};
 pub use machine::{
-    run_single, run_single_pooled, EnsembleKind, Message, Mpu, RegisterInit, RemoteWrite, SimError,
-    StepEvent,
+    run_single, run_single_pooled, run_single_traced, EnsembleKind, Message, Mpu, RegisterInit,
+    RemoteWrite, SimError, StepEvent,
 };
 pub use noc::MeshNoc;
-pub use recipe_cache::{RecipeCache, RecipePool};
+pub use profile::{MpuProfile, Profile, ProfileNode};
+pub use recipe_cache::{PoolStats, RecipeCache, RecipePool};
 pub use stats::{EnergyStats, FaultStats, Stats};
 pub use system::{System, SystemError};
+pub use trace::{EventLog, FaultAction, InstrClass, TraceEvent, TraceKind, Tracer, UopMix};

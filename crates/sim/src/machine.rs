@@ -12,7 +12,8 @@
 use crate::config::{ExecutionMode, SimConfig};
 use crate::fault::Redundancy;
 use crate::recipe_cache::{RecipeCache, RecipePool};
-use crate::stats::Stats;
+use crate::stats::{EnergyStats, Stats};
+use crate::trace::{FaultAction, InstrClass, TraceEvent, TraceKind, Tracer, UopMix};
 use mpu_isa::{Instruction, MpuId, Program, COND_REG};
 use pum_backend::{BitPlaneVrf, Plane, Recipe};
 use serde::{Deserialize, Serialize};
@@ -261,6 +262,11 @@ pub struct Mpu {
     pc: usize,
     halted: bool,
     inbox: Vec<Message>,
+    /// Observability hook (`None` by default): every stats charge is
+    /// mirrored as a [`TraceEvent`] when armed. Disarmed, each emission
+    /// site is a single branch and no event is ever constructed, so
+    /// execution and statistics are byte-identical either way.
+    tracer: Option<Box<dyn Tracer>>,
 }
 
 impl Mpu {
@@ -277,7 +283,60 @@ impl Mpu {
             pc: 0,
             halted: false,
             inbox: Vec::new(),
+            tracer: None,
         }
+    }
+
+    /// Arms structured tracing: `tracer` receives one [`TraceEvent`] per
+    /// stats charge (see [`crate::trace`] for the contract). Tracing is
+    /// observational only — lane values and [`Stats`] stay byte-identical
+    /// to an untraced run.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Emits a trace event when a tracer is armed. The closure builds the
+    /// `(kind, delta)` pair only in that case, so disarmed machines pay a
+    /// single branch. Call *after* applying the charge: the event's cycle
+    /// stamp is read from the post-charge ledger.
+    #[inline]
+    fn trace<F: FnOnce() -> (TraceKind, Stats)>(&mut self, line: usize, f: F) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            let (kind, delta) = f();
+            tracer.event(&TraceEvent {
+                mpu: self.id.0,
+                line,
+                cycle: self.stats.cycles,
+                kind,
+                delta,
+            });
+        }
+    }
+
+    /// Traces one control-path instruction: its control-cycle charge plus
+    /// the instruction count.
+    #[inline]
+    fn trace_control_instr(&mut self, line: usize, mnemonic: &'static str, cycles: u64) {
+        self.trace(line, || {
+            let delta =
+                Stats { cycles, control_cycles: cycles, instructions: 1, ..Stats::default() };
+            (TraceKind::Instr { mnemonic, class: InstrClass::Control }, delta)
+        });
+    }
+
+    /// Traces one redundancy/recovery action and its fault counter.
+    #[inline]
+    fn trace_fault(&mut self, line: usize, action: FaultAction) {
+        self.trace(line, || {
+            let mut delta = Stats::default();
+            match action {
+                FaultAction::RedundantRun => delta.faults.redundant_runs = 1,
+                FaultAction::Detected => delta.faults.detected = 1,
+                FaultAction::Corrected => delta.faults.corrected = 1,
+                FaultAction::Retry => delta.faults.retries = 1,
+            }
+            (TraceKind::Fault(action), delta)
+        });
     }
 
     /// Creates an MPU whose recipe-cache misses consult `pool` before
@@ -392,17 +451,30 @@ impl Mpu {
         }
         let logical = lanes.saturating_sub(self.config.recovery.spare_lanes).max(1);
         let map: Vec<usize> = (0..lanes).filter(|l| !dead.contains(l)).take(logical).collect();
+        let dead_n = dead.len() as u64;
+        let remapped_n = map.iter().enumerate().filter(|&(i, &p)| i != p).count() as u64;
+        let lost_n = (logical - map.len()) as u64;
         let st = &mut self.stats.faults;
-        st.dead_lanes += dead.len() as u64;
-        st.remapped_lanes += map.iter().enumerate().filter(|&(i, &p)| i != p).count() as u64;
-        st.lanes_lost += (logical - map.len()) as u64;
+        st.dead_lanes += dead_n;
+        st.remapped_lanes += remapped_n;
+        st.lanes_lost += lost_n;
         // Overhead: two write/read march passes over one register.
         let words = 4 * lanes as u64;
         let cycles = words * self.config.datapath.transfer_cycles_per_word();
+        let pj = words as f64 * self.config.datapath.transfer_energy_pj_per_word();
         self.stats.cycles += cycles;
         self.stats.transfer_cycles += cycles;
-        self.stats.energy.transfer_pj +=
-            words as f64 * self.config.datapath.transfer_energy_pj_per_word();
+        self.stats.energy.transfer_pj += pj;
+        self.trace(0, || {
+            let mut delta = Stats::default();
+            delta.faults.dead_lanes = dead_n;
+            delta.faults.remapped_lanes = remapped_n;
+            delta.faults.lanes_lost = lost_n;
+            delta.cycles = cycles;
+            delta.transfer_cycles = cycles;
+            delta.energy.transfer_pj = pj;
+            (TraceKind::SelfTest { dead: dead_n, remapped: remapped_n, lost: lost_n }, delta)
+        });
         map
     }
 
@@ -505,19 +577,26 @@ impl Mpu {
     /// Finalizes end-of-run energy (front-end power in MPU mode, CPU idle
     /// power in Baseline mode) and returns a snapshot of the statistics.
     pub fn finish(&mut self) -> Stats {
-        self.stats.faults.injected +=
-            self.vrfs.values_mut().map(BitPlaneVrf::take_injected).sum::<u64>();
+        let injected = self.vrfs.values_mut().map(BitPlaneVrf::take_injected).sum::<u64>();
+        self.stats.faults.injected += injected;
+        let mut delta = Stats::default();
+        delta.faults.injected = injected;
         match self.config.mode {
             ExecutionMode::Mpu => {
-                self.stats.energy.frontend_pj += (self.config.frontend_dynamic_mw
-                    + self.config.frontend_static_mw)
+                let pj = (self.config.frontend_dynamic_mw + self.config.frontend_static_mw)
                     * self.stats.cycles as f64;
+                self.stats.energy.frontend_pj += pj;
+                delta.energy.frontend_pj = pj;
             }
             ExecutionMode::Baseline => {
                 let non_offload = self.stats.cycles.saturating_sub(self.stats.offload_cycles);
-                self.stats.energy.cpu_pj += self.config.offload.cpu_idle_mw * non_offload as f64;
+                let pj = self.config.offload.cpu_idle_mw * non_offload as f64;
+                self.stats.energy.cpu_pj += pj;
+                delta.energy.cpu_pj = pj;
             }
         }
+        let line = self.pc;
+        self.trace(line, || (TraceKind::Finish, delta));
         self.stats
     }
 
@@ -551,9 +630,21 @@ impl Mpu {
                 Instruction::MpuSync => {
                     // One compute controller → ensembles already serialized;
                     // the fence costs a marker.
-                    self.stats.cycles += self.config.control.ensemble_marker;
-                    self.stats.control_cycles += self.config.control.ensemble_marker;
+                    let marker = self.config.control.ensemble_marker;
+                    self.stats.cycles += marker;
+                    self.stats.control_cycles += marker;
                     self.stats.instructions += 1;
+                    self.trace(line, || {
+                        let delta = Stats {
+                            cycles: marker,
+                            control_cycles: marker,
+                            instructions: 1,
+                            ..Stats::default()
+                        };
+                        let kind =
+                            TraceKind::Instr { mnemonic: "MPU_SYNC", class: InstrClass::Control };
+                        (kind, delta)
+                    });
                     self.pc += 1;
                 }
                 Instruction::Send { dst } => {
@@ -562,7 +653,7 @@ impl Mpu {
                     let msg = self
                         .exec_send_block(program, dst)
                         .map_err(|e| self.in_ensemble(line, EnsembleKind::Send, e))?;
-                    self.offload_comm(msg.bytes);
+                    self.offload_comm(msg.bytes, line);
                     return Ok(StepEvent::Sent(Box::new(msg)));
                 }
                 Instruction::Recv { src } => {
@@ -570,10 +661,14 @@ impl Mpu {
                         let msg = self.inbox.remove(pos);
                         if self.config.mode == ExecutionMode::Baseline {
                             // CPU-mediated delivery over the off-chip bus.
-                            self.offload_comm(msg.bytes);
+                            self.offload_comm(msg.bytes, line);
                         }
                         self.apply_message(&msg);
                         self.stats.instructions += 1;
+                        self.trace(line, || {
+                            let delta = Stats { instructions: 1, ..Stats::default() };
+                            (TraceKind::Instr { mnemonic: "RECV", class: InstrClass::Comm }, delta)
+                        });
                         self.pc += 1;
                     } else {
                         return Ok(StepEvent::AwaitingRecv { src });
@@ -584,11 +679,25 @@ impl Mpu {
                     // subroutine bodies follow).
                     self.halted = true;
                     self.stats.instructions += 1;
+                    self.trace(line, || {
+                        let delta = Stats { instructions: 1, ..Stats::default() };
+                        (TraceKind::Instr { mnemonic: "RETURN", class: InstrClass::Control }, delta)
+                    });
                 }
                 Instruction::Nop => {
-                    self.stats.cycles += self.config.control.nop;
-                    self.stats.control_cycles += self.config.control.nop;
+                    let nop = self.config.control.nop;
+                    self.stats.cycles += nop;
+                    self.stats.control_cycles += nop;
                     self.stats.instructions += 1;
+                    self.trace(line, || {
+                        let delta = Stats {
+                            cycles: nop,
+                            control_cycles: nop,
+                            instructions: 1,
+                            ..Stats::default()
+                        };
+                        (TraceKind::Instr { mnemonic: "NOP", class: InstrClass::Control }, delta)
+                    });
                     self.pc += 1;
                 }
                 ref other => {
@@ -631,6 +740,15 @@ impl Mpu {
         self.stats.cycles += cp_cycles;
         self.stats.transfer_cycles += cp_cycles;
         self.stats.energy.transfer_pj += cp_pj;
+        self.trace(start_pc, || {
+            let delta = Stats {
+                cycles: cp_cycles,
+                transfer_cycles: cp_cycles,
+                energy: EnergyStats { transfer_pj: cp_pj, ..EnergyStats::default() },
+                ..Stats::default()
+            };
+            (TraceKind::Checkpoint, delta)
+        });
         let mut restarts = 0u32;
         loop {
             match self.exec_compute_ensemble_inner(program) {
@@ -665,6 +783,14 @@ impl Mpu {
                     self.stats.cycles += cp_cycles;
                     self.stats.transfer_cycles += cp_cycles;
                     self.stats.energy.transfer_pj += cp_pj;
+                    self.trace(start_pc, || {
+                        let mut delta = Stats::default();
+                        delta.faults.ensemble_restarts = 1;
+                        delta.cycles = cp_cycles;
+                        delta.transfer_cycles = cp_cycles;
+                        delta.energy.transfer_pj = cp_pj;
+                        (TraceKind::Restart, delta)
+                    });
                 }
                 Err(e) => return Err(e),
             }
@@ -675,6 +801,12 @@ impl Mpu {
     /// `COMPUTE` header instruction), including thermal-wave replay.
     fn exec_compute_ensemble_inner(&mut self, program: &Program) -> Result<(), SimError> {
         let marker = self.config.control.ensemble_marker;
+        let marker_delta =
+            Stats { cycles: marker, control_cycles: marker, instructions: 1, ..Stats::default() };
+        let header_pc = self.pc;
+        self.trace(header_pc, || {
+            (TraceKind::EnsembleBegin { kind: EnsembleKind::Compute }, Stats::default())
+        });
         // Collect the contiguous COMPUTE header.
         let mut members: Vec<(u16, u16)> = Vec::new();
         while let Instruction::Compute { rfh, vrf } = Self::fetch(program, self.pc)? {
@@ -683,6 +815,10 @@ impl Mpu {
             self.stats.cycles += marker;
             self.stats.control_cycles += marker;
             self.stats.instructions += 1;
+            let line = self.pc;
+            self.trace(line, || {
+                (TraceKind::Instr { mnemonic: "COMPUTE", class: InstrClass::Marker }, marker_delta)
+            });
             self.pc += 1;
         }
         let body_start = self.pc;
@@ -693,7 +829,11 @@ impl Mpu {
         self.stats.scheduler_waves += waves.len() as u64;
 
         let mut end_pc = body_start;
-        for wave in &waves {
+        for (index, wave) in waves.iter().enumerate() {
+            self.trace(body_start, || {
+                let delta = Stats { scheduler_waves: 1, ..Stats::default() };
+                (TraceKind::Wave { index, vrfs: wave.len() }, delta)
+            });
             end_pc = self.run_body(program, body_start, wave)?;
         }
         if waves.is_empty() {
@@ -704,6 +844,13 @@ impl Mpu {
         self.stats.cycles += marker;
         self.stats.control_cycles += marker;
         self.stats.instructions += 1;
+        self.trace(end_pc, || {
+            let kind = TraceKind::Instr { mnemonic: "COMPUTE_DONE", class: InstrClass::Marker };
+            (kind, marker_delta)
+        });
+        self.trace(end_pc, || {
+            (TraceKind::EnsembleEnd { kind: EnsembleKind::Compute }, Stats::default())
+        });
         self.pc = end_pc + 1;
         Ok(())
     }
@@ -750,7 +897,13 @@ impl Mpu {
             playback_used += 1;
             if playback_used > self.config.playback_entries {
                 playback_used = 1;
-                self.charge_control(self.config.control.playback_refill);
+                let refill = self.config.control.playback_refill;
+                self.charge_control(refill);
+                self.trace(line, || {
+                    let delta =
+                        Stats { cycles: refill, control_cycles: refill, ..Stats::default() };
+                    (TraceKind::PlaybackRefill, delta)
+                });
             }
             match instr {
                 Instruction::ComputeDone => {
@@ -773,8 +926,9 @@ impl Mpu {
                     pc += 1;
                 }
                 Instruction::SetMask { rs } => {
-                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch);
-                    self.charge_control(self.config.control.mask_update);
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch, line);
+                    let c = self.config.control.mask_update;
+                    self.charge_control(c);
                     for &(rfh, vrf) in wave {
                         let v = self.vrf_mut(rfh, vrf);
                         if rs == COND_REG {
@@ -784,11 +938,13 @@ impl Mpu {
                         }
                     }
                     self.stats.instructions += 1;
+                    self.trace_control_instr(line, "SETMASK", c);
                     pc += 1;
                 }
                 Instruction::GetMask { rd } => {
-                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch);
-                    self.charge_control(self.config.control.mask_readout);
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch, line);
+                    let c = self.config.control.mask_readout;
+                    self.charge_control(c);
                     for &(rfh, vrf) in wave {
                         let v = self.vrf_mut(rfh, vrf);
                         v.set_mask_enabled(false);
@@ -799,47 +955,58 @@ impl Mpu {
                         v.set_mask_enabled(true);
                     }
                     self.stats.instructions += 1;
+                    self.trace_control_instr(line, "GETMASK", c);
                     pc += 1;
                 }
                 Instruction::Unmask => {
-                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch);
-                    self.charge_control(self.config.control.mask_update);
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch, line);
+                    let c = self.config.control.mask_update;
+                    self.charge_control(c);
                     for &(rfh, vrf) in wave {
                         self.vrf_mut(rfh, vrf).fill_plane(Plane::Mask, true);
                     }
                     self.stats.instructions += 1;
+                    self.trace_control_instr(line, "UNMASK", c);
                     pc += 1;
                 }
                 Instruction::JumpCond { target } => {
-                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch);
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch, line);
                     // The branch decision hands control back to the PUM
                     // fetcher: the CPU visit ends here.
                     offload_batch = false;
-                    self.charge_control(self.config.control.efi_eval);
+                    let c = self.config.control.efi_eval;
+                    self.charge_control(c);
                     // EFI: jump back (continue the loop) while any lane of
                     // any wave VRF remains enabled (§VI-B semantics).
                     let any_enabled = wave
                         .iter()
                         .any(|&(rfh, vrf)| self.vrf_mut(rfh, vrf).any_lane_set(Plane::Mask));
                     self.stats.instructions += 1;
+                    self.trace_control_instr(line, "JUMP_COND", c);
                     pc = if any_enabled { target.index() } else { pc + 1 };
                 }
                 Instruction::Jump { target } => {
-                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch);
-                    self.charge_control(self.config.control.jump);
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch, line);
+                    let c = self.config.control.jump;
+                    self.charge_control(c);
                     self.stats.instructions += 1;
+                    self.trace_control_instr(line, "JUMP", c);
                     return_stack.push(pc + 1);
                     pc = target.index();
                 }
                 Instruction::Return => {
-                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch);
-                    self.charge_control(self.config.control.jump);
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch, line);
+                    let c = self.config.control.jump;
+                    self.charge_control(c);
                     self.stats.instructions += 1;
+                    self.trace_control_instr(line, "RETURN", c);
                     pc = return_stack.pop().ok_or(SimError::ReturnUnderflow { line })?;
                 }
                 Instruction::Nop => {
-                    self.charge_control(self.config.control.nop);
+                    let c = self.config.control.nop;
+                    self.charge_control(c);
                     self.stats.instructions += 1;
+                    self.trace_control_instr(line, "NOP", c);
                     pc += 1;
                 }
                 ref other => {
@@ -858,26 +1025,36 @@ impl Mpu {
         pipeline_warm: &mut bool,
         line: usize,
     ) -> Result<(), SimError> {
-        let (cached, hit) = match self.cache.lookup(&self.config.datapath, instr) {
+        let (cached, outcome) = match self.cache.lookup_traced(&self.config.datapath, instr) {
             Some(r) => r,
             None => return Ok(()), // unreachable for compute instructions
         };
         let recipe: Arc<Recipe> = Arc::clone(&cached.recipe);
+        let penalty = self.config.control.recipe_miss_penalty;
         // Decode cost: MPU caches templates; Baseline decodes every time.
-        match self.config.mode {
-            ExecutionMode::Mpu => {
-                if hit {
-                    self.stats.recipe_hits += 1;
-                } else {
-                    self.stats.recipe_misses += 1;
-                    self.charge_control(self.config.control.recipe_miss_penalty);
-                }
-            }
-            ExecutionMode::Baseline => {
-                self.stats.recipe_misses += 1;
-                self.charge_control(self.config.control.recipe_miss_penalty);
-            }
+        let hit = match self.config.mode {
+            ExecutionMode::Mpu => outcome.hit,
+            ExecutionMode::Baseline => false,
+        };
+        if hit {
+            self.stats.recipe_hits += 1;
+        } else {
+            self.stats.recipe_misses += 1;
+            self.charge_control(penalty);
         }
+        self.trace(line, || {
+            let delta = if hit {
+                Stats { recipe_hits: 1, ..Stats::default() }
+            } else {
+                Stats {
+                    recipe_misses: 1,
+                    cycles: penalty,
+                    control_cycles: penalty,
+                    ..Stats::default()
+                }
+            };
+            (TraceKind::RecipeLookup { hit, pool: outcome.pool }, delta)
+        });
 
         // Timing: micro-ops are broadcast to all wave VRFs, so issue time
         // does not scale with wave size. RACER overlaps consecutive
@@ -890,15 +1067,20 @@ impl Mpu {
         };
         *pipeline_warm = true;
         self.stats.instructions += 1;
+        let mnemonic = instr.mnemonic();
+        self.trace(line, || {
+            let delta = Stats { instructions: 1, ..Stats::default() };
+            (TraceKind::Instr { mnemonic, class: InstrClass::Compute }, delta)
+        });
 
         match self.config.recovery.redundancy {
             Redundancy::None => {
-                self.run_wave_once(&cached, &recipe, wave, cycles);
+                self.run_wave_once(&cached, &recipe, wave, cycles, line);
                 Ok(())
             }
             Redundancy::Dmr => self.run_wave_dmr(&cached, &recipe, wave, cycles, line),
             Redundancy::Tmr => {
-                self.run_wave_tmr(&cached, &recipe, wave, cycles);
+                self.run_wave_tmr(&cached, &recipe, wave, cycles, line);
                 Ok(())
             }
         }
@@ -916,6 +1098,7 @@ impl Mpu {
         recipe: &Recipe,
         wave: &[(u16, u16)],
         cycles: u64,
+        line: usize,
     ) {
         self.stats.cycles += cycles;
         self.stats.compute_cycles += cycles;
@@ -935,6 +1118,16 @@ impl Mpu {
             energy += self.config.datapath.recipe_energy_pj(recipe, enabled);
         }
         self.stats.energy.datapath_pj += energy;
+        self.trace(line, || {
+            let delta = Stats {
+                cycles,
+                compute_cycles: cycles,
+                uops: recipe.len() as u64,
+                energy: EnergyStats { datapath_pj: energy, ..EnergyStats::default() },
+                ..Stats::default()
+            };
+            (TraceKind::Exec { vrfs: wave.len(), mix: UopMix(cached.compiled.mix()) }, delta)
+        });
     }
 
     /// Snapshots every wave VRF (pre- or post-execution state).
@@ -964,24 +1157,28 @@ impl Mpu {
         let input = self.snapshot_wave(wave);
         let mut attempt = 0u32;
         loop {
-            self.run_wave_once(cached, recipe, wave, cycles);
+            self.run_wave_once(cached, recipe, wave, cycles, line);
             let first = self.snapshot_wave(wave);
             self.restore_wave(wave, &input);
             self.stats.faults.redundant_runs += 1;
-            self.run_wave_once(cached, recipe, wave, cycles);
+            self.trace_fault(line, FaultAction::RedundantRun);
+            self.run_wave_once(cached, recipe, wave, cycles, line);
             let second = self.snapshot_wave(wave);
             if first == second {
                 if attempt > 0 {
                     self.stats.faults.corrected += 1;
+                    self.trace_fault(line, FaultAction::Corrected);
                 }
                 return Ok(());
             }
             self.stats.faults.detected += 1;
+            self.trace_fault(line, FaultAction::Detected);
             if attempt >= self.config.recovery.max_retries {
                 return Err(SimError::UncorrectedFault { line });
             }
             attempt += 1;
             self.stats.faults.retries += 1;
+            self.trace_fault(line, FaultAction::Retry);
             self.restore_wave(wave, &input);
         }
     }
@@ -995,23 +1192,28 @@ impl Mpu {
         recipe: &Recipe,
         wave: &[(u16, u16)],
         cycles: u64,
+        line: usize,
     ) {
         let input = self.snapshot_wave(wave);
-        self.run_wave_once(cached, recipe, wave, cycles);
+        self.run_wave_once(cached, recipe, wave, cycles, line);
         let a = self.snapshot_wave(wave);
         self.restore_wave(wave, &input);
         self.stats.faults.redundant_runs += 1;
-        self.run_wave_once(cached, recipe, wave, cycles);
+        self.trace_fault(line, FaultAction::RedundantRun);
+        self.run_wave_once(cached, recipe, wave, cycles, line);
         let b = self.snapshot_wave(wave);
         self.restore_wave(wave, &input);
         self.stats.faults.redundant_runs += 1;
-        self.run_wave_once(cached, recipe, wave, cycles);
+        self.trace_fault(line, FaultAction::RedundantRun);
+        self.run_wave_once(cached, recipe, wave, cycles, line);
         let c = self.snapshot_wave(wave);
         if a == b && a == c {
             return; // unanimous; current state (== c) stands
         }
         self.stats.faults.detected += 1;
+        self.trace_fault(line, FaultAction::Detected);
         self.stats.faults.corrected += 1;
+        self.trace_fault(line, FaultAction::Corrected);
         for (i, &(rfh, vrf)) in wave.iter().enumerate() {
             let majority: Vec<u64> = a[i]
                 .iter()
@@ -1034,6 +1236,7 @@ impl Mpu {
         wave: &[(u16, u16)],
         pipeline_warm: &mut bool,
         offload_batch: &mut bool,
+        line: usize,
     ) {
         if self.config.mode != ExecutionMode::Baseline {
             return;
@@ -1042,8 +1245,9 @@ impl Mpu {
         let lanes = self.config.datapath.geometry().lanes_per_vrf;
         let bytes = (wave.len().max(1) * lanes).div_ceil(8) as f64;
         let off = &self.config.offload;
+        let batched = *offload_batch;
         let bus_cycles = (bytes / off.bus_bytes_per_cycle).ceil() as u64;
-        let cycles = if *offload_batch {
+        let cycles = if batched {
             // Already at the CPU: per-instruction handling + data movement.
             64 + bus_cycles
         } else {
@@ -1051,10 +1255,22 @@ impl Mpu {
             off.round_trip_cycles + bus_cycles
         };
         *offload_batch = true;
+        let bus_pj = bytes * off.bus_pj_per_byte;
+        let cpu_pj = off.cpu_active_mw * cycles as f64;
         self.stats.cycles += cycles;
         self.stats.offload_cycles += cycles;
-        self.stats.energy.offload_bus_pj += bytes * off.bus_pj_per_byte;
-        self.stats.energy.cpu_pj += off.cpu_active_mw * cycles as f64;
+        self.stats.energy.offload_bus_pj += bus_pj;
+        self.stats.energy.cpu_pj += cpu_pj;
+        self.trace(line, || {
+            let delta = Stats {
+                cycles,
+                offload_cycles: cycles,
+                offload_events: if batched { 0 } else { 1 },
+                energy: EnergyStats { offload_bus_pj: bus_pj, cpu_pj, ..EnergyStats::default() },
+                ..Stats::default()
+            };
+            (TraceKind::Offload { batched }, delta)
+        });
     }
 
     fn charge_control(&mut self, cycles: u64) {
@@ -1065,18 +1281,30 @@ impl Mpu {
     /// Baseline-mode CPU mediation of inter-MPU communication: one host
     /// round trip plus moving `bytes` across the off-chip bus twice
     /// (PUM → CPU → PUM). No-op in MPU mode.
-    fn offload_comm(&mut self, bytes: u64) {
+    fn offload_comm(&mut self, bytes: u64, line: usize) {
         if self.config.mode != ExecutionMode::Baseline {
             return;
         }
         let off = &self.config.offload;
         let bus = ((2 * bytes) as f64 / off.bus_bytes_per_cycle).ceil() as u64;
         let cycles = off.round_trip_cycles + bus;
+        let bus_pj = 2.0 * bytes as f64 * off.bus_pj_per_byte;
+        let cpu_pj = off.cpu_active_mw * cycles as f64;
         self.stats.cycles += cycles;
         self.stats.offload_cycles += cycles;
         self.stats.offload_events += 1;
-        self.stats.energy.offload_bus_pj += 2.0 * bytes as f64 * off.bus_pj_per_byte;
-        self.stats.energy.cpu_pj += off.cpu_active_mw * cycles as f64;
+        self.stats.energy.offload_bus_pj += bus_pj;
+        self.stats.energy.cpu_pj += cpu_pj;
+        self.trace(line, || {
+            let delta = Stats {
+                cycles,
+                offload_cycles: cycles,
+                offload_events: 1,
+                energy: EnergyStats { offload_bus_pj: bus_pj, cpu_pj, ..EnergyStats::default() },
+                ..Stats::default()
+            };
+            (TraceKind::Offload { batched: false }, delta)
+        });
     }
 
     // ----- transfer ensembles ------------------------------------------
@@ -1089,6 +1317,12 @@ impl Mpu {
         mut message: Option<&mut Message>,
     ) -> Result<(), SimError> {
         let marker = self.config.control.ensemble_marker;
+        let marker_delta =
+            Stats { cycles: marker, control_cycles: marker, instructions: 1, ..Stats::default() };
+        let header_pc = self.pc;
+        self.trace(header_pc, || {
+            (TraceKind::EnsembleBegin { kind: EnsembleKind::Transfer }, Stats::default())
+        });
         // Header: source/destination RFH pairs → the DTC's target map.
         let mut pairs: Vec<(u16, u16)> = Vec::new();
         while let Instruction::Move { src, dst } = Self::fetch(program, self.pc)? {
@@ -1096,6 +1330,10 @@ impl Mpu {
             self.stats.cycles += marker;
             self.stats.control_cycles += marker;
             self.stats.instructions += 1;
+            let line = self.pc;
+            self.trace(line, || {
+                (TraceKind::Instr { mnemonic: "MOVE", class: InstrClass::Marker }, marker_delta)
+            });
             self.pc += 1;
         }
         let lanes = self.config.datapath.geometry().lanes_per_vrf;
@@ -1106,6 +1344,15 @@ impl Mpu {
                     self.stats.cycles += marker;
                     self.stats.control_cycles += marker;
                     self.stats.instructions += 1;
+                    let line = self.pc;
+                    self.trace(line, || {
+                        let kind =
+                            TraceKind::Instr { mnemonic: "MOVE_DONE", class: InstrClass::Marker };
+                        (kind, marker_delta)
+                    });
+                    self.trace(line, || {
+                        (TraceKind::EnsembleEnd { kind: EnsembleKind::Transfer }, Stats::default())
+                    });
                     self.pc += 1;
                     return Ok(());
                 }
@@ -1139,12 +1386,27 @@ impl Mpu {
                         // Sequential-consistency: transfers execute one at
                         // a time, in order.
                         let cycles = words * self.config.datapath.transfer_cycles_per_word();
+                        let pj = words as f64 * self.config.datapath.transfer_energy_pj_per_word();
                         self.stats.cycles += cycles;
                         self.stats.transfer_cycles += cycles;
-                        self.stats.energy.transfer_pj +=
-                            words as f64 * self.config.datapath.transfer_energy_pj_per_word();
+                        self.stats.energy.transfer_pj += pj;
+                        self.trace(line, || {
+                            let delta = Stats {
+                                cycles,
+                                transfer_cycles: cycles,
+                                energy: EnergyStats { transfer_pj: pj, ..EnergyStats::default() },
+                                ..Stats::default()
+                            };
+                            (TraceKind::Memcpy { src_rfh, dst_rfh }, delta)
+                        });
                     }
                     self.stats.instructions += 1;
+                    self.trace(line, || {
+                        let delta = Stats { instructions: 1, ..Stats::default() };
+                        let kind =
+                            TraceKind::Instr { mnemonic: "MEMCPY", class: InstrClass::Transfer };
+                        (kind, delta)
+                    });
                     self.pc += 1;
                 }
                 ref other => {
@@ -1160,9 +1422,18 @@ impl Mpu {
     /// Executes a `SEND` block, returning the message to deliver.
     fn exec_send_block(&mut self, program: &Program, dst: MpuId) -> Result<Message, SimError> {
         let marker = self.config.control.ensemble_marker;
+        let marker_delta =
+            Stats { cycles: marker, control_cycles: marker, instructions: 1, ..Stats::default() };
+        let header_pc = self.pc;
+        self.trace(header_pc, || {
+            (TraceKind::EnsembleBegin { kind: EnsembleKind::Send }, Stats::default())
+        });
         self.stats.cycles += marker;
         self.stats.control_cycles += marker;
         self.stats.instructions += 1;
+        self.trace(header_pc, || {
+            (TraceKind::Instr { mnemonic: "SEND", class: InstrClass::Marker }, marker_delta)
+        });
         self.pc += 1; // past SEND
         let mut msg =
             Message { src: self.id, dst, writes: Vec::new(), bytes: 0, departure_cycle: 0 };
@@ -1181,9 +1452,20 @@ impl Mpu {
         self.stats.cycles += marker;
         self.stats.control_cycles += marker;
         self.stats.instructions += 1;
-        self.pc += 1;
         self.stats.messages_sent += 1;
         self.stats.noc_bytes += msg.bytes;
+        let done_pc = self.pc;
+        let bytes = msg.bytes;
+        self.trace(done_pc, || {
+            let mut delta = marker_delta;
+            delta.messages_sent = 1;
+            delta.noc_bytes = bytes;
+            (TraceKind::Instr { mnemonic: "SEND_DONE", class: InstrClass::Marker }, delta)
+        });
+        self.trace(done_pc, || {
+            (TraceKind::EnsembleEnd { kind: EnsembleKind::Send }, Stats::default())
+        });
+        self.pc += 1;
         msg.departure_cycle = self.stats.cycles;
         Ok(msg)
     }
@@ -1208,6 +1490,15 @@ impl Mpu {
 
     pub(crate) fn stats_mut(&mut self) -> &mut Stats {
         &mut self.stats
+    }
+
+    /// Emits a trace event for a charge the [`crate::System`] applied to
+    /// this MPU's ledger (NoC message traversals land on the receiver).
+    /// The event is attributed to the instruction the MPU is currently at
+    /// (a blocked `RECV` while a message is in flight).
+    pub(crate) fn trace_system(&mut self, kind: TraceKind, delta: Stats) {
+        let line = self.pc;
+        self.trace(line, || (kind, delta));
     }
 
     /// Advances the local clock (NoC delays, rendezvous waits).
@@ -1279,10 +1570,30 @@ pub fn run_single_pooled(
     inputs: &[RegisterInit],
     pool: Option<&Arc<RecipePool>>,
 ) -> Result<(Stats, Mpu), SimError> {
+    run_single_traced(config, program, inputs, pool, None)
+}
+
+/// [`run_single_pooled`] with an optional [`Tracer`] attached before any
+/// instruction executes, so the event stream covers the whole run.
+/// Statistics and lane values are byte-identical to an untraced run.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from setup and execution.
+pub fn run_single_traced(
+    config: SimConfig,
+    program: &Program,
+    inputs: &[RegisterInit],
+    pool: Option<&Arc<RecipePool>>,
+    tracer: Option<Box<dyn Tracer>>,
+) -> Result<(Stats, Mpu), SimError> {
     let mut mpu = match pool {
         Some(pool) => Mpu::with_pool(config, MpuId(0), Arc::clone(pool)),
         None => Mpu::new(config, MpuId(0)),
     };
+    if let Some(tracer) = tracer {
+        mpu.set_tracer(tracer);
+    }
     for ((rfh, vrf, reg), values) in inputs {
         mpu.write_register(*rfh, *vrf, *reg, values)?;
     }

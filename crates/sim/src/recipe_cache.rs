@@ -23,6 +23,7 @@ use mpu_isa::Instruction;
 use parking_lot::RwLock;
 use pum_backend::{CompiledRecipe, DatapathModel, Recipe, RecipeCtx};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A recipe cache entry: the synthesized micro-op sequence plus its
@@ -50,6 +51,29 @@ pub struct CachedRecipe {
 pub struct RecipePool {
     templates: RwLock<HashMap<(RecipeCtx, u32), Arc<Recipe>>>,
     compiled: RwLock<HashMap<CompiledKey, Arc<CompiledRecipe>>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Counter snapshot for a [`RecipePool`]: host-side template-memo traffic.
+///
+/// These are *not* part of the simulated machine's [`crate::Stats`] — the
+/// pool is invisible to the modeled hardware, and folding its counters into
+/// per-MPU stats would break the pooled ≡ unpooled bit-identity guarantee.
+/// They answer the engineering question "how much synthesis did the memo
+/// actually save?", and `hits + misses == lookups` always holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Template probes that resolved to a recipe (control-path
+    /// instructions without a recipe are not counted).
+    pub lookups: u64,
+    /// Probes answered from the memo without synthesizing.
+    pub hits: u64,
+    /// Probes that synthesized a new template. Under a synthesis race both
+    /// threads count a miss even though one insert wins — the counter
+    /// reports work performed, not table growth.
+    pub misses: u64,
 }
 
 /// Memo key for a compiled form: synthesis context, encoded instruction,
@@ -70,15 +94,29 @@ impl RecipePool {
         datapath: &DatapathModel,
         instr: &Instruction,
     ) -> Option<Arc<Recipe>> {
+        Some(self.get_or_build_inner(datapath, instr)?.0)
+    }
+
+    /// [`Self::get_or_build`] plus whether the template was already
+    /// memoized (`true` = pool hit).
+    fn get_or_build_inner(
+        &self,
+        datapath: &DatapathModel,
+        instr: &Instruction,
+    ) -> Option<(Arc<Recipe>, bool)> {
         let key = (datapath.recipe_ctx(), instr.encode());
         if let Some(recipe) = self.templates.read().get(&key) {
-            return Some(Arc::clone(recipe));
+            self.lookups.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some((Arc::clone(recipe), true));
         }
         // Synthesize outside the write lock; a racing thread may do the
         // same work, but the first insert wins and both get the same entry.
         let recipe = Arc::new(datapath.recipe(instr)?);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let mut templates = self.templates.write();
-        Some(Arc::clone(templates.entry(key).or_insert(recipe)))
+        Some((Arc::clone(templates.entry(key).or_insert(recipe)), false))
     }
 
     /// Returns the recipe for `instr` together with its compiled form for
@@ -88,16 +126,36 @@ impl RecipePool {
         datapath: &DatapathModel,
         instr: &Instruction,
     ) -> Option<CachedRecipe> {
-        let recipe = self.get_or_build(datapath, instr)?;
+        Some(self.get_or_build_compiled_inner(datapath, instr)?.0)
+    }
+
+    /// [`Self::get_or_build_compiled`] plus whether the *template* was a
+    /// pool hit (compiled-form memoization is not separately counted).
+    fn get_or_build_compiled_inner(
+        &self,
+        datapath: &DatapathModel,
+        instr: &Instruction,
+    ) -> Option<(CachedRecipe, bool)> {
+        let (recipe, template_hit) = self.get_or_build_inner(datapath, instr)?;
         let g = datapath.geometry();
         let key = (datapath.recipe_ctx(), instr.encode(), g.lanes_per_vrf, g.regs_per_vrf);
         if let Some(compiled) = self.compiled.read().get(&key) {
-            return Some(CachedRecipe { recipe, compiled: Arc::clone(compiled) });
+            let entry = CachedRecipe { recipe, compiled: Arc::clone(compiled) };
+            return Some((entry, template_hit));
         }
         let compiled = Arc::new(recipe.compile(g.lanes_per_vrf, g.regs_per_vrf));
         let mut map = self.compiled.write();
         let compiled = Arc::clone(map.entry(key).or_insert(compiled));
-        Some(CachedRecipe { recipe, compiled })
+        Some((CachedRecipe { recipe, compiled }, template_hit))
+    }
+
+    /// Snapshot of the pool's lookup counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Installs an explicit template for `(ctx, instr)`, replacing any
@@ -124,6 +182,17 @@ impl RecipePool {
     pub fn is_empty(&self) -> bool {
         self.templates.read().is_empty()
     }
+}
+
+/// Outcome of a [`RecipeCache::lookup`]: the architectural (per-MPU table)
+/// hit flag plus, when a miss consulted a shared [`RecipePool`], whether
+/// the pool already held the template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LookupOutcome {
+    /// Per-MPU table hit (the flag [`RecipeCache::lookup`] reports).
+    pub hit: bool,
+    /// Pool-template outcome; `None` on a hit or without a pool.
+    pub pool: Option<bool>,
 }
 
 /// A bounded LRU cache of synthesized recipes (with their compiled forms).
@@ -165,6 +234,18 @@ impl RecipeCache {
         datapath: &DatapathModel,
         instr: &Instruction,
     ) -> Option<(CachedRecipe, bool)> {
+        let (entry, outcome) = self.lookup_traced(datapath, instr)?;
+        Some((entry, outcome.hit))
+    }
+
+    /// [`Self::lookup`] plus, on a per-MPU miss that consulted a shared
+    /// [`RecipePool`], whether the pool already had the template. Used by
+    /// the tracing layer; architectural accounting is identical.
+    pub(crate) fn lookup_traced(
+        &mut self,
+        datapath: &DatapathModel,
+        instr: &Instruction,
+    ) -> Option<(CachedRecipe, LookupOutcome)> {
         let key = instr.encode();
         if let Some((entry, stamp)) = self.entries.get_mut(&key) {
             // The LRU clock only advances on lookups that actually touch
@@ -172,15 +253,18 @@ impl RecipeCache {
             self.tick += 1;
             *stamp = self.tick;
             self.hits += 1;
-            return Some((entry.clone(), true));
+            return Some((entry.clone(), LookupOutcome { hit: true, pool: None }));
         }
-        let entry = match &self.pool {
-            Some(pool) => pool.get_or_build_compiled(datapath, instr)?,
+        let (entry, pool) = match &self.pool {
+            Some(pool) => {
+                let (entry, template_hit) = pool.get_or_build_compiled_inner(datapath, instr)?;
+                (entry, Some(template_hit))
+            }
             None => {
                 let recipe = Arc::new(datapath.recipe(instr)?);
                 let g = datapath.geometry();
                 let compiled = Arc::new(recipe.compile(g.lanes_per_vrf, g.regs_per_vrf));
-                CachedRecipe { recipe, compiled }
+                (CachedRecipe { recipe, compiled }, None)
             }
         };
         self.tick += 1;
@@ -192,7 +276,7 @@ impl RecipeCache {
             }
         }
         self.entries.insert(key, (entry.clone(), self.tick));
-        Some((entry, false))
+        Some((entry, LookupOutcome { hit: false, pool }))
     }
 
     /// Cache hits so far.
@@ -370,6 +454,47 @@ mod tests {
     }
 
     #[test]
+    fn pool_counters_track_memo_traffic() {
+        let dp = DatapathModel::racer();
+        let pool = Arc::new(RecipePool::new());
+        assert_eq!(pool.stats(), PoolStats::default());
+
+        pool.get_or_build(&dp, &add(2)).unwrap();
+        pool.get_or_build(&dp, &add(2)).unwrap();
+        pool.get_or_build_compiled(&dp, &add(3)).unwrap();
+        // Control instructions never reach the memo and are not counted.
+        assert!(pool.get_or_build(&dp, &Instruction::Nop).is_none());
+
+        let s = pool.stats();
+        assert_eq!(s, PoolStats { lookups: 3, hits: 1, misses: 2 });
+        assert_eq!(s.hits + s.misses, s.lookups);
+    }
+
+    #[test]
+    fn traced_lookup_reports_pool_outcome() {
+        let dp = DatapathModel::racer();
+        let pool = Arc::new(RecipePool::new());
+        let mut first = RecipeCache::new(4);
+        first.set_pool(Arc::clone(&pool));
+
+        let (_, o) = first.lookup_traced(&dp, &add(2)).unwrap();
+        assert_eq!(o, LookupOutcome { hit: false, pool: Some(false) });
+        let (_, o) = first.lookup_traced(&dp, &add(2)).unwrap();
+        assert_eq!(o, LookupOutcome { hit: true, pool: None });
+
+        // A second MPU on the same pool misses locally but hits the memo.
+        let mut second = RecipeCache::new(4);
+        second.set_pool(Arc::clone(&pool));
+        let (_, o) = second.lookup_traced(&dp, &add(2)).unwrap();
+        assert_eq!(o, LookupOutcome { hit: false, pool: Some(true) });
+
+        // Without a pool there is no pool outcome to report.
+        let mut plain = RecipeCache::new(4);
+        let (_, o) = plain.lookup_traced(&dp, &add(2)).unwrap();
+        assert_eq!(o, LookupOutcome { hit: false, pool: None });
+    }
+
+    #[test]
     fn pool_is_safe_across_threads() {
         let dp = DatapathModel::racer();
         let pool = Arc::new(RecipePool::new());
@@ -387,5 +512,9 @@ mod tests {
             }
         });
         assert_eq!(pool.len(), 4, "one entry per distinct instruction");
+        let s = pool.stats();
+        assert_eq!(s.lookups, 16, "4 threads x 4 instructions");
+        assert_eq!(s.hits + s.misses, s.lookups, "counters are conserved under races");
+        assert!(s.misses >= 4, "each distinct template was synthesized at least once");
     }
 }

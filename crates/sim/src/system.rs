@@ -10,6 +10,7 @@ use crate::config::SimConfig;
 use crate::machine::{Message, Mpu, SimError, StepEvent};
 use crate::noc::MeshNoc;
 use crate::stats::Stats;
+use crate::trace::{EventLog, TraceKind};
 use mpu_isa::{MpuId, Program};
 use pum_backend::fault::{rate_to_threshold, FaultPrng};
 
@@ -144,6 +145,17 @@ impl System {
         &mut self.mpus[id]
     }
 
+    /// Arms every MPU with a shared handle to `log`: the log receives one
+    /// [`crate::TraceEvent`] per stats charge across the whole system —
+    /// including NoC message traversals, which are attributed to the
+    /// receiving MPU — in scheduler order. Tracing is observational only;
+    /// see [`crate::trace`] for the contract.
+    pub fn set_event_log(&mut self, log: &EventLog) {
+        for mpu in &mut self.mpus {
+            mpu.set_tracer(Box::new(log.clone()));
+        }
+    }
+
     /// Runs all programs to completion.
     ///
     /// Elapsed time is the maximum across MPUs (they run in parallel);
@@ -245,25 +257,41 @@ impl System {
     fn route(&mut self, msg: Message) {
         let src = msg.src.index();
         let dst = msg.dst.index();
-        let latency = self.noc.latency_cycles(src, dst, msg.bytes);
-        let energy = self.noc.energy_pj(src, dst, msg.bytes);
+        let bytes = msg.bytes;
+        let latency = self.noc.latency_cycles(src, dst, bytes);
+        let energy = self.noc.energy_pj(src, dst, bytes);
         let mut msg = msg;
         let mut traversals = 1u64;
+        // Fault-counter mirror for the (single, aggregated) Noc event.
+        let mut delta = Stats::default();
         if let Some(f) = self.noc_faults.as_mut() {
             let stats = self.mpus[dst].stats_mut();
             // Drop faults: each traversal can lose the message.
             let mut retransmits = 0u32;
             while f.drop_threshold > 0 && f.prng.next_draw() < f.drop_threshold {
                 stats.faults.messages_dropped += 1;
+                delta.faults.messages_dropped += 1;
                 if !f.retry || retransmits >= f.max_retries {
                     // Lost for good: the wire time was still spent.
-                    stats.transfer_cycles += traversals * latency;
-                    stats.energy.transfer_pj += traversals as f64 * energy;
+                    let wire_cycles = traversals * latency;
+                    let wire_pj = traversals as f64 * energy;
+                    stats.transfer_cycles += wire_cycles;
+                    stats.energy.transfer_pj += wire_pj;
+                    delta.transfer_cycles = wire_cycles;
+                    delta.energy.transfer_pj = wire_pj;
+                    let kind = TraceKind::Noc {
+                        src: src as u16,
+                        dst: dst as u16,
+                        bytes,
+                        delivered: false,
+                    };
+                    self.mpus[dst].trace_system(kind, delta);
                     return;
                 }
                 retransmits += 1;
                 traversals += 1;
                 stats.faults.retransmissions += 1;
+                delta.faults.retransmissions += 1;
             }
             // Corruption faults: one bit of one payload word flips.
             if f.corrupt_threshold > 0 && f.prng.next_draw() < f.corrupt_threshold {
@@ -272,6 +300,7 @@ impl System {
                     // seeded stream moves on, so the retry delivers clean).
                     traversals += 1;
                     stats.faults.retransmissions += 1;
+                    delta.faults.retransmissions += 1;
                 } else if !msg.writes.is_empty() {
                     let wi = (f.prng.next_draw() % msg.writes.len() as u64) as usize;
                     let values = &mut msg.writes[wi].values;
@@ -280,6 +309,7 @@ impl System {
                         let bit = f.prng.next_draw() % 64;
                         values[vi] ^= 1 << bit;
                         stats.faults.messages_corrupted += 1;
+                        delta.faults.messages_corrupted += 1;
                     }
                 }
             }
@@ -288,9 +318,15 @@ impl System {
         let dst_mpu = &mut self.mpus[dst];
         dst_mpu.deliver(msg, arrival);
         // Receiver pays the wire time & energy (avoids double counting).
+        let wire_cycles = traversals * latency;
+        let wire_pj = traversals as f64 * energy;
         let s = dst_mpu.stats_mut();
-        s.transfer_cycles += traversals * latency;
-        s.energy.transfer_pj += traversals as f64 * energy;
+        s.transfer_cycles += wire_cycles;
+        s.energy.transfer_pj += wire_pj;
+        delta.transfer_cycles = wire_cycles;
+        delta.energy.transfer_pj = wire_pj;
+        let kind = TraceKind::Noc { src: src as u16, dst: dst as u16, bytes, delivered: true };
+        dst_mpu.trace_system(kind, delta);
     }
 }
 

@@ -15,7 +15,7 @@
 //! §VIII-C observation.
 
 use crate::kernel::Kernel;
-use mastodon::{run_single_pooled, ExecutionMode, RecipePool, SimConfig, Stats};
+use mastodon::{run_single_traced, EventLog, ExecutionMode, RecipePool, SimConfig, Stats};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -139,6 +139,35 @@ pub fn run_kernel_pooled(
     seed: u64,
     pool: Option<&Arc<RecipePool>>,
 ) -> Result<ChipRun, HarnessError> {
+    run_kernel_inner(kernel, config, n, seed, pool, None)
+}
+
+/// [`run_kernel`] with an [`EventLog`] collecting the wave simulation's
+/// trace (see `mastodon::Tracer`): the observability path for building
+/// attribution profiles and Chrome trace exports of a kernel. The returned
+/// [`ChipRun`] is bit-identical to the untraced path.
+///
+/// # Errors
+///
+/// See [`run_kernel`].
+pub fn run_kernel_traced(
+    kernel: &dyn Kernel,
+    config: &SimConfig,
+    n: u64,
+    seed: u64,
+    log: &EventLog,
+) -> Result<ChipRun, HarnessError> {
+    run_kernel_inner(kernel, config, n, seed, None, Some(Box::new(log.clone())))
+}
+
+fn run_kernel_inner(
+    kernel: &dyn Kernel,
+    config: &SimConfig,
+    n: u64,
+    seed: u64,
+    pool: Option<&Arc<RecipePool>>,
+    tracer: Option<Box<dyn mastodon::Tracer>>,
+) -> Result<ChipRun, HarnessError> {
     let g = config.datapath.geometry();
     // Members: one VRF per RFH, up to SIM_VRFS (stencils use vrf+1 for
     // staging, which exists because vrfs_per_rfh >= 2).
@@ -152,7 +181,8 @@ pub fn run_kernel_pooled(
         .collect();
 
     let built = kernel.build(&g, &members, seed);
-    let (wave, mut mpu) = run_single_pooled(config.clone(), &built.program, &built.inputs, pool)?;
+    let (wave, mut mpu) =
+        run_single_traced(config.clone(), &built.program, &built.inputs, pool, tracer)?;
 
     // Verify every simulated lane against the golden model. Register
     // readback rides the backend's word-level lane transpose, so full-VRF
@@ -398,6 +428,53 @@ mod tests {
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s, p, "{} on {} diverged across the parallel path", s.kernel, s.label);
         }
+    }
+
+    #[test]
+    fn traced_kernel_run_is_transparent_and_conserves() {
+        let kernels = all_kernels();
+        let dot = kernels.iter().find(|k| k.name() == "dot").unwrap();
+        let config = SimConfig::mpu(DatapathKind::Racer);
+        let log = EventLog::new();
+        let traced = run_kernel_traced(dot.as_ref(), &config, 1 << 12, 42, &log).unwrap();
+        let untraced = run_kernel(dot.as_ref(), &config, 1 << 12, 42).unwrap();
+        assert_eq!(traced, untraced, "tracing must not perturb the ChipRun");
+        let events = log.take();
+        assert!(!events.is_empty());
+        let profile = mastodon::Profile::build(&events);
+        assert_eq!(profile.merged(), traced.wave, "profile must conserve the wave stats");
+    }
+
+    #[test]
+    fn pool_counters_reconcile_under_parallel_sweeps() {
+        // Satellite fix check: the shared RecipePool's template traffic is
+        // observable and self-consistent across a parallel sweep — every
+        // lookup is either a hit or a miss, none are lost to races, and
+        // repeating the sweep over a warm pool turns all lookups into hits.
+        let kernels = all_kernels();
+        let pool = Arc::new(RecipePool::new());
+        let config = SimConfig::mpu(DatapathKind::Racer);
+        let run_all = || {
+            let tasks: Vec<&dyn Kernel> = kernels.iter().map(|k| k.as_ref()).collect();
+            for r in
+                parallel_map(tasks, 4, |k| run_kernel_pooled(k, &config, 1 << 10, 5, Some(&pool)))
+            {
+                r.unwrap();
+            }
+        };
+        run_all();
+        let cold = pool.stats();
+        assert!(cold.lookups > 0, "sweep must consult the pool");
+        assert_eq!(cold.hits + cold.misses, cold.lookups, "no lookup may go unaccounted");
+        assert!(cold.misses > 0, "a cold pool must synthesize templates");
+        run_all();
+        let warm = pool.stats();
+        assert_eq!(warm.hits + warm.misses, warm.lookups);
+        assert_eq!(
+            warm.misses, cold.misses,
+            "a warm pool must serve the repeat sweep entirely from memoized templates"
+        );
+        assert_eq!(warm.lookups, 2 * cold.lookups, "identical sweeps issue identical lookups");
     }
 
     #[test]
