@@ -187,8 +187,22 @@ impl BitPlaneVrf {
 
     /// Word offset of the mask plane in `storage`.
     #[inline]
-    fn mask_base(&self) -> usize {
+    pub(crate) fn mask_base(&self) -> usize {
         (self.regs * DATA_BITS as usize + SCRATCH_PLANES + 1) * self.words
+    }
+
+    /// Words per plane (`lanes.div_ceil(64)`).
+    #[inline]
+    pub(crate) fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Direct access to the flat plane storage, for the fused
+    /// ensemble-trace executor (`compiled::run_ops_fast`), which has
+    /// statically discharged all [`Self::finish_write`] bookkeeping.
+    #[inline]
+    pub(crate) fn storage_mut(&mut self) -> &mut [u64] {
+        &mut self.storage
     }
 
     /// True if writes to `plane` must be gated by the mask register.

@@ -20,7 +20,7 @@ use crate::DATA_BITS;
 
 /// Two-input boolean function of a compiled micro-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Func2 {
+pub(crate) enum Func2 {
     /// `!(a | b)` (ReRAM NOR).
     Nor,
     /// `!a` (input duplicated on both ports).
@@ -35,7 +35,7 @@ enum Func2 {
 
 /// One micro-op with operands resolved to word offsets into VRF storage.
 #[derive(Debug, Clone, Copy)]
-enum CompiledOp {
+pub(crate) enum CompiledOp {
     /// Two-input plane op: `out = func(a, b)`.
     Op2 { func: Func2, a: u32, b: u32, out: u32, masked: bool },
     /// Majority vote: `out = maj(a, b, c)` (DRAM TRA).
@@ -98,6 +98,11 @@ impl CompiledRecipe {
     /// micro-op classes without rescanning the recipe.
     pub fn mix(&self) -> [u32; MicroOpKind::ALL.len()] {
         self.mix
+    }
+
+    /// The resolved op sequence (ensemble-trace fusion concatenates these).
+    pub(crate) fn ops(&self) -> &[CompiledOp] {
+        &self.ops
     }
 }
 
@@ -234,11 +239,19 @@ pub(crate) fn compile(ops: &[MicroOp], lanes: usize, regs: usize) -> CompiledRec
 /// Executes a compiled recipe over a VRF's flat storage. Called through
 /// [`BitPlaneVrf::run_compiled`], which has already checked the geometry.
 pub(crate) fn run(vrf: &mut BitPlaneVrf, recipe: &CompiledRecipe) {
+    run_ops(vrf, &recipe.ops);
+}
+
+/// Executes a slice of resolved ops — the shared word-loop core of both
+/// [`run`] and the fused ensemble-trace tier, so every execution path
+/// performs the identical plane writes (and fault-site draws) in the
+/// identical order.
+pub(crate) fn run_ops(vrf: &mut BitPlaneVrf, ops: &[CompiledOp]) {
     // GETMASK-style mask suspension is a control-path affair, but honour it
     // here too so compiled and interpreted execution can never diverge.
     let me = vrf.mask_enabled();
     let inject = vrf.fault_model().is_some();
-    for op in &recipe.ops {
+    for op in ops {
         // With a fault model attached, draw exactly one transient-fault
         // site per micro-op on its output plane — the same `(kind, plane)`
         // sequence the interpreter draws, so both paths stay
@@ -301,6 +314,147 @@ pub(crate) fn run(vrf: &mut BitPlaneVrf, recipe: &CompiledRecipe) {
                 vrf.fill_op(out as usize, masked && me, value);
                 if inject {
                     vrf.post_op_at(MicroOpKind::Set, out as usize);
+                }
+            }
+        }
+    }
+}
+
+/// Pointwise two-input word loop without post-write bookkeeping.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn op2_fast(
+    st: &mut [u64],
+    words: usize,
+    mask: usize,
+    a: usize,
+    b: usize,
+    out: usize,
+    masked: bool,
+    f: impl Fn(u64, u64) -> u64,
+) {
+    if masked {
+        for w in 0..words {
+            let new = f(st[a + w], st[b + w]);
+            let m = st[mask + w];
+            st[out + w] = (new & m) | (st[out + w] & !m);
+        }
+    } else {
+        for w in 0..words {
+            st[out + w] = f(st[a + w], st[b + w]);
+        }
+    }
+}
+
+/// Pointwise three-input word loop without post-write bookkeeping.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn op3_fast(
+    st: &mut [u64],
+    words: usize,
+    mask: usize,
+    a: usize,
+    b: usize,
+    c: usize,
+    out: usize,
+    masked: bool,
+    f: impl Fn(u64, u64, u64) -> u64,
+) {
+    if masked {
+        for w in 0..words {
+            let new = f(st[a + w], st[b + w], st[c + w]);
+            let m = st[mask + w];
+            st[out + w] = (new & m) | (st[out + w] & !m);
+        }
+    } else {
+        for w in 0..words {
+            st[out + w] = f(st[a + w], st[b + w], st[c + w]);
+        }
+    }
+}
+
+/// Executes a slice of resolved ops with every [`BitPlaneVrf`] post-write
+/// bookkeeping step statically discharged — the ensemble-trace fast path.
+///
+/// The caller must have proven (the fuser records this as
+/// [`crate::EnsembleTrace`]'s fast flag, re-checked per VRF at replay):
+///
+/// * `lanes % 64 == 0` — no padding bits to re-zero after a write;
+/// * no op in the stream writes the mask plane — the cached mask popcount
+///   cannot go stale;
+/// * no fault model is attached — no fault-site draws, no forced lanes;
+/// * mask-honouring is enabled (no suspended `GETMASK` readout in flight).
+///
+/// Under those conditions `finish_write` is a no-op for every single op,
+/// so this loop performs the *identical* plane writes as [`run_ops`] —
+/// byte-identical storage afterwards — while touching only the operand
+/// words.
+pub(crate) fn run_ops_fast(vrf: &mut BitPlaneVrf, ops: &[CompiledOp]) {
+    debug_assert!(vrf.fault_model().is_none(), "fast path excludes fault models");
+    debug_assert!(vrf.mask_enabled(), "fast path requires mask-honouring enabled");
+    debug_assert_eq!(vrf.lanes() % 64, 0, "fast path requires no padding bits");
+    let words = vrf.words();
+    let mask = vrf.mask_base();
+    let st = vrf.storage_mut();
+    // Single-word planes (64-lane VRFs, e.g. RACER) are the hottest
+    // geometry; the literal-1 call lets the word loops constant-fold away.
+    if words == 1 {
+        run_ops_fast_inner(st, 1, mask, ops);
+    } else {
+        run_ops_fast_inner(st, words, mask, ops);
+    }
+}
+
+#[inline(always)]
+fn run_ops_fast_inner(st: &mut [u64], words: usize, mask: usize, ops: &[CompiledOp]) {
+    for op in ops {
+        match *op {
+            CompiledOp::Op2 { func, a, b, out, masked } => {
+                let (a, b, out) = (a as usize, b as usize, out as usize);
+                match func {
+                    Func2::Nor => op2_fast(st, words, mask, a, b, out, masked, |x, y| !(x | y)),
+                    Func2::NotA => op2_fast(st, words, mask, a, b, out, masked, |x, _| !x),
+                    Func2::And => op2_fast(st, words, mask, a, b, out, masked, |x, y| x & y),
+                    Func2::Or => op2_fast(st, words, mask, a, b, out, masked, |x, y| x | y),
+                    Func2::Xor => op2_fast(st, words, mask, a, b, out, masked, |x, y| x ^ y),
+                }
+            }
+            CompiledOp::Maj { a, b, c, out, masked } => {
+                let (a, b, c, out) = (a as usize, b as usize, c as usize, out as usize);
+                op3_fast(st, words, mask, a, b, c, out, masked, |x, y, z| {
+                    (x & y) | (y & z) | (x & z)
+                });
+            }
+            CompiledOp::FullAdd { a, b, carry, sum, latch, carry_masked, sum_masked } => {
+                let (a, b, carry, sum, latch) =
+                    (a as usize, b as usize, carry as usize, sum as usize, latch as usize);
+                // Same three plane writes, in the same order, as run_ops.
+                op3_fast(st, words, mask, a, b, carry, latch, false, |x, y, z| x ^ y ^ z);
+                op3_fast(st, words, mask, a, b, carry, carry, carry_masked, |x, y, z| {
+                    (x & y) | (y & z) | (x & z)
+                });
+                op2_fast(st, words, mask, latch, latch, sum, sum_masked, |x, _| x);
+            }
+            CompiledOp::Copy { a, out, masked } => {
+                let (a, out) = (a as usize, out as usize);
+                if masked {
+                    op2_fast(st, words, mask, a, a, out, true, |x, _| x);
+                } else if a != out {
+                    for w in 0..words {
+                        st[out + w] = st[a + w];
+                    }
+                }
+            }
+            CompiledOp::Fill { out, masked, value } => {
+                let out = out as usize;
+                let word = if value { !0u64 } else { 0u64 };
+                if masked {
+                    for w in 0..words {
+                        let m = st[mask + w];
+                        st[out + w] = (word & m) | (st[out + w] & !m);
+                    }
+                } else {
+                    st[out..out + words].fill(word);
                 }
             }
         }

@@ -77,6 +77,7 @@ mod logic;
 mod microop;
 pub mod power;
 pub mod recipe;
+mod trace_tier;
 
 pub use bitplane::{BitPlaneVrf, Plane, SCRATCH_PLANES};
 pub use compiled::CompiledRecipe;
@@ -86,6 +87,7 @@ pub use features::{supports, Feature, Platform};
 pub use logic::{GateBuilder, LogicFamily};
 pub use microop::{MicroOp, MicroOpKind};
 pub use recipe::{build_recipe, semantics, Recipe, RecipeCtx};
+pub use trace_tier::{fuse_ensemble, fuse_ensemble_with, EnsembleStep, EnsembleTrace};
 
 /// Bits per vector data element (mirrors [`mpu_isa::DATA_BITS`]).
 pub const DATA_BITS: u32 = mpu_isa::DATA_BITS;

@@ -1,7 +1,8 @@
 //! The differential runner: one case, executed by the word-level reference
-//! model and by the cycle-accurate simulator on every backend over both
-//! recipe-execution paths, compared lane-exactly plus over the
-//! architectural counters the reference model defines.
+//! model and by the cycle-accurate simulator on every backend over all
+//! three execution tiers (compiled, interpreted, fused ensemble trace),
+//! compared lane-exactly plus over the architectural counters the
+//! reference model defines — and cross-tier over the full statistics.
 
 use crate::case::Case;
 use crate::generate::{BOX_RFHS, BOX_VRFS};
@@ -67,15 +68,44 @@ fn run_reference(
     Ok((boxes, sys.total_trace()))
 }
 
+/// One execution tier of the simulator's compute path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Geometry-compiled recipes, dispatched per instruction.
+    Compiled,
+    /// Micro-op interpretation, dispatched per instruction.
+    Interpreted,
+    /// Fused ensemble traces where eligible (straight-line bodies), with
+    /// per-instruction fallback elsewhere.
+    Trace,
+}
+
+/// Every tier the differential matrix covers.
+pub const TIERS: [Tier; 3] = [Tier::Compiled, Tier::Interpreted, Tier::Trace];
+
+impl Tier {
+    /// Short label used in mismatch reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Compiled => "compiled",
+            Tier::Interpreted => "interpreted",
+            Tier::Trace => "trace",
+        }
+    }
+}
+
 fn run_simulator(
     kind: DatapathKind,
-    interpret: bool,
+    tier: Tier,
     case: &Case,
     programs: &[Program],
     pool: Option<&Arc<RecipePool>>,
 ) -> Result<(Vec<LaneBox>, Stats), String> {
     let mut config = SimConfig::mpu(kind);
-    config.interpret_recipes = interpret;
+    // Pin both tier knobs explicitly: the per-instruction tiers must not
+    // silently ride the trace tier (whose default is on).
+    config.interpret_recipes = tier == Tier::Interpreted;
+    config.trace_ensembles = tier == Tier::Trace;
     let mut sys = match pool {
         Some(pool) => System::new_pooled(config, case.mpus.len(), pool),
         None => System::new(config, case.mpus.len()),
@@ -136,9 +166,9 @@ pub fn check_case_on(
         Err(_) => return None,
     };
     let mut compiled_stats: Option<Stats> = None;
-    for interpret in [false, true] {
-        let path = if interpret { "interpreted" } else { "compiled" };
-        let (boxes, stats) = match run_simulator(kind, interpret, case, &programs, pool) {
+    for tier in TIERS {
+        let path = tier.label();
+        let (boxes, stats) = match run_simulator(kind, tier, case, &programs, pool) {
             Ok(v) => v,
             Err(e) => {
                 return Some(format!(
@@ -177,8 +207,8 @@ pub fn check_case_on(
             None => compiled_stats = Some(stats),
             Some(prev) if prev != stats => {
                 return Some(format!(
-                    "{kind:?}: interpreted and compiled recipe paths disagree on \
-                     statistics:\n  compiled:    {prev:?}\n  interpreted: {stats:?}"
+                    "{kind:?}: the {path} tier disagrees with the compiled tier on \
+                     statistics:\n  compiled: {prev:?}\n  {path}: {stats:?}"
                 ));
             }
             Some(_) => {}
@@ -232,7 +262,7 @@ pub fn check_case(case: &Case) -> Option<String> {
 /// Returns a description if the case fails to lower or the run fails.
 pub fn simulate(kind: DatapathKind, case: &Case) -> Result<Stats, String> {
     let programs = case.programs().map_err(|e| e.to_string())?;
-    run_simulator(kind, false, case, &programs, None).map(|(_, stats)| stats)
+    run_simulator(kind, Tier::Compiled, case, &programs, None).map(|(_, stats)| stats)
 }
 
 #[cfg(test)]

@@ -60,6 +60,7 @@ mod system;
 
 pub use machine::{
     run_ref, LaneInit, RefError, RefEvent, RefMessage, RefMpu, RefStep, RefTrace, RefWrite,
+    RETURN_STACK_DEPTH,
 };
 pub use system::{RefSystem, RefSystemError};
 

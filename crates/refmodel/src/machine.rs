@@ -9,6 +9,11 @@ use mpu_isa::{Instruction, Program, COND_REG};
 use std::collections::HashMap;
 use std::fmt;
 
+/// Depth of the control path's return-address stack (mirrors the
+/// simulator's hardware limit; the two must stay in lockstep for the
+/// differential suites to agree on overflow behavior).
+pub const RETURN_STACK_DEPTH: usize = 64;
+
 /// An architectural error raised by the reference interpreter. Mirrors the
 /// simulator's error conditions one-to-one.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +29,12 @@ pub enum RefError {
     },
     /// `RETURN` with an empty return-address stack inside an ensemble.
     ReturnUnderflow {
+        /// Offending instruction index.
+        line: usize,
+    },
+    /// `JUMP` overflowed the bounded return-address stack (mirrors the
+    /// simulator's [`RETURN_STACK_DEPTH`] hardware limit).
+    ReturnStackOverflow {
         /// Offending instruction index.
         line: usize,
     },
@@ -55,6 +66,13 @@ impl fmt::Display for RefError {
             }
             RefError::ReturnUnderflow { line } => {
                 write!(f, "line {line}: RETURN with empty return-address stack")
+            }
+            RefError::ReturnStackOverflow { line } => {
+                write!(
+                    f,
+                    "line {line}: JUMP overflowed the {RETURN_STACK_DEPTH}-entry \
+                     return-address stack"
+                )
             }
             RefError::StrayInstruction { line, mnemonic } => {
                 write!(f, "line {line}: {mnemonic} reached outside any ensemble")
@@ -474,6 +492,11 @@ impl RefMpu {
                 }
                 Instruction::Jump { target } => {
                     self.trace.instructions += 1;
+                    // Same bounded hardware stack as the simulator: a
+                    // corrupted target re-executing JUMPs must trap.
+                    if return_stack.len() >= RETURN_STACK_DEPTH {
+                        return Err(RefError::ReturnStackOverflow { line });
+                    }
                     return_stack.push(pc + 1);
                     pc = target.index();
                 }

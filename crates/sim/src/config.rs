@@ -102,6 +102,12 @@ impl Default for ControlCosts {
     }
 }
 
+/// Serde default for [`SimConfig::trace_ensembles`]: the trace tier is on
+/// unless a config explicitly opts out.
+fn default_trace_ensembles() -> bool {
+    true
+}
+
 /// Complete configuration of one simulated chip.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -129,6 +135,15 @@ pub struct SimConfig {
     /// conformance suite runs both paths differentially to prove it.
     #[serde(default)]
     pub interpret_recipes: bool,
+    /// Fuse straight-line compute-ensemble bodies into cached
+    /// [`pum_backend::EnsembleTrace`]s and replay those instead of
+    /// dispatching per instruction (the trace execution tier). A host-side
+    /// optimization only: lane values, statistics, and trace events are
+    /// bit-identical to the per-instruction tiers, and bodies with
+    /// data-dependent control flow automatically fall back. The
+    /// conformance suite runs all three tiers differentially to prove it.
+    #[serde(default = "default_trace_ensembles")]
+    pub trace_ensembles: bool,
     /// Seeded hardware fault injection. Default: disabled (no seed).
     #[serde(default)]
     pub fault: FaultConfig,
@@ -162,6 +177,7 @@ impl SimConfig {
             frontend_dynamic_mw: fe.total_dynamic_mw(),
             frontend_static_mw: fe.total_static_mw(),
             interpret_recipes: false,
+            trace_ensembles: default_trace_ensembles(),
             fault: FaultConfig::default(),
             recovery: RecoveryPolicy::default(),
         }

@@ -90,7 +90,7 @@ pub use config::{ControlCosts, ExecutionMode, NocParams, OffloadParams, SimConfi
 pub use fault::{kind_weight, FaultConfig, RecoveryPolicy, Redundancy, StuckLane};
 pub use machine::{
     run_single, run_single_pooled, run_single_traced, EnsembleKind, Message, Mpu, RegisterInit,
-    RemoteWrite, SimError, StepEvent,
+    RemoteWrite, SimError, StepEvent, RETURN_STACK_DEPTH,
 };
 pub use noc::MeshNoc;
 pub use profile::{MpuProfile, Profile, ProfileNode};

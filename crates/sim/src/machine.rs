@@ -15,11 +15,19 @@ use crate::recipe_cache::{RecipeCache, RecipePool};
 use crate::stats::{EnergyStats, Stats};
 use crate::trace::{FaultAction, InstrClass, TraceEvent, TraceKind, Tracer, UopMix};
 use mpu_isa::{Instruction, MpuId, Program, COND_REG};
-use pum_backend::{BitPlaneVrf, Plane, Recipe};
+use pum_backend::{BitPlaneVrf, EnsembleStep, EnsembleTrace, Plane, Recipe};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+
+/// Depth of the control path's return-address stack. Both `JUMP` (which
+/// hardware-wise is a call: it pushes its fall-through address) and the
+/// precoder's subroutine bookkeeping share this bound; exceeding it —
+/// e.g. a fault-corrupted jump target re-executing `JUMP`s with no
+/// matching `RETURN` — raises [`SimError::ReturnStackOverflow`] instead
+/// of growing host memory without bound.
+pub const RETURN_STACK_DEPTH: usize = 64;
 
 /// An error raised while executing a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +46,25 @@ pub enum SimError {
     ReturnUnderflow {
         /// Offending instruction index.
         line: usize,
+    },
+    /// A `JUMP` pushed past the return-address stack's hardware depth
+    /// ([`RETURN_STACK_DEPTH`]) — unbalanced calls, typically from a
+    /// fault-corrupted jump target.
+    ReturnStackOverflow {
+        /// Offending instruction index.
+        line: usize,
+        /// The stack depth that was exceeded.
+        depth: usize,
+    },
+    /// A compute instruction reached execution but the template lookup
+    /// could not synthesize its recipe. Execution must never silently
+    /// skip work, so this is a hard error rather than a dropped
+    /// instruction.
+    RecipeUnavailable {
+        /// Offending instruction index.
+        line: usize,
+        /// Mnemonic of the instruction without a recipe.
+        mnemonic: &'static str,
     },
     /// Top-level execution reached a compute instruction outside any
     /// ensemble (fell into a subroutine body; end `main` with `RETURN`).
@@ -143,6 +170,12 @@ impl fmt::Display for SimError {
             }
             SimError::ReturnUnderflow { line } => {
                 write!(f, "line {line}: RETURN with empty return-address stack")
+            }
+            SimError::ReturnStackOverflow { line, depth } => {
+                write!(f, "line {line}: JUMP overflowed the {depth}-entry return-address stack")
+            }
+            SimError::RecipeUnavailable { line, mnemonic } => {
+                write!(f, "line {line}: no recipe synthesizable for {mnemonic}")
             }
             SimError::StrayInstruction { line, mnemonic } => {
                 write!(f, "line {line}: {mnemonic} reached outside any ensemble")
@@ -267,6 +300,12 @@ pub struct Mpu {
     /// site is a single branch and no event is ever constructed, so
     /// execution and statistics are byte-identical either way.
     tracer: Option<Box<dyn Tracer>>,
+    /// Compute ensembles executed on the fused trace tier (host-side
+    /// telemetry; not part of [`Stats`] — tier choice never changes the
+    /// architectural ledger).
+    traced_ensembles: u64,
+    /// Compute ensembles that fell back to per-instruction execution.
+    fallback_ensembles: u64,
 }
 
 impl Mpu {
@@ -284,7 +323,17 @@ impl Mpu {
             halted: false,
             inbox: Vec::new(),
             tracer: None,
+            traced_ensembles: 0,
+            fallback_ensembles: 0,
         }
+    }
+
+    /// Execution-tier telemetry: `(trace, fallback)` counts of compute
+    /// ensembles run on the fused trace tier vs. the per-instruction
+    /// (compiled/interpreted) tier. Host-side observability only — lane
+    /// values and [`Stats`] are bit-identical whichever tier executed.
+    pub fn tier_counts(&self) -> (u64, u64) {
+        (self.traced_ensembles, self.fallback_ensembles)
     }
 
     /// Arms structured tracing: `tracer` receives one [`TraceEvent`] per
@@ -828,17 +877,33 @@ impl Mpu {
         let waves = form_waves(&members, self.config.datapath.geometry().active_vrfs_per_rfh);
         self.stats.scheduler_waves += waves.len() as u64;
 
+        // Tier selection: a straight-line body fuses into a cached
+        // EnsembleTrace replayed flat per wave; anything else (or any
+        // configuration needing per-instruction fidelity) falls back to
+        // the per-instruction tier. Either way the lane values and every
+        // Stats counter are bit-identical.
+        let fused = self.ensemble_trace(program, body_start);
+        match &fused {
+            Some(_) => self.traced_ensembles += 1,
+            None => self.fallback_ensembles += 1,
+        }
         let mut end_pc = body_start;
         for (index, wave) in waves.iter().enumerate() {
             self.trace(body_start, || {
                 let delta = Stats { scheduler_waves: 1, ..Stats::default() };
                 (TraceKind::Wave { index, vrfs: wave.len() }, delta)
             });
-            end_pc = self.run_body(program, body_start, wave)?;
+            end_pc = match &fused {
+                Some(t) => self.run_body_traced(t, body_start, wave)?,
+                None => self.run_body(program, body_start, wave)?,
+            };
         }
         if waves.is_empty() {
             // Headerless (empty) ensemble: skip to the footer.
-            end_pc = self.run_body(program, body_start, &[])?;
+            end_pc = match &fused {
+                Some(t) => self.run_body_traced(t, body_start, &[])?,
+                None => self.run_body(program, body_start, &[])?,
+            };
         }
         // Footer.
         self.stats.cycles += marker;
@@ -991,6 +1056,16 @@ impl Mpu {
                     self.charge_control(c);
                     self.stats.instructions += 1;
                     self.trace_control_instr(line, "JUMP", c);
+                    // JUMP is a call: it pushes its fall-through address
+                    // for the matching RETURN. The stack is a hardware
+                    // structure — a corrupted target re-executing JUMPs
+                    // without RETURNs must trap, not grow without bound.
+                    if return_stack.len() >= RETURN_STACK_DEPTH {
+                        return Err(SimError::ReturnStackOverflow {
+                            line,
+                            depth: RETURN_STACK_DEPTH,
+                        });
+                    }
                     return_stack.push(pc + 1);
                     pc = target.index();
                 }
@@ -1003,6 +1078,11 @@ impl Mpu {
                     pc = return_stack.pop().ok_or(SimError::ReturnUnderflow { line })?;
                 }
                 Instruction::Nop => {
+                    // A NOP is a control instruction like every other body
+                    // control op: in Baseline mode it rides a CPU offload
+                    // visit (draining the bit pipeline and opening/joining
+                    // a batch) exactly as SETMASK/JUMP do.
+                    self.control_or_offload(wave, &mut pipeline_warm, &mut offload_batch, line);
                     let c = self.config.control.nop;
                     self.charge_control(c);
                     self.stats.instructions += 1;
@@ -1016,6 +1096,188 @@ impl Mpu {
         }
     }
 
+    /// Tier-selection policy: returns the fused [`EnsembleTrace`] for the
+    /// body starting at `body_start` when it is eligible for the trace
+    /// tier, or `None` to fall back to per-instruction execution.
+    ///
+    /// Eligible bodies are straight-line: only compute instructions,
+    /// `SETMASK`/`UNMASK`, and `NOP`, terminated by `COMPUTE_DONE` — no
+    /// data-dependent control flow (`JUMP_COND`/EFI, `JUMP`/`RETURN`) and
+    /// no mid-body mask readout (`GETMASK`). Configurations that need
+    /// per-instruction fidelity also fall back: interpreted-recipe mode,
+    /// Baseline offload mode, an armed tracer (events are per
+    /// instruction), fault injection (draws must happen in program
+    /// order), redundancy (snapshot/compare per instruction), and a
+    /// watchdog tighter than the body (it must still be able to fire).
+    fn ensemble_trace(
+        &mut self,
+        program: &Program,
+        body_start: usize,
+    ) -> Option<Arc<EnsembleTrace>> {
+        if !self.config.trace_ensembles
+            || self.config.mode != ExecutionMode::Mpu
+            || self.config.interpret_recipes
+            || self.tracer.is_some()
+            || self.config.recovery.redundancy != Redundancy::None
+            || self.config.fault.enabled()
+        {
+            return None;
+        }
+        let mut end = body_start;
+        loop {
+            match program.get(end)? {
+                Instruction::ComputeDone => break,
+                Instruction::Binary { .. }
+                | Instruction::Unary { .. }
+                | Instruction::Compare { .. }
+                | Instruction::Fuzzy { .. }
+                | Instruction::Cas { .. }
+                | Instruction::Init { .. }
+                | Instruction::SetMask { .. }
+                | Instruction::Unmask
+                | Instruction::Nop => end += 1,
+                _ => return None,
+            }
+        }
+        if let Some(limit) = self.config.recovery.watchdog_instructions {
+            // The per-instruction tier fetches every body step plus the
+            // terminating COMPUTE_DONE; if that would trip the watchdog,
+            // it must actually trip.
+            if (end - body_start) as u64 + 1 > limit {
+                return None;
+            }
+        }
+        self.cache.lookup_trace(&self.config.datapath, &program.instructions()[body_start..end])
+    }
+
+    /// Replays a fused ensemble trace once for one wave of VRFs: the flat
+    /// word-loop op stream runs directly over each VRF's storage buffer
+    /// while precomputed per-step costs are charged. Returns the index of
+    /// the terminating `COMPUTE_DONE`, exactly like [`Self::run_body`],
+    /// and leaves every statistic bit-identical to it — including the
+    /// per-instruction template-table probes (the architectural recipe
+    /// cache still sees every compute step) and the playback-refill
+    /// charges, which commute and are settled in one batch at the end.
+    fn run_body_traced(
+        &mut self,
+        trace: &Arc<EnsembleTrace>,
+        body_start: usize,
+        wave: &[(u16, u16)],
+    ) -> Result<usize, SimError> {
+        // Reset masks: an ensemble starts with all lanes enabled.
+        for &(rfh, vrf) in wave {
+            self.vrf_mut(rfh, vrf).fill_plane(Plane::Mask, true);
+        }
+        let penalty = self.config.control.recipe_miss_penalty;
+        let steps = trace.steps();
+        // When fusion proved the op stream never writes the mask plane,
+        // each VRF's lane mask — and with it every step's enabled count —
+        // is invariant across a contiguous run of compute steps, so the
+        // run can be accounted step-by-step (program order, identical
+        // charges) and then executed as one flat op pass per VRF, keeping
+        // each VRF's storage L1-resident instead of interleaving VRFs at
+        // every step.
+        let batch = trace.fast();
+        let mut i = 0;
+        while i < steps.len() {
+            let line = body_start + i;
+            match &steps[i] {
+                EnsembleStep::Compute { .. } => {
+                    let mut j = i + 1;
+                    while batch
+                        && j < steps.len()
+                        && matches!(steps[j], EnsembleStep::Compute { .. })
+                    {
+                        j += 1;
+                    }
+                    // Architectural accounting, per step in program order.
+                    for (k, step) in steps[i..j].iter().enumerate() {
+                        let EnsembleStep::Compute { instr, cycles, uops, .. } = step else {
+                            unreachable!("run boundaries split at non-compute steps");
+                        };
+                        // The architectural template table sees the same
+                        // per-instruction probe stream as run_body, so LRU
+                        // order and hit/miss counters match bit-for-bit.
+                        let Some((_, outcome)) =
+                            self.cache.lookup_traced(&self.config.datapath, instr)
+                        else {
+                            return Err(SimError::RecipeUnavailable {
+                                line: line + k,
+                                mnemonic: instr.mnemonic(),
+                            });
+                        };
+                        if outcome.hit {
+                            self.stats.recipe_hits += 1;
+                        } else {
+                            self.stats.recipe_misses += 1;
+                            self.charge_control(penalty);
+                        }
+                        self.stats.instructions += 1;
+                        self.stats.cycles += cycles;
+                        self.stats.compute_cycles += cycles;
+                        self.stats.uops += u64::from(*uops);
+                        // Energy reads each VRF's enabled count exactly as
+                        // run_body does *before* the step executes — the
+                        // masks are invariant across the run (batched
+                        // case) or the run is this single step.
+                        let mut energy = 0.0;
+                        for &(rfh, vrf) in wave {
+                            let enabled = self.vrf_mut(rfh, vrf).mask_lanes();
+                            energy += trace.step_energy_pj(step, enabled);
+                        }
+                        self.stats.energy.datapath_pj += energy;
+                    }
+                    // Execution: the run's fused ops, one VRF at a time.
+                    // VRFs are independent, so per-VRF state is identical
+                    // to the step-interleaved order.
+                    for &(rfh, vrf) in wave {
+                        trace.run_steps(i..j, self.vrf_mut(rfh, vrf));
+                    }
+                    i = j;
+                    continue;
+                }
+                EnsembleStep::SetMask { rs } => {
+                    self.charge_control(self.config.control.mask_update);
+                    for &(rfh, vrf) in wave {
+                        let v = self.vrf_mut(rfh, vrf);
+                        if *rs == COND_REG {
+                            v.copy_plane(Plane::Cond, Plane::Mask);
+                        } else {
+                            v.copy_plane(Plane::Reg { reg: rs.0 as u8, bit: 0 }, Plane::Mask);
+                        }
+                    }
+                    self.stats.instructions += 1;
+                }
+                EnsembleStep::Unmask => {
+                    self.charge_control(self.config.control.mask_update);
+                    for &(rfh, vrf) in wave {
+                        self.vrf_mut(rfh, vrf).fill_plane(Plane::Mask, true);
+                    }
+                    self.stats.instructions += 1;
+                }
+                EnsembleStep::Nop => {
+                    self.charge_control(self.config.control.nop);
+                    self.stats.instructions += 1;
+                }
+            }
+            i += 1;
+        }
+        // Playback refills: run_body counts every fetch (N body steps plus
+        // the COMPUTE_DONE) and refills at each `playback_entries`-th
+        // fetch after the initial fill — floor(N / entries) refills. The
+        // charges are u64 adds, so settling them in one batch here is
+        // Stats-identical to charging them in-line.
+        let refills = trace.steps().len() as u64 / self.config.playback_entries as u64;
+        if refills > 0 {
+            self.charge_control(refills * self.config.control.playback_refill);
+        }
+        // Leave predication clean for the next ensemble.
+        for &(rfh, vrf) in wave {
+            self.vrf_mut(rfh, vrf).fill_plane(Plane::Mask, true);
+        }
+        Ok(body_start + trace.steps().len())
+    }
+
     /// Issues one compute instruction to every VRF of the wave, under the
     /// configured redundancy policy.
     fn exec_compute_instr(
@@ -1027,7 +1289,10 @@ impl Mpu {
     ) -> Result<(), SimError> {
         let (cached, outcome) = match self.cache.lookup_traced(&self.config.datapath, instr) {
             Some(r) => r,
-            None => return Ok(()), // unreachable for compute instructions
+            // Never silently drop work: a compute instruction without a
+            // synthesizable recipe is a hard error (and the canary that
+            // keeps tier fallback paths honest).
+            None => return Err(SimError::RecipeUnavailable { line, mnemonic: instr.mnemonic() }),
         };
         let recipe: Arc<Recipe> = Arc::clone(&cached.recipe);
         let penalty = self.config.control.recipe_miss_penalty;
@@ -1614,6 +1879,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EventLog;
     use mpu_isa::{BinaryOp, CompareOp, LineNum, RegId, UnaryOp, VrfId};
     use pum_backend::DatapathKind;
 
@@ -2123,5 +2389,191 @@ mod tests {
             matches!(err.root_cause(), SimError::WatchdogTriggered { instructions: 500, .. }),
             "got {err:?}"
         );
+    }
+
+    #[test]
+    fn missing_recipe_is_a_hard_error() {
+        // A recipe-less instruction reaching the compute path must trap,
+        // not silently skip the work (the old behavior returned Ok).
+        let mut mpu = Mpu::new(racer(), mpu_isa::MpuId(0));
+        let mut warm = false;
+        let err = mpu.exec_compute_instr(&Instruction::Nop, &[], &mut warm, 7).unwrap_err();
+        assert!(
+            matches!(err, SimError::RecipeUnavailable { line: 7, mnemonic: "NOP" }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn nop_drains_the_pipeline_and_offloads_like_other_control_ops() {
+        // S2: a NOP between two ADDs is a control instruction. In Baseline
+        // mode it must trigger a CPU offload visit (draining RACER's bit
+        // pipeline), so the second ADD pays full serial latency again.
+        let with_nop = asm("COMPUTE h0 v0\nADD r0 r1 r2\nNOP\nADD r0 r1 r3\nCOMPUTE_DONE");
+        let dp = pum_backend::DatapathModel::racer();
+        let add =
+            Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
+        let recipe = dp.recipe(&add).unwrap();
+        let serial = dp.recipe_cycles(&recipe);
+        let stage = dp.recipe_stage_cycles(&recipe);
+
+        let (base, _) =
+            run_single(SimConfig::baseline(DatapathKind::Racer), &with_nop, &[]).unwrap();
+        assert_eq!(base.offload_events, 1, "the NOP opens one CPU offload batch");
+        assert_eq!(base.compute_cycles, 2 * serial, "the offload drains the pipeline");
+
+        // In MPU mode there is no offload: the pipeline stays warm across
+        // the NOP and the second ADD only pays its stage time.
+        let mut cfg = racer();
+        cfg.trace_ensembles = false;
+        let (mpu_stats, _) = run_single(cfg, &with_nop, &[]).unwrap();
+        assert_eq!(mpu_stats.offload_events, 0);
+        assert_eq!(mpu_stats.compute_cycles, serial + stage);
+    }
+
+    #[test]
+    fn corrupted_jump_target_traps_on_return_stack_overflow() {
+        // A self-targeting JUMP (legal per the validator: the target is in
+        // bounds) pushes a return address every iteration. The bounded
+        // hardware stack must trap instead of growing without limit.
+        let p = Program::from_instructions(vec![
+            Instruction::Compute { rfh: 0.into(), vrf: VrfId(0) },
+            Instruction::Jump { target: LineNum(1) },
+            Instruction::ComputeDone,
+        ]);
+        let err = run_single(racer(), &p, &[]).unwrap_err();
+        assert!(
+            matches!(
+                err.root_cause(),
+                SimError::ReturnStackOverflow { depth: RETURN_STACK_DEPTH, .. }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    /// A straight-line body exercising every trace-eligible instruction
+    /// class, with predication flips in the middle.
+    fn straight_line_program() -> Program {
+        asm("COMPUTE h0 v0\n\
+             ADD r0 r1 r2\n\
+             CMPGT r2 r1\n\
+             SETMASK r63\n\
+             SUB r2 r0 r3\n\
+             NOP\n\
+             UNMASK\n\
+             INC r3 r4\n\
+             COMPUTE_DONE")
+    }
+
+    #[test]
+    fn trace_tier_is_bit_identical_to_per_instruction_execution() {
+        let p = straight_line_program();
+        let inputs: [((u16, u16, u8), Vec<u64>); 2] =
+            [((0, 0, 0), (0..64).collect()), ((0, 0, 1), vec![13; 64])];
+        let mut compiled_cfg = racer();
+        compiled_cfg.trace_ensembles = false;
+        let (want, mut want_mpu) = run_single(compiled_cfg, &p, &inputs).unwrap();
+        let (got, mut got_mpu) = run_single(racer(), &p, &inputs).unwrap();
+        assert_eq!(want, got, "Stats must match bit-for-bit across tiers");
+        for reg in 0..5 {
+            assert_eq!(
+                want_mpu.read_register(0, 0, reg).unwrap(),
+                got_mpu.read_register(0, 0, reg).unwrap(),
+                "r{reg}"
+            );
+        }
+        assert_eq!(got_mpu.tier_counts(), (1, 0), "the body must run on the trace tier");
+        assert_eq!(want_mpu.tier_counts(), (0, 1), "trace_ensembles=false must fall back");
+    }
+
+    #[test]
+    fn trace_tier_replays_thermal_waves() {
+        // Two VRFs of one RACER RFH: the trace replays once per wave and
+        // the results and statistics still match the fallback tier.
+        let p = asm("COMPUTE h0 v0\nCOMPUTE h0 v1\nADD r0 r0 r1\nINC r1 r2\nCOMPUTE_DONE");
+        let inputs: [((u16, u16, u8), Vec<u64>); 2] =
+            [((0, 0, 0), vec![4; 64]), ((0, 1, 0), vec![9; 64])];
+        let mut off = racer();
+        off.trace_ensembles = false;
+        let (want, mut m1) = run_single(off, &p, &inputs).unwrap();
+        let (got, mut m2) = run_single(racer(), &p, &inputs).unwrap();
+        assert_eq!(want.scheduler_waves, 2);
+        assert_eq!(want, got);
+        assert_eq!(m2.tier_counts(), (1, 0));
+        for (rfh, vrf) in [(0, 0), (0, 1)] {
+            assert_eq!(
+                m1.read_register(rfh, vrf, 2).unwrap(),
+                m2.read_register(rfh, vrf, 2).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn data_dependent_bodies_fall_back_to_the_compiled_tier() {
+        // EFI loop: not straight-line → per-instruction execution.
+        let efi = Program::from_instructions(vec![
+            Instruction::Compute { rfh: 0.into(), vrf: VrfId(0) },
+            Instruction::Compare { op: CompareOp::Gt, rs: RegId(0), rt: RegId(1) },
+            Instruction::SetMask { rs: COND_REG },
+            Instruction::Binary { op: BinaryOp::Sub, rs: RegId(0), rt: RegId(2), rd: RegId(0) },
+            Instruction::JumpCond { target: LineNum(1) },
+            Instruction::Unmask,
+            Instruction::ComputeDone,
+        ]);
+        let inputs: [((u16, u16, u8), Vec<u64>); 3] =
+            [((0, 0, 0), vec![3; 64]), ((0, 0, 1), vec![0; 64]), ((0, 0, 2), vec![1; 64])];
+        let (_, mpu) = run_single(racer(), &efi, &inputs).unwrap();
+        assert_eq!(mpu.tier_counts(), (0, 1), "EFI loops must not fuse");
+
+        // Mid-body GETMASK reads predication out: also ineligible.
+        let getmask = asm("COMPUTE h0 v0\nADD r0 r1 r2\nGETMASK r3\nCOMPUTE_DONE");
+        let (_, mpu) = run_single(racer(), &getmask, &[]).unwrap();
+        assert_eq!(mpu.tier_counts(), (0, 1), "GETMASK bodies must not fuse");
+    }
+
+    #[test]
+    fn per_instruction_fidelity_configs_fall_back() {
+        let p = straight_line_program();
+        // Interpreted-recipe mode.
+        let mut cfg = racer();
+        cfg.interpret_recipes = true;
+        let (_, mpu) = run_single(cfg, &p, &[]).unwrap();
+        assert_eq!(mpu.tier_counts(), (0, 1), "interpreted mode must fall back");
+        // Baseline offload mode.
+        let (_, mpu) = run_single(SimConfig::baseline(DatapathKind::Racer), &p, &[]).unwrap();
+        assert_eq!(mpu.tier_counts(), (0, 1), "Baseline mode must fall back");
+        // Seeded fault injection (draws must happen in program order).
+        let mut cfg = racer();
+        cfg.fault = FaultConfig { seed: Some(3), ..Default::default() };
+        let (_, mpu) = run_single(cfg, &p, &[]).unwrap();
+        assert_eq!(mpu.tier_counts(), (0, 1), "fault injection must fall back");
+        // A watchdog tighter than the body must still be able to fire.
+        let mut cfg = racer();
+        cfg.recovery.watchdog_instructions = Some(3);
+        let err = run_single(cfg, &p, &[]).unwrap_err();
+        assert!(matches!(err.root_cause(), SimError::WatchdogTriggered { .. }));
+        // An armed tracer needs per-instruction events.
+        let log = EventLog::new();
+        let (_, mpu) =
+            run_single_traced(racer(), &p, &[], None, Some(Box::new(log.clone()))).unwrap();
+        assert_eq!(mpu.tier_counts(), (0, 1), "tracing must fall back");
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn trace_tier_charges_identical_playback_refills() {
+        // Body of 10 instructions with a 4-entry playback buffer: the
+        // per-instruction tier refills in-line, the trace tier settles the
+        // same floor(10/4) = 2 refills in one batch. Stats must agree.
+        let body = "ADD r0 r1 r2\n".repeat(9);
+        let p = asm(&format!("COMPUTE h0 v0\n{body}NOP\nCOMPUTE_DONE"));
+        let mut on = racer();
+        on.playback_entries = 4;
+        let mut off = on.clone();
+        off.trace_ensembles = false;
+        let (want, _) = run_single(off, &p, &[]).unwrap();
+        let (got, mpu) = run_single(on, &p, &[]).unwrap();
+        assert_eq!(mpu.tier_counts(), (1, 0));
+        assert_eq!(want, got);
     }
 }

@@ -21,7 +21,7 @@
 
 use mpu_isa::Instruction;
 use parking_lot::RwLock;
-use pum_backend::{CompiledRecipe, DatapathModel, Recipe, RecipeCtx};
+use pum_backend::{CompiledRecipe, DatapathModel, EnsembleTrace, Recipe, RecipeCtx};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -51,6 +51,7 @@ pub struct CachedRecipe {
 pub struct RecipePool {
     templates: RwLock<HashMap<(RecipeCtx, u32), Arc<Recipe>>>,
     compiled: RwLock<HashMap<CompiledKey, Arc<CompiledRecipe>>>,
+    traces: RwLock<HashMap<TraceKey, Arc<EnsembleTrace>>>,
     lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -80,6 +81,11 @@ pub struct PoolStats {
 /// and the VRF geometry `(lanes, regs)` it was resolved for.
 type CompiledKey = (RecipeCtx, u32, usize, usize);
 
+/// Memo key for a fused ensemble trace: synthesis context, the encoded
+/// ensemble body (collision-proof — the words *are* the body), and the
+/// VRF geometry `(lanes, regs)` it was fused for.
+type TraceKey = (RecipeCtx, Vec<u32>, usize, usize);
+
 impl RecipePool {
     /// Creates an empty pool.
     pub fn new() -> Self {
@@ -94,27 +100,36 @@ impl RecipePool {
         datapath: &DatapathModel,
         instr: &Instruction,
     ) -> Option<Arc<Recipe>> {
-        Some(self.get_or_build_inner(datapath, instr)?.0)
+        Some(self.get_or_build_inner(datapath, instr, true)?.0)
     }
 
     /// [`Self::get_or_build`] plus whether the template was already
-    /// memoized (`true` = pool hit).
+    /// memoized (`true` = pool hit). When `count` is false the probe is
+    /// left out of the traffic counters (used by trace fusion, whose
+    /// probes are one-time and amortized behind the trace memo — counting
+    /// them would make pool statistics depend on memo warmth rather than
+    /// on the executed instruction stream).
     fn get_or_build_inner(
         &self,
         datapath: &DatapathModel,
         instr: &Instruction,
+        count: bool,
     ) -> Option<(Arc<Recipe>, bool)> {
         let key = (datapath.recipe_ctx(), instr.encode());
         if let Some(recipe) = self.templates.read().get(&key) {
-            self.lookups.fetch_add(1, Ordering::Relaxed);
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            if count {
+                self.lookups.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
             return Some((Arc::clone(recipe), true));
         }
         // Synthesize outside the write lock; a racing thread may do the
         // same work, but the first insert wins and both get the same entry.
         let recipe = Arc::new(datapath.recipe(instr)?);
-        self.lookups.fetch_add(1, Ordering::Relaxed);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        if count {
+            self.lookups.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
         let mut templates = self.templates.write();
         Some((Arc::clone(templates.entry(key).or_insert(recipe)), false))
     }
@@ -136,7 +151,18 @@ impl RecipePool {
         datapath: &DatapathModel,
         instr: &Instruction,
     ) -> Option<(CachedRecipe, bool)> {
-        let (recipe, template_hit) = self.get_or_build_inner(datapath, instr)?;
+        self.build_compiled(datapath, instr, true)
+    }
+
+    /// Shared body of the compiled-form getters; `count` selects whether
+    /// the template probe enters the pool's traffic counters.
+    fn build_compiled(
+        &self,
+        datapath: &DatapathModel,
+        instr: &Instruction,
+        count: bool,
+    ) -> Option<(CachedRecipe, bool)> {
+        let (recipe, template_hit) = self.get_or_build_inner(datapath, instr, count)?;
         let g = datapath.geometry();
         let key = (datapath.recipe_ctx(), instr.encode(), g.lanes_per_vrf, g.regs_per_vrf);
         if let Some(compiled) = self.compiled.read().get(&key) {
@@ -147,6 +173,38 @@ impl RecipePool {
         let mut map = self.compiled.write();
         let compiled = Arc::clone(map.entry(key).or_insert(compiled));
         Some((CachedRecipe { recipe, compiled }, template_hit))
+    }
+
+    /// Returns the fused [`EnsembleTrace`] for a straight-line ensemble
+    /// body on `datapath`, fusing and memoizing it on first use. Recipes
+    /// are resolved through the pool's template *and* compiled memos, so
+    /// fusion never re-synthesizes or re-compiles work the pool already
+    /// holds — and a preloaded, possibly deliberately corrupted, template
+    /// reaches the trace tier exactly as it reaches the per-instruction
+    /// tiers. Fusion probes stay out of the pool's traffic counters: they
+    /// are one-time (amortized behind this trace memo), so counting them
+    /// would make [`Self::stats`] depend on memo warmth instead of the
+    /// executed instruction stream. `None` when the body contains an
+    /// instruction the trace tier cannot fuse.
+    pub fn get_or_fuse_trace(
+        &self,
+        datapath: &DatapathModel,
+        body: &[Instruction],
+    ) -> Option<Arc<EnsembleTrace>> {
+        let g = datapath.geometry();
+        let words: Vec<u32> = body.iter().map(Instruction::encode).collect();
+        let key = (datapath.recipe_ctx(), words, g.lanes_per_vrf, g.regs_per_vrf);
+        if let Some(trace) = self.traces.read().get(&key) {
+            return Some(Arc::clone(trace));
+        }
+        // Fuse outside the write lock; a racing thread may duplicate the
+        // work, but the first insert wins and both get the same entry.
+        let trace = Arc::new(pum_backend::fuse_ensemble_with(datapath, body, |dp, instr| {
+            let (entry, _) = self.build_compiled(dp, instr, false)?;
+            Some((entry.recipe, entry.compiled))
+        })?);
+        let mut traces = self.traces.write();
+        Some(Arc::clone(traces.entry(key).or_insert(trace)))
     }
 
     /// Snapshot of the pool's lookup counters.
@@ -171,6 +229,9 @@ impl RecipePool {
         let word = instr.encode();
         self.templates.write().insert((ctx, word), Arc::new(recipe));
         self.compiled.write().retain(|&(c, w, _, _), _| !(c == ctx && w == word));
+        // Fused traces bake the instruction's compiled ops in; drop any
+        // derived from the replaced template.
+        self.traces.write().retain(|(c, words, _, _), _| !(*c == ctx && words.contains(&word)));
     }
 
     /// Number of memoized templates.
@@ -201,6 +262,18 @@ pub struct RecipeCache {
     capacity: usize,
     entries: HashMap<u32, (CachedRecipe, u64)>,
     pool: Option<Arc<RecipePool>>,
+    /// Fused ensemble traces keyed by the encoded body. Host-side only —
+    /// distinct from the architectural template table above: trace lookups
+    /// never advance the LRU clock or the hit/miss counters, exactly as a
+    /// shared [`RecipePool`] never does. Bodies per program are few, so
+    /// the memo is unbounded. `None` memoizes a body that failed to fuse.
+    traces: HashMap<Vec<u32>, Option<Arc<EnsembleTrace>>>,
+    /// Recipes synthesized as a by-product of pool-less fusion, kept so the
+    /// trace tier's replay probes (and later architectural misses) reuse
+    /// them instead of lowering the instruction a second time. Like a
+    /// shared [`RecipePool`], this is purely a host-side memo: miss
+    /// accounting and the LRU clock are unchanged.
+    synth_memo: HashMap<u32, CachedRecipe>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -213,6 +286,8 @@ impl RecipeCache {
             capacity: capacity.max(1),
             entries: HashMap::new(),
             pool: None,
+            traces: HashMap::new(),
+            synth_memo: HashMap::new(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -260,12 +335,15 @@ impl RecipeCache {
                 let (entry, template_hit) = pool.get_or_build_compiled_inner(datapath, instr)?;
                 (entry, Some(template_hit))
             }
-            None => {
-                let recipe = Arc::new(datapath.recipe(instr)?);
-                let g = datapath.geometry();
-                let compiled = Arc::new(recipe.compile(g.lanes_per_vrf, g.regs_per_vrf));
-                (CachedRecipe { recipe, compiled }, None)
-            }
+            None => match self.synth_memo.get(&key) {
+                Some(entry) => (entry.clone(), None),
+                None => {
+                    let recipe = Arc::new(datapath.recipe(instr)?);
+                    let g = datapath.geometry();
+                    let compiled = Arc::new(recipe.compile(g.lanes_per_vrf, g.regs_per_vrf));
+                    (CachedRecipe { recipe, compiled }, None)
+                }
+            },
         };
         self.tick += 1;
         self.misses += 1;
@@ -277,6 +355,46 @@ impl RecipeCache {
         }
         self.entries.insert(key, (entry.clone(), self.tick));
         Some((entry, LookupOutcome { hit: false, pool }))
+    }
+
+    /// Returns the fused [`EnsembleTrace`] for a straight-line ensemble
+    /// body, fusing (through the shared pool when attached) and memoizing
+    /// it on first use; `None` when the body cannot fuse. Host-side only:
+    /// never touches the architectural hit/miss/LRU state — the trace
+    /// tier still performs the real per-instruction [`Self::lookup_traced`]
+    /// probes while replaying, so template-table statistics are
+    /// bit-identical across execution tiers.
+    pub(crate) fn lookup_trace(
+        &mut self,
+        datapath: &DatapathModel,
+        body: &[Instruction],
+    ) -> Option<Arc<EnsembleTrace>> {
+        let words: Vec<u32> = body.iter().map(Instruction::encode).collect();
+        if let Some(memo) = self.traces.get(&words) {
+            return memo.clone();
+        }
+        let trace = match &self.pool {
+            Some(pool) => pool.get_or_fuse_trace(datapath, body),
+            None => {
+                let synth_memo = &mut self.synth_memo;
+                pum_backend::fuse_ensemble_with(datapath, body, |dp, instr| {
+                    let entry = match synth_memo.entry(instr.encode()) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            let recipe = Arc::new(dp.recipe(instr)?);
+                            let g = dp.geometry();
+                            let compiled =
+                                Arc::new(recipe.compile(g.lanes_per_vrf, g.regs_per_vrf));
+                            v.insert(CachedRecipe { recipe, compiled })
+                        }
+                    };
+                    Some((Arc::clone(&entry.recipe), Arc::clone(&entry.compiled)))
+                })
+                .map(Arc::new)
+            }
+        };
+        self.traces.insert(words, trace.clone());
+        trace
     }
 
     /// Cache hits so far.

@@ -56,6 +56,10 @@ pub struct ChipRun {
     pub ezpim_statements: usize,
     /// Lowered ISA instruction count.
     pub isa_instructions: usize,
+    /// Execution-tier split of the wave simulation: `(trace, fallback)`
+    /// compute-ensemble counts (see [`mastodon::Mpu::tier_counts`]).
+    /// Host-side telemetry; not an architectural counter.
+    pub tiers: (u64, u64),
 }
 
 impl ChipRun {
@@ -264,6 +268,7 @@ fn run_kernel_inner(
         verified: true,
         ezpim_statements: built.ezpim_statements,
         isa_instructions: built.program.len(),
+        tiers: mpu.tier_counts(),
     })
 }
 
@@ -438,7 +443,14 @@ mod tests {
         let log = EventLog::new();
         let traced = run_kernel_traced(dot.as_ref(), &config, 1 << 12, 42, &log).unwrap();
         let untraced = run_kernel(dot.as_ref(), &config, 1 << 12, 42).unwrap();
-        assert_eq!(traced, untraced, "tracing must not perturb the ChipRun");
+        // An armed tracer forces per-instruction fallback so every retired
+        // instruction is observable, so the (host-side, non-architectural)
+        // tier split legitimately differs; everything architectural must
+        // still be bit-identical.
+        assert_eq!(traced.tiers.0, 0, "an armed tracer must force per-instruction fallback");
+        let mut normalized = traced.clone();
+        normalized.tiers = untraced.tiers;
+        assert_eq!(normalized, untraced, "tracing must not perturb the architectural ChipRun");
         let events = log.take();
         assert!(!events.is_empty());
         let profile = mastodon::Profile::build(&events);
