@@ -205,6 +205,17 @@ impl BitPlaneVrf {
         &mut self.storage
     }
 
+    /// Range of words in a [`Self::snapshot`] image occupied by the
+    /// scratch planes. Redundant-execution comparison and voting exclude
+    /// this range: scratch contents are not architectural — recipes are
+    /// free to leave different residue there (the recipe optimizer elides
+    /// dead scratch stores), and a scratch fault that matters has
+    /// propagated into an architectural plane by the time a recipe ends.
+    pub fn scratch_word_range(&self) -> std::ops::Range<usize> {
+        let arch = self.regs * DATA_BITS as usize;
+        arch * self.words..(arch + SCRATCH_PLANES) * self.words
+    }
+
     /// True if writes to `plane` must be gated by the mask register.
     pub(crate) fn is_masked_target(plane: Plane) -> bool {
         matches!(plane, Plane::Reg { .. } | Plane::Cond)

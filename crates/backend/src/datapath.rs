@@ -117,6 +117,9 @@ pub struct DatapathModel {
     active_power_mw_per_vrf: f64,
     /// Die area of one VRF's memory arrays, mm².
     vrf_area_mm2: f64,
+    /// Recipe-optimizer configuration applied by [`DatapathModel::recipe`].
+    #[serde(default)]
+    opt: crate::opt::OptConfig,
 }
 
 impl DatapathModel {
@@ -158,6 +161,7 @@ impl DatapathModel {
             // thermal criterion Fig. 5 plots (averages are far lower).
             active_power_mw_per_vrf: 45.0,
             vrf_area_mm2: 0.0015,
+            opt: crate::opt::OptConfig::default(),
         }
     }
 
@@ -198,6 +202,7 @@ impl DatapathModel {
             static_power_mw_per_vrf: 0.011, // refresh + peripheral leakage
             active_power_mw_per_vrf: 1.4,
             vrf_area_mm2: 0.0016,
+            opt: crate::opt::OptConfig::default(),
         }
     }
 
@@ -243,6 +248,7 @@ impl DatapathModel {
             static_power_mw_per_vrf: 0.045, // SRAM leakage dominates
             active_power_mw_per_vrf: 1.9,
             vrf_area_mm2: 0.055, // SRAM density is poor (0.2 GB chip)
+            opt: crate::opt::OptConfig::default(),
         }
     }
 
@@ -277,16 +283,45 @@ impl DatapathModel {
         self.geometry
     }
 
-    /// Recipe-synthesis context (family + reserved temp registers).
+    /// Recipe-synthesis context (family + reserved temp registers +
+    /// optimizer configuration).
     pub fn recipe_ctx(&self) -> RecipeCtx {
-        RecipeCtx { family: self.family, temp_regs: self.geometry.temp_regs() }
+        RecipeCtx { family: self.family, temp_regs: self.geometry.temp_regs(), opt: self.opt }
     }
 
-    /// Synthesizes the recipe for `instr`, or `None` for control-path
+    /// The recipe-optimizer configuration this model applies at synthesis.
+    pub fn opt_config(&self) -> crate::opt::OptConfig {
+        self.opt
+    }
+
+    /// Replaces the recipe-optimizer configuration (e.g.
+    /// [`crate::opt::OptConfig::disabled`] to measure the unoptimized
+    /// templates). The configuration is part of [`DatapathModel::recipe_ctx`]
+    /// and therefore of every recipe memo key.
+    pub fn with_opt_config(mut self, opt: crate::opt::OptConfig) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Synthesizes the recipe for `instr` and runs the recipe optimizer
+    /// over it (see [`crate::opt`]), or returns `None` for control-path
     /// instructions. Callers should cache recipes per instruction — that
-    /// is exactly what the control path's template lookup does.
+    /// is exactly what the control path's template lookup does, which also
+    /// amortizes the optimization cost to once per template miss.
     pub fn recipe(&self, instr: &Instruction) -> Option<Recipe> {
-        build_recipe(self.recipe_ctx(), instr)
+        self.recipe_with_stats(instr).map(|(recipe, _)| recipe)
+    }
+
+    /// [`DatapathModel::recipe`], also returning the optimizer's per-rule
+    /// attribution counters for this synthesis.
+    pub fn recipe_with_stats(&self, instr: &Instruction) -> Option<(Recipe, crate::opt::OptStats)> {
+        let template = build_recipe(self.recipe_ctx(), instr)?;
+        let cost = |kind: MicroOpKind| {
+            let cycles = self.uop_cycles.get(&kind).copied()?;
+            let energy = self.uop_energy_pj_per_lane.get(&kind).copied()?;
+            Some((cycles, energy))
+        };
+        Some(crate::opt::optimize(&template, self.family, self.opt, &cost))
     }
 
     /// Issue/occupancy cycles of one micro-op at the 1 GHz MPU clock.
@@ -437,6 +472,13 @@ impl DatapathBuilder {
     pub fn uop(mut self, kind: MicroOpKind, cycles: u64, energy_pj_per_lane: f64) -> Self {
         self.model.uop_cycles.insert(kind, cycles);
         self.model.uop_energy_pj_per_lane.insert(kind, energy_pj_per_lane);
+        self
+    }
+
+    /// Sets the recipe-optimizer configuration (defaults to enabled with
+    /// every rule family on).
+    pub fn optimizer(mut self, opt: crate::opt::OptConfig) -> Self {
+        self.model.opt = opt;
         self
     }
 

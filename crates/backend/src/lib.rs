@@ -75,6 +75,7 @@ pub mod fault;
 mod features;
 mod logic;
 mod microop;
+pub mod opt;
 pub mod power;
 pub mod recipe;
 mod trace_tier;
@@ -86,6 +87,7 @@ pub use fault::{FaultModel, FaultPrng};
 pub use features::{supports, Feature, Platform};
 pub use logic::{GateBuilder, LogicFamily};
 pub use microop::{MicroOp, MicroOpKind};
+pub use opt::{optimize, OptConfig, OptRule, OptStats, RuleStats};
 pub use recipe::{build_recipe, semantics, Recipe, RecipeCtx};
 pub use trace_tier::{fuse_ensemble, fuse_ensemble_with, EnsembleStep, EnsembleTrace};
 

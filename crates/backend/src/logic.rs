@@ -50,6 +50,13 @@ impl LogicFamily {
             ],
         }
     }
+
+    /// Whether `kind` is legal for this family (membership test over
+    /// [`LogicFamily::supported_kinds`]). Used by the recipe optimizer to
+    /// legalize kind-changing rewrites.
+    pub fn supports(self, kind: MicroOpKind) -> bool {
+        self.supported_kinds().contains(&kind)
+    }
 }
 
 /// Emits micro-op sequences realizing boolean gates with one logic family's

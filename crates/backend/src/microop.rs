@@ -203,6 +203,46 @@ impl MicroOp {
         }
     }
 
+    /// The planes this micro-op reads, in operand order.
+    ///
+    /// [`MicroOp::FullAdd`] reads its addends and the carry-in; the carry
+    /// plane also appears in [`MicroOp::writes`] because it receives the
+    /// carry-out. `Set` reads nothing. Used by the recipe optimizer's
+    /// dataflow analysis (`crate::opt`).
+    pub fn reads(&self) -> Vec<Plane> {
+        match *self {
+            MicroOp::Nor { a, b, .. }
+            | MicroOp::And { a, b, .. }
+            | MicroOp::Or { a, b, .. }
+            | MicroOp::Xor { a, b, .. } => vec![a, b],
+            MicroOp::Tra { a, b, c, .. } => vec![a, b, c],
+            MicroOp::Not { a, .. } | MicroOp::Copy { a, .. } => vec![a],
+            MicroOp::FullAdd { a, b, carry, .. } => vec![a, b, carry],
+            MicroOp::Set { .. } => vec![],
+        }
+    }
+
+    /// The planes this micro-op writes, in write order.
+    ///
+    /// [`MicroOp::FullAdd`] writes the reserved scratch latch plane (the
+    /// staged sum), then the carry plane, then the sum plane — the exact
+    /// sequence [`MicroOp::apply`] performs.
+    pub fn writes(&self) -> Vec<Plane> {
+        match *self {
+            MicroOp::Nor { out, .. }
+            | MicroOp::Tra { out, .. }
+            | MicroOp::Not { out, .. }
+            | MicroOp::And { out, .. }
+            | MicroOp::Or { out, .. }
+            | MicroOp::Xor { out, .. }
+            | MicroOp::Copy { out, .. }
+            | MicroOp::Set { out, .. } => vec![out],
+            MicroOp::FullAdd { carry, sum, .. } => {
+                vec![Plane::Scratch(crate::bitplane::SCRATCH_PLANES as u16 - 1), carry, sum]
+            }
+        }
+    }
+
     /// Applies this micro-op's functional semantics to a VRF. All lanes are
     /// processed in parallel; writes to architectural planes honour the
     /// lane mask (see [`BitPlaneVrf`]).

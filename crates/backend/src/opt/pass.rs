@@ -1,0 +1,708 @@
+//! The shared dataflow engine behind [`super::optimize`]: hash-consed
+//! value numbering (forward), two-bit per-plane liveness (backward), and a
+//! copy-coalescing peephole, iterated to a fixpoint.
+//!
+//! The value lattice models every plane's contents as a node in a
+//! hash-consed boolean DAG over the recipe's *entry* state: `Input(plane)`
+//! leaves, `And`/`Xor`/`Maj` interior nodes (enough to express all nine
+//! micro-op kinds), a `True` constant, and `Merge(old, new)` for masked
+//! stores (the post-state of a write to a [`Plane::Reg`]/[`Plane::Cond`]
+//! destination, which blends old and new per the wave-constant lane mask).
+//! Negation is a bit on the edge (`ValRef::neg`), so double negation —
+//! `Nor(x, x)` feeding `Nor(y, y)` — cancels structurally, and constructor
+//! normalization folds the absorbing/idempotent identities of each logic
+//! family (`x NOR x = !x`, `Maj(x, x, y) = x`, `Maj(x, !x, y) = y`,
+//! `Xor(x, x) = 0`, …). Two planes holding the same node are
+//! interchangeable at that program point; `Merge` nodes compare equal only
+//! when both old and new match, which is exactly the condition under which
+//! two masked writes commute with any mask value.
+//!
+//! Liveness tracks `(enabled, disabled)` lane-set bits per plane: a masked
+//! store kills only the enabled half (disabled lanes flow through the
+//! merge), an unmasked store kills both, and any read revives both.
+//! Architectural planes (`Reg`/`Cond`/`Mask`) are live at recipe exit;
+//! scratch planes are not.
+
+use super::{OptConfig, OptRule, OptStats};
+use crate::bitplane::{BitPlaneVrf, Plane, SCRATCH_PLANES};
+use crate::logic::LogicFamily;
+use crate::microop::{MicroOp, MicroOpKind};
+use crate::recipe::Recipe;
+use std::collections::HashMap;
+
+/// Fixpoint cap. Each round strictly removes ops or reaches quiescence;
+/// synthesized templates converge in two or three rounds.
+const MAX_ROUNDS: usize = 4;
+
+const TRUE: ValRef = ValRef { idx: 0, neg: false };
+const FALSE: ValRef = ValRef { idx: 0, neg: true };
+
+fn latch_plane() -> Plane {
+    Plane::Scratch(SCRATCH_PLANES as u16 - 1)
+}
+
+/// A reference to a hash-consed value node, with a complement bit on the
+/// edge so negation is free and double negation cancels structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ValRef {
+    idx: u32,
+    neg: bool,
+}
+
+impl ValRef {
+    fn not(self) -> ValRef {
+        ValRef { idx: self.idx, neg: !self.neg }
+    }
+
+    fn is_const(self) -> bool {
+        self.idx == 0
+    }
+
+    fn key(self) -> (u32, bool) {
+        (self.idx, self.neg)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Node {
+    True,
+    Input(Plane),
+    And(ValRef, ValRef),
+    /// Operands stored positive; polarity lifted to the referencing edge.
+    Xor(ValRef, ValRef),
+    Maj(ValRef, ValRef, ValRef),
+    /// Masked-store post-state: `(old, new)` blended by the lane mask.
+    Merge(ValRef, ValRef),
+}
+
+/// The forward value-numbering state: plane → value, value → holder
+/// planes, and the hash-consed node table.
+struct Values {
+    nodes: Vec<Node>,
+    index: HashMap<Node, u32>,
+    val: HashMap<Plane, ValRef>,
+    holders: HashMap<ValRef, Vec<Plane>>,
+}
+
+impl Values {
+    fn new() -> Values {
+        let mut index = HashMap::new();
+        index.insert(Node::True, 0);
+        Values { nodes: vec![Node::True], index, val: HashMap::new(), holders: HashMap::new() }
+    }
+
+    fn node(&self, v: ValRef) -> Node {
+        self.nodes[v.idx as usize]
+    }
+
+    fn intern(&mut self, node: Node) -> ValRef {
+        let idx = if let Some(&i) = self.index.get(&node) {
+            i
+        } else {
+            let i = self.nodes.len() as u32;
+            self.nodes.push(node);
+            self.index.insert(node, i);
+            i
+        };
+        ValRef { idx, neg: false }
+    }
+
+    fn cref(value: bool) -> ValRef {
+        if value {
+            TRUE
+        } else {
+            FALSE
+        }
+    }
+
+    /// Current value of `p`, creating an `Input` leaf on first read of a
+    /// plane that has not been written yet.
+    fn read(&mut self, p: Plane) -> ValRef {
+        if let Plane::Const(b) = p {
+            return Values::cref(b);
+        }
+        if let Some(&v) = self.val.get(&p) {
+            return v;
+        }
+        let v = self.intern(Node::Input(p));
+        self.val.insert(p, v);
+        self.holders.entry(v).or_default().push(p);
+        v
+    }
+
+    fn write(&mut self, p: Plane, v: ValRef) {
+        if let Some(&old) = self.val.get(&p) {
+            if let Some(list) = self.holders.get_mut(&old) {
+                list.retain(|&q| q != p);
+            }
+        }
+        self.val.insert(p, v);
+        self.holders.entry(v).or_default().push(p);
+    }
+
+    /// The canonical (earliest-established, still-valid) plane holding `v`.
+    fn holder(&self, v: ValRef) -> Option<Plane> {
+        self.holders.get(&v).and_then(|l| l.first()).copied()
+    }
+
+    fn mk_and(&mut self, x: ValRef, y: ValRef) -> ValRef {
+        if x == TRUE {
+            return y;
+        }
+        if y == TRUE {
+            return x;
+        }
+        if x == FALSE || y == FALSE {
+            return FALSE;
+        }
+        if x == y {
+            return x;
+        }
+        if x == y.not() {
+            return FALSE;
+        }
+        let (x, y) = if x.key() <= y.key() { (x, y) } else { (y, x) };
+        self.intern(Node::And(x, y))
+    }
+
+    fn mk_or(&mut self, x: ValRef, y: ValRef) -> ValRef {
+        self.mk_and(x.not(), y.not()).not()
+    }
+
+    fn mk_nor(&mut self, x: ValRef, y: ValRef) -> ValRef {
+        self.mk_and(x.not(), y.not())
+    }
+
+    fn mk_xor(&mut self, x: ValRef, y: ValRef) -> ValRef {
+        if x == y {
+            return FALSE;
+        }
+        if x == y.not() {
+            return TRUE;
+        }
+        if x.is_const() {
+            return if x == FALSE { y } else { y.not() };
+        }
+        if y.is_const() {
+            return if y == FALSE { x } else { x.not() };
+        }
+        let neg = x.neg ^ y.neg;
+        let (px, py) = (ValRef { neg: false, ..x }, ValRef { neg: false, ..y });
+        let (px, py) = if px.key() <= py.key() { (px, py) } else { (py, px) };
+        let r = self.intern(Node::Xor(px, py));
+        if neg {
+            r.not()
+        } else {
+            r
+        }
+    }
+
+    fn mk_maj(&mut self, a: ValRef, b: ValRef, c: ValRef) -> ValRef {
+        if a == b || a == c {
+            return a;
+        }
+        if b == c {
+            return b;
+        }
+        if a == b.not() {
+            return c;
+        }
+        if a == c.not() {
+            return b;
+        }
+        if b == c.not() {
+            return a;
+        }
+        if a.is_const() {
+            return if a == TRUE { self.mk_or(b, c) } else { self.mk_and(b, c) };
+        }
+        if b.is_const() {
+            return if b == TRUE { self.mk_or(a, c) } else { self.mk_and(a, c) };
+        }
+        if c.is_const() {
+            return if c == TRUE { self.mk_or(a, b) } else { self.mk_and(a, b) };
+        }
+        // Majority is self-dual: Maj(!a, !b, !c) = !Maj(a, b, c). Normalize
+        // the all-negated form so both polarities hash to one node.
+        let mut v = [a, b, c];
+        let neg = v.iter().all(|r| r.neg);
+        if neg {
+            v = [a.not(), b.not(), c.not()];
+        }
+        v.sort_by_key(|r| r.key());
+        let r = self.intern(Node::Maj(v[0], v[1], v[2]));
+        if neg {
+            r.not()
+        } else {
+            r
+        }
+    }
+
+    fn mk_merge(&mut self, old: ValRef, new: ValRef) -> ValRef {
+        if old == new {
+            return old;
+        }
+        // Re-merging the same enabled-lane value is idempotent:
+        // merge(merge(o, n), n) = merge(o, n) for any (wave-constant) mask.
+        if !old.neg {
+            if let Node::Merge(_, prev_new) = self.node(old) {
+                if prev_new == new {
+                    return old;
+                }
+            }
+        }
+        self.intern(Node::Merge(old, new))
+    }
+
+    /// Rewrites a read operand in place: constant values are rewired to the
+    /// preset constant planes; otherwise the operand is redirected to the
+    /// canonical holder of its value (copy propagation when the value is a
+    /// plain plane copy, chain collapsing when it is a derived node).
+    fn rewrite_operand(&mut self, p: &mut Plane, gate: &RuleGate, stats: &mut OptStats) -> bool {
+        let v = self.read(*p);
+        if v.is_const() {
+            let c = Plane::Const(v == TRUE);
+            if *p != c && gate.on(OptRule::ConstFold) {
+                stats.rule_mut(OptRule::ConstFold).fires += 1;
+                *p = c;
+                return true;
+            }
+            return false;
+        }
+        let Some(q) = self.holder(v) else { return false };
+        if q == *p {
+            return false;
+        }
+        let rule = match self.node(v) {
+            Node::Input(_) | Node::Merge(..) => OptRule::CopyProp,
+            _ => OptRule::ChainCollapse,
+        };
+        if !gate.on(rule) {
+            return false;
+        }
+        stats.rule_mut(rule).fires += 1;
+        *p = q;
+        true
+    }
+}
+
+struct RuleGate {
+    family: LogicFamily,
+    config: OptConfig,
+}
+
+impl RuleGate {
+    fn on(&self, rule: OptRule) -> bool {
+        self.config.rule_enabled(rule) && rule.sound_for(self.family)
+    }
+}
+
+/// True when issuing `new` instead of `old` is legal on this substrate and
+/// no worse on both cost axes with a strict improvement on at least one.
+fn improves(
+    cost: &dyn Fn(MicroOpKind) -> Option<(u64, f64)>,
+    family: LogicFamily,
+    new: MicroOpKind,
+    old: MicroOpKind,
+) -> bool {
+    if !family.supports(new) {
+        return false;
+    }
+    let (Some((nc, ne)), Some((oc, oe))) = (cost(new), cost(old)) else {
+        return false;
+    };
+    nc <= oc && ne <= oe && (nc < oc || ne < oe)
+}
+
+struct Slot {
+    op: MicroOp,
+    live: bool,
+    /// Set by the forward pass when the op's value already lived in another
+    /// plane before the write — a recomputation bypassed by operand
+    /// redirection, attributed to chain collapsing once liveness deletes it.
+    dup: bool,
+}
+
+pub(super) fn run(
+    recipe: &Recipe,
+    family: LogicFamily,
+    config: OptConfig,
+    cost: &dyn Fn(MicroOpKind) -> Option<(u64, f64)>,
+) -> (Recipe, OptStats) {
+    let mut stats = OptStats::default();
+    if !config.enabled {
+        return (recipe.clone(), stats);
+    }
+    let mut ops: Vec<MicroOp> = recipe.ops().to_vec();
+    if config.canary {
+        if let Some(MicroOp::Set { value, .. }) =
+            ops.iter_mut().find(|op| matches!(op, MicroOp::Set { .. }))
+        {
+            *value = !*value;
+        }
+    }
+    // The merge model assumes the mask plane is wave-constant, and writes
+    // to constant planes trap at execution time; synthesized recipes never
+    // do either, but `Recipe::from_ops` sequences may — pass those through.
+    if ops.iter().any(|op| op.writes().iter().any(|w| matches!(w, Plane::Mask | Plane::Const(_)))) {
+        return (recipe.with_optimized_ops(ops, 0), stats);
+    }
+    let gate = RuleGate { family, config };
+    let mut slots: Vec<Slot> =
+        ops.into_iter().map(|op| Slot { op, live: true, dup: false }).collect();
+    for _ in 0..MAX_ROUNDS {
+        for s in &mut slots {
+            s.dup = false;
+        }
+        let mut changed = forward(&mut slots, &gate, cost, &mut stats);
+        changed |= liveness(&mut slots, &gate, &mut stats);
+        changed |= coalesce(&mut slots, &gate, &mut stats);
+        slots.retain(|s| s.live);
+        if !changed {
+            break;
+        }
+    }
+    let optimized: Vec<MicroOp> = slots.into_iter().map(|s| s.op).collect();
+    let saved = (recipe.len() - optimized.len()) as u32;
+    (recipe.with_optimized_ops(optimized, saved), stats)
+}
+
+/// Forward value-numbering rewrite pass over the live ops.
+fn forward(
+    slots: &mut [Slot],
+    gate: &RuleGate,
+    cost: &dyn Fn(MicroOpKind) -> Option<(u64, f64)>,
+    stats: &mut OptStats,
+) -> bool {
+    let mut vals = Values::new();
+    let mut changed = false;
+    for slot in slots.iter_mut() {
+        if !slot.live {
+            continue;
+        }
+        match slot.op {
+            MicroOp::Nor { mut a, mut b, out } => {
+                changed |= vals.rewrite_operand(&mut a, gate, stats);
+                changed |= vals.rewrite_operand(&mut b, gate, stats);
+                slot.op = MicroOp::Nor { a, b, out };
+                let va = vals.read(a);
+                let vb = vals.read(b);
+                let v = vals.mk_nor(va, vb);
+                changed |= finish_single(slot, out, v, &mut vals, gate, cost, stats);
+            }
+            MicroOp::And { mut a, mut b, out } => {
+                changed |= vals.rewrite_operand(&mut a, gate, stats);
+                changed |= vals.rewrite_operand(&mut b, gate, stats);
+                slot.op = MicroOp::And { a, b, out };
+                let va = vals.read(a);
+                let vb = vals.read(b);
+                let v = vals.mk_and(va, vb);
+                changed |= finish_single(slot, out, v, &mut vals, gate, cost, stats);
+            }
+            MicroOp::Or { mut a, mut b, out } => {
+                changed |= vals.rewrite_operand(&mut a, gate, stats);
+                changed |= vals.rewrite_operand(&mut b, gate, stats);
+                slot.op = MicroOp::Or { a, b, out };
+                let va = vals.read(a);
+                let vb = vals.read(b);
+                let v = vals.mk_or(va, vb);
+                changed |= finish_single(slot, out, v, &mut vals, gate, cost, stats);
+            }
+            MicroOp::Xor { mut a, mut b, out } => {
+                changed |= vals.rewrite_operand(&mut a, gate, stats);
+                changed |= vals.rewrite_operand(&mut b, gate, stats);
+                slot.op = MicroOp::Xor { a, b, out };
+                let va = vals.read(a);
+                let vb = vals.read(b);
+                let v = vals.mk_xor(va, vb);
+                changed |= finish_single(slot, out, v, &mut vals, gate, cost, stats);
+            }
+            MicroOp::Tra { mut a, mut b, mut c, out } => {
+                changed |= vals.rewrite_operand(&mut a, gate, stats);
+                changed |= vals.rewrite_operand(&mut b, gate, stats);
+                changed |= vals.rewrite_operand(&mut c, gate, stats);
+                slot.op = MicroOp::Tra { a, b, c, out };
+                let va = vals.read(a);
+                let vb = vals.read(b);
+                let vc = vals.read(c);
+                let v = vals.mk_maj(va, vb, vc);
+                changed |= finish_single(slot, out, v, &mut vals, gate, cost, stats);
+            }
+            MicroOp::Not { mut a, out } => {
+                changed |= vals.rewrite_operand(&mut a, gate, stats);
+                slot.op = MicroOp::Not { a, out };
+                let v = vals.read(a).not();
+                changed |= finish_single(slot, out, v, &mut vals, gate, cost, stats);
+            }
+            MicroOp::Copy { mut a, out } => {
+                changed |= vals.rewrite_operand(&mut a, gate, stats);
+                slot.op = MicroOp::Copy { a, out };
+                let v = vals.read(a);
+                changed |= finish_single(slot, out, v, &mut vals, gate, cost, stats);
+            }
+            MicroOp::Set { out, value } => {
+                let v = Values::cref(value);
+                changed |= finish_single(slot, out, v, &mut vals, gate, cost, stats);
+            }
+            MicroOp::FullAdd { mut a, mut b, carry, sum } => {
+                // The carry operand is read *and* written — never redirect
+                // it: the carry-out must land back in the same plane.
+                changed |= vals.rewrite_operand(&mut a, gate, stats);
+                changed |= vals.rewrite_operand(&mut b, gate, stats);
+                slot.op = MicroOp::FullAdd { a, b, carry, sum };
+                let va = vals.read(a);
+                let vb = vals.read(b);
+                let vc = vals.read(carry);
+                let vx = vals.mk_xor(va, vb);
+                let vsum = vals.mk_xor(vx, vc);
+                let vcout = vals.mk_maj(va, vb, vc);
+                // Model apply()'s exact write order: latch, carry, sum.
+                vals.write(latch_plane(), vsum);
+                let ceff = if BitPlaneVrf::is_masked_target(carry) {
+                    vals.mk_merge(vc, vcout)
+                } else {
+                    vcout
+                };
+                vals.write(carry, ceff);
+                let seff = if BitPlaneVrf::is_masked_target(sum) {
+                    let old = vals.read(sum);
+                    vals.mk_merge(old, vsum)
+                } else {
+                    vsum
+                };
+                vals.write(sum, seff);
+            }
+        }
+    }
+    changed
+}
+
+/// Post-processes a single-destination op once its result value is known:
+/// deletes no-op stores, strength-reduces constant results to `Set` and
+/// recomputed results to `Copy` (cost-gated), and updates the value state.
+fn finish_single(
+    slot: &mut Slot,
+    out: Plane,
+    v: ValRef,
+    vals: &mut Values,
+    gate: &RuleGate,
+    cost: &dyn Fn(MicroOpKind) -> Option<(u64, f64)>,
+    stats: &mut OptStats,
+) -> bool {
+    let mut changed = false;
+    let masked = BitPlaneVrf::is_masked_target(out);
+    let old = vals.read(out);
+    let eff = if masked { vals.mk_merge(old, v) } else { v };
+    if eff == old && gate.on(OptRule::MaskStrength) {
+        // The store provably leaves the destination unchanged — either the
+        // written value equals the current contents, or a masked store
+        // re-merges the value a previous masked store already merged.
+        let rs = stats.rule_mut(OptRule::MaskStrength);
+        rs.fires += 1;
+        rs.removed_uops += 1;
+        slot.live = false;
+        return true;
+    }
+    let kind = slot.op.kind();
+    if v.is_const() {
+        // (kind rewrites judge `v`, the enabled-lane value; the store's
+        // maskedness is a property of the destination and is preserved.)
+        if kind != MicroOpKind::Set
+            && gate.on(OptRule::ConstFold)
+            && improves(cost, gate.family, MicroOpKind::Set, kind)
+        {
+            slot.op = MicroOp::Set { out, value: v == TRUE };
+            stats.rule_mut(OptRule::ConstFold).fires += 1;
+            changed = true;
+        }
+    } else if gate.on(OptRule::ChainCollapse) {
+        if let Some(q) = vals.holder(v) {
+            // The value already lives in `q` (q != out, else the no-op
+            // branch above would have fired). Mark the recomputation so
+            // liveness can attribute its deletion; materialize a Copy only
+            // where the substrate prices Copy below the computing kind.
+            slot.dup = true;
+            if kind != MicroOpKind::Copy
+                && q != out
+                && improves(cost, gate.family, MicroOpKind::Copy, kind)
+            {
+                slot.op = MicroOp::Copy { a: q, out };
+                stats.rule_mut(OptRule::ChainCollapse).fires += 1;
+                changed = true;
+            }
+        }
+    }
+    vals.write(out, eff);
+    changed
+}
+
+/// Backward two-bit liveness (enabled lanes, mask-disabled lanes) and
+/// dead-op deletion, with per-rule attribution of each removal.
+fn liveness(slots: &mut [Slot], gate: &RuleGate, stats: &mut OptStats) -> bool {
+    fn exit_live(p: Plane) -> (bool, bool) {
+        match p {
+            Plane::Scratch(_) => (false, false),
+            _ => (true, true),
+        }
+    }
+    let mut live: HashMap<Plane, (bool, bool)> = HashMap::new();
+    let mut changed = false;
+    for slot in slots.iter_mut().rev() {
+        if !slot.live {
+            continue;
+        }
+        let writes = slot.op.writes();
+        let mut needed = false;
+        let mut masked_d_live = false;
+        for &w in &writes {
+            let (e, d) = live.get(&w).copied().unwrap_or_else(|| exit_live(w));
+            if BitPlaneVrf::is_masked_target(w) {
+                // A masked store only defines the enabled lanes; if only
+                // the disabled lanes are live, deleting it is exact (they
+                // hold the old contents either way).
+                if e {
+                    needed = true;
+                } else if d {
+                    masked_d_live = true;
+                }
+            } else if e || d {
+                needed = true;
+            }
+        }
+        if !needed {
+            let rule = if slot.dup {
+                OptRule::ChainCollapse
+            } else if masked_d_live {
+                OptRule::MaskStrength
+            } else {
+                match slot.op.kind() {
+                    MicroOpKind::Copy => OptRule::CopyProp,
+                    MicroOpKind::Set => OptRule::ConstFold,
+                    _ => OptRule::DeadPlane,
+                }
+            };
+            if gate.on(rule) {
+                let rs = stats.rule_mut(rule);
+                rs.fires += 1;
+                rs.removed_uops += 1;
+                slot.live = false;
+                changed = true;
+                continue;
+            }
+        }
+        // Kept: kill the written lane-sets, then revive everything read
+        // (kills first so in-place ops end up fully live).
+        let mut any_masked = false;
+        for &w in &writes {
+            let entry = live.entry(w).or_insert_with(|| exit_live(w));
+            if BitPlaneVrf::is_masked_target(w) {
+                entry.0 = false;
+                any_masked = true;
+            } else {
+                *entry = (false, false);
+            }
+        }
+        for r in slot.op.reads() {
+            live.insert(r, (true, true));
+        }
+        if any_masked {
+            live.insert(Plane::Mask, (true, true));
+        }
+    }
+    changed
+}
+
+/// Copy-coalescing peephole: for `Copy {scratch → dst}`, retarget the
+/// scratch plane's defining write straight at `dst` and drop the copy,
+/// when nothing between the def and the copy touches either plane and the
+/// scratch value is dead after the copy.
+fn coalesce(slots: &mut [Slot], gate: &RuleGate, stats: &mut OptStats) -> bool {
+    if !gate.on(OptRule::CopyProp) {
+        return false;
+    }
+    let mut changed = false;
+    let n = slots.len();
+    for k in 0..n {
+        if !slots[k].live {
+            continue;
+        }
+        let MicroOp::Copy { a: src, out: dst } = slots[k].op else {
+            continue;
+        };
+        let Plane::Scratch(si) = src else { continue };
+        // The FullAdd latch is hardware-reserved; leave it alone.
+        if usize::from(si) == SCRATCH_PLANES - 1 {
+            continue;
+        }
+        if src == dst || matches!(dst, Plane::Mask | Plane::Const(_)) {
+            continue;
+        }
+        // Walk back to the defining write of `src`; bail on any
+        // intervening read of `src` or any touch of `dst`.
+        let mut def = None;
+        for j in (0..k).rev() {
+            if !slots[j].live {
+                continue;
+            }
+            let op = slots[j].op;
+            if op.writes().contains(&src) {
+                def = Some(j);
+                break;
+            }
+            if op.reads().contains(&src) || op.reads().contains(&dst) || op.writes().contains(&dst)
+            {
+                break;
+            }
+        }
+        let Some(j) = def else { continue };
+        // `src` must be dead after the copy.
+        let mut dead = true;
+        for m in slots.iter().take(n).skip(k + 1) {
+            if !m.live {
+                continue;
+            }
+            if m.op.reads().contains(&src) {
+                dead = false;
+                break;
+            }
+            if m.op.writes().contains(&src) {
+                break;
+            }
+        }
+        if !dead {
+            continue;
+        }
+        // Retarget the def. The redirected write adopts `dst`'s natural
+        // maskedness, which is exactly what the deleted Copy applied.
+        let redirected = match &mut slots[j].op {
+            MicroOp::Nor { out, .. }
+            | MicroOp::Tra { out, .. }
+            | MicroOp::Not { out, .. }
+            | MicroOp::And { out, .. }
+            | MicroOp::Or { out, .. }
+            | MicroOp::Xor { out, .. }
+            | MicroOp::Copy { out, .. }
+            | MicroOp::Set { out, .. }
+                if *out == src =>
+            {
+                *out = dst;
+                true
+            }
+            MicroOp::FullAdd { carry, sum, .. }
+                if *sum == src && *carry != src && dst != *carry && dst != latch_plane() =>
+            {
+                *sum = dst;
+                true
+            }
+            _ => false,
+        };
+        if redirected {
+            slots[k].live = false;
+            let rs = stats.rule_mut(OptRule::CopyProp);
+            rs.fires += 1;
+            rs.removed_uops += 1;
+            changed = true;
+        }
+    }
+    changed
+}

@@ -51,6 +51,13 @@ pub struct RecipeCtx {
     /// (division needs a remainder register and a trial-subtraction
     /// register, mapped to buffer rows in real datapaths).
     pub temp_regs: (u8, u8),
+    /// Recipe-optimizer configuration (see [`crate::opt`]). Part of the
+    /// cache key: recipes optimized under different configurations are
+    /// distinct template entries. [`build_recipe`] itself ignores this —
+    /// synthesis always emits the unoptimized template; the optimizer runs
+    /// as a separate pass in [`crate::DatapathModel::recipe`].
+    #[serde(default)]
+    pub opt: crate::opt::OptConfig,
 }
 
 /// A synthesized micro-op sequence implementing one ISA instruction.
@@ -58,6 +65,8 @@ pub struct RecipeCtx {
 pub struct Recipe {
     ops: Vec<MicroOp>,
     scratch_high_water: usize,
+    #[serde(default)]
+    saved_uops: u32,
 }
 
 impl Recipe {
@@ -80,6 +89,20 @@ impl Recipe {
     /// Peak number of simultaneously live scratch planes.
     pub fn scratch_high_water(&self) -> usize {
         self.scratch_high_water
+    }
+
+    /// Micro-ops the recipe optimizer removed relative to the synthesized
+    /// template this recipe was derived from (zero for unoptimized
+    /// recipes). The simulator charges this into `Stats::uops_saved` so
+    /// optimization payoffs are visible per wave.
+    pub fn saved_uops(&self) -> u32 {
+        self.saved_uops
+    }
+
+    /// Rebuilds this recipe with an optimized op sequence, preserving the
+    /// (conservative) scratch high-water mark and recording the saving.
+    pub(crate) fn with_optimized_ops(&self, ops: Vec<MicroOp>, saved_uops: u32) -> Recipe {
+        Recipe { ops, scratch_high_water: self.scratch_high_water, saved_uops }
     }
 
     /// Micro-op counts per kind, for cost accounting.
@@ -140,7 +163,7 @@ impl Recipe {
             })
             .max()
             .unwrap_or(0);
-        Self { ops, scratch_high_water }
+        Self { ops, scratch_high_water, saved_uops: 0 }
     }
 }
 
@@ -168,7 +191,7 @@ pub fn build_recipe(ctx: RecipeCtx, instr: &Instruction) -> Option<Recipe> {
         _ => return None,
     }
     let scratch_high_water = g.scratch_high_water();
-    Some(Recipe { ops: g.finish(), scratch_high_water })
+    Some(Recipe { ops: g.finish(), scratch_high_water, saved_uops: 0 })
 }
 
 fn build_binary(g: &mut GateBuilder, ctx: RecipeCtx, op: BinaryOp, rs: u16, rt: u16, rd: u16) {
@@ -606,7 +629,7 @@ mod tests {
     const FAMILIES: [LogicFamily; 3] = [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline];
 
     fn ctx(family: LogicFamily) -> RecipeCtx {
-        RecipeCtx { family, temp_regs: (14, 15) }
+        RecipeCtx { family, temp_regs: (14, 15), opt: Default::default() }
     }
 
     fn run(family: LogicFamily, instr: Instruction, setup: &[(u8, Vec<u64>)]) -> BitPlaneVrf {

@@ -55,6 +55,10 @@ pub enum EnsembleStep {
         cycles: u64,
         /// Micro-op count of the underlying recipe.
         uops: u32,
+        /// Micro-ops the recipe optimizer removed from this step's recipe
+        /// ([`crate::Recipe::saved_uops`]), carried so the fused tier
+        /// charges the same `uops_saved` statistics as the other tiers.
+        saved: u32,
         /// This step's slice of [`EnsembleTrace`]'s flat op vector.
         ops: Range<u32>,
         /// This step's slice of the flat per-op energy coefficients.
@@ -283,6 +287,7 @@ pub fn fuse_ensemble_with(
                     instr: *instr,
                     cycles,
                     uops: recipe.len() as u32,
+                    saved: recipe.saved_uops(),
                     ops: op_start..ops.len() as u32,
                     coeffs: coeff_start..coeffs.len() as u32,
                     energy_full_pj,

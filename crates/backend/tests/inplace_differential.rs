@@ -245,7 +245,7 @@ fn seeded_pair(lanes: usize, regs: usize, seed: u64, mask: &[u64]) -> (BitPlaneV
 }
 
 fn ctx(family: LogicFamily) -> RecipeCtx {
-    RecipeCtx { family, temp_regs: (14, 15) }
+    RecipeCtx { family, temp_regs: (14, 15), opt: Default::default() }
 }
 
 fn family_recipes(family: LogicFamily) -> Vec<(String, Recipe)> {

@@ -1,0 +1,166 @@
+//! Differential properties for the recipe optimizer (`pum_backend::opt`).
+//!
+//! The optimizer's contract is that the optimized recipe is *architecturally
+//! indistinguishable* from the synthesized template: after executing either
+//! form on identically seeded VRFs — any logic family, any lane mask, any
+//! operand aliasing the ISA permits — every register plane and the
+//! conditional plane are byte-identical. (Scratch planes are explicitly
+//! *not* part of the contract: eliminating dead scratch traffic is the
+//! point.) On top of exactness, the optimizer must never grow a recipe:
+//! `optimized.len() <= template.len()` for every instruction, and the
+//! recorded `saved_uops` must equal the difference.
+
+use proptest::prelude::*;
+use pum_backend::{build_recipe, BitPlaneVrf, DatapathModel, Plane, Recipe};
+
+use mpu_isa::{BinaryOp, CompareOp, InitValue, Instruction, RegId, UnaryOp};
+
+/// Every instruction the optimizer must preserve, including the aliased
+/// `rd == rs` / `rd == rt` forms legal for single-step recipes.
+fn instruction_corpus() -> Vec<Instruction> {
+    let mut v = Vec::new();
+    for op in BinaryOp::ALL {
+        v.push(Instruction::Binary { op, rs: RegId(0), rt: RegId(1), rd: RegId(2) });
+    }
+    // Aliased destinations (multi-step recipes reject aliasing statically,
+    // so only the single-pass ops participate).
+    for op in [
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::And,
+        BinaryOp::Nand,
+        BinaryOp::Nor,
+        BinaryOp::Or,
+        BinaryOp::Xor,
+        BinaryOp::Xnor,
+        BinaryOp::Max,
+        BinaryOp::Min,
+    ] {
+        v.push(Instruction::Binary { op, rs: RegId(0), rt: RegId(1), rd: RegId(0) });
+        v.push(Instruction::Binary { op, rs: RegId(0), rt: RegId(1), rd: RegId(1) });
+        v.push(Instruction::Binary { op, rs: RegId(3), rt: RegId(3), rd: RegId(3) });
+    }
+    for op in UnaryOp::ALL {
+        v.push(Instruction::Unary { op, rs: RegId(0), rd: RegId(2) });
+        v.push(Instruction::Unary { op, rs: RegId(4), rd: RegId(4) });
+    }
+    for op in CompareOp::ALL {
+        v.push(Instruction::Compare { op, rs: RegId(0), rt: RegId(1) });
+        v.push(Instruction::Compare { op, rs: RegId(5), rt: RegId(5) });
+    }
+    v.push(Instruction::Fuzzy { rs: RegId(0), rt: RegId(1), rd: RegId(2) });
+    v.push(Instruction::Cas { rs: RegId(0), rt: RegId(1) });
+    v.push(Instruction::Init { value: InitValue::Zero, rd: RegId(6) });
+    v.push(Instruction::Init { value: InitValue::One, rd: RegId(6) });
+    v
+}
+
+fn seeded_vrf(lanes: usize, seed: u64, mask: &[u64]) -> BitPlaneVrf {
+    let mut vrf = BitPlaneVrf::new(lanes, 16);
+    for reg in 0..16u8 {
+        let values: Vec<u64> = (0..lanes as u64)
+            .map(|i| (i + 1).wrapping_mul(seed | 1).wrapping_add(u64::from(reg)) ^ (seed >> 9))
+            .collect();
+        vrf.write_lane_values(reg, &values);
+    }
+    let words = lanes.div_ceil(64);
+    let mask_words: Vec<u64> = (0..words).map(|w| mask[w % mask.len()]).collect();
+    vrf.set_plane_words(Plane::Mask, &mask_words);
+    vrf
+}
+
+fn run(recipe: &Recipe, vrf: &mut BitPlaneVrf) {
+    for op in recipe.ops() {
+        op.apply(vrf);
+    }
+}
+
+/// The architecturally observable state: all register planes plus the
+/// conditional and mask planes. Scratch contents are internal.
+fn arch_state(vrf: &BitPlaneVrf) -> (Vec<Vec<u64>>, Vec<u64>, Vec<u64>) {
+    (
+        (0..16).map(|r| vrf.read_lane_values(r)).collect(),
+        vrf.plane_words(Plane::Cond).to_vec(),
+        vrf.plane_words(Plane::Mask).to_vec(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Optimized recipes are lane-exact against the unoptimized template
+    /// for every instruction, on every substrate, under random data and
+    /// random lane masks — and never longer than the template.
+    #[test]
+    fn optimizer_is_architecturally_exact(
+        lanes in prop::sample::select(vec![64usize, 100, 128]),
+        seed in any::<u64>(),
+        mask in prop::collection::vec(any::<u64>(), 4),
+    ) {
+        for dp in [
+            DatapathModel::racer(),
+            DatapathModel::mimdram(),
+            DatapathModel::duality_cache(),
+        ] {
+            for instr in instruction_corpus() {
+                let template = build_recipe(dp.recipe_ctx(), &instr).expect("compute instr");
+                let optimized = dp.recipe(&instr).expect("compute instr");
+                prop_assert!(
+                    optimized.len() <= template.len(),
+                    "{} on {}: {} uops grew to {}",
+                    instr.mnemonic(), dp.name(), template.len(), optimized.len()
+                );
+                prop_assert_eq!(
+                    optimized.saved_uops() as usize,
+                    template.len() - optimized.len(),
+                    "{} on {}: saved_uops mismatch", instr.mnemonic(), dp.name()
+                );
+                let mut reference = seeded_vrf(lanes, seed, &mask);
+                let mut subject = reference.clone();
+                run(&template, &mut reference);
+                run(&optimized, &mut subject);
+                prop_assert_eq!(
+                    arch_state(&reference),
+                    arch_state(&subject),
+                    "{} on {} lanes={} diverged", instr.mnemonic(), dp.name(), lanes
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Partial rule sets are also exact: any bitmask of enabled rules must
+    /// preserve architectural semantics (rules cannot depend on each other
+    /// for soundness, only for reach).
+    #[test]
+    fn every_rule_subset_is_exact(
+        rules in 0u32..32,
+        seed in any::<u64>(),
+        mask in prop::collection::vec(any::<u64>(), 2),
+    ) {
+        let dp = DatapathModel::racer()
+            .with_opt_config(pum_backend::OptConfig::with_rules(rules));
+        for instr in [
+            Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) },
+            Instruction::Binary { op: BinaryOp::Max, rs: RegId(0), rt: RegId(1), rd: RegId(2) },
+            Instruction::Binary { op: BinaryOp::Mul, rs: RegId(0), rt: RegId(1), rd: RegId(2) },
+            Instruction::Compare { op: CompareOp::Lt, rs: RegId(0), rt: RegId(1) },
+        ] {
+            let template = build_recipe(dp.recipe_ctx(), &instr).expect("compute instr");
+            let optimized = dp.recipe(&instr).expect("compute instr");
+            prop_assert!(optimized.len() <= template.len());
+            let mut reference = seeded_vrf(64, seed, &mask);
+            let mut subject = reference.clone();
+            run(&template, &mut reference);
+            run(&optimized, &mut subject);
+            prop_assert_eq!(
+                arch_state(&reference),
+                arch_state(&subject),
+                "{} rules={:#07b} diverged", instr.mnemonic(), rules
+            );
+        }
+    }
+}

@@ -15,7 +15,7 @@ use conformance::{
 use conformance::{Case, Stmt, Top};
 use mastodon::RecipePool;
 use mpu_isa::{BinaryOp, Instruction, RegId};
-use pum_backend::{build_recipe, DatapathKind, DatapathModel, MicroOp, Recipe};
+use pum_backend::{build_recipe, DatapathKind, DatapathModel, MicroOp, OptConfig, Recipe};
 use std::sync::Arc;
 
 #[test]
@@ -144,6 +144,83 @@ fn injected_carry_bug_is_caught_and_shrunk() {
     // The clean pool-less run must still pass: the defect is in the
     // injected recipe, not the stack.
     assert_eq!(check_case_on(DatapathKind::Mimdram, &small, None), None);
+}
+
+#[test]
+fn optimizer_on_suite_stays_conformant() {
+    // The recipe optimizer is on by default, so `check_case_on` already
+    // exercises optimized recipes on every backend and execution tier.
+    // This sweep makes that explicit — and checks the complement: the same
+    // cases must also pass with the optimizer disabled, so any divergence
+    // between the two configurations is the optimizer's fault alone.
+    let cases: u64 =
+        std::env::var("CONFORMANCE_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
+    for seed in 3000..3000 + cases {
+        let case = generate(seed);
+        for kind in [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache] {
+            let dp = DatapathModel::for_kind(kind);
+            assert!(
+                dp.opt_config().enabled,
+                "{kind:?}: the shipped datapath must optimize by default"
+            );
+            if let Some(m) = check_case_on(kind, &case, None) {
+                panic!("seed {seed} on {kind:?} with optimizer on: {m}");
+            }
+        }
+    }
+}
+
+#[test]
+fn optimizer_canary_is_caught_and_shrunk() {
+    // The optimizer's built-in unsound-rule canary (it corrupts a `Set`
+    // constant before rewriting, producing a lane-visible wrong recipe)
+    // planted in a shared pool must be caught by the differential suite
+    // and shrink to a small reproducer — mirroring the MAJ-carry canary.
+    let model = DatapathModel::for_kind(DatapathKind::Racer);
+    let canary = model.clone().with_opt_config(OptConfig { canary: true, ..OptConfig::default() });
+    let ctx = model.recipe_ctx();
+    let pool = Arc::new(RecipePool::new());
+    for rs in 0..14u16 {
+        for rt in 0..14u16 {
+            for rd in 0..10u16 {
+                let instr = Instruction::Binary {
+                    op: BinaryOp::Add,
+                    rs: RegId(rs),
+                    rt: RegId(rt),
+                    rd: RegId(rd),
+                };
+                let wrong = canary.recipe(&instr).expect("canary ADD recipe");
+                pool.preload(ctx, &instr, wrong);
+            }
+        }
+    }
+
+    let predicate = |case: &Case| check_case_on(DatapathKind::Racer, case, Some(&pool));
+
+    let mut caught = None;
+    for seed in 0..200u64 {
+        let case = generate(seed);
+        if !case_has_add(&case) {
+            continue;
+        }
+        if predicate(&case).is_some() {
+            caught = Some((seed, case));
+            break;
+        }
+    }
+    let (seed, case) = caught.expect("no generated case tripped the optimizer canary in 200 seeds");
+
+    let (small, mismatch) = shrink(&case, predicate);
+    let len = small.lowered_len().expect("shrunk case must lower");
+    assert!(
+        len <= 10,
+        "seed {seed}: reproducer not small enough ({len} instructions):\n{}",
+        reproducer_text(&small, &mismatch)
+    );
+    assert!(case_has_add(&small), "shrunk reproducer lost the ADD:\n{}", small.to_text());
+    // The clean pool-less run must still pass: the defect is the canary
+    // recipe, not the optimizer or the stack.
+    assert_eq!(check_case_on(DatapathKind::Racer, &small, None), None);
 }
 
 const GOLDEN_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];

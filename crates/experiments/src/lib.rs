@@ -14,11 +14,12 @@
 
 use mastodon::{RecipePool, SimConfig};
 use platforms::{PlatformModel, PlatformRun};
-use pum_backend::DatapathKind;
+use pum_backend::{DatapathKind, OptConfig, OptRule, OptStats};
 use std::sync::Arc;
 use workloads::apps::{run_app_pooled, AppRun};
 use workloads::{
-    all_kernels, effective_jobs, parallel_map, run_sweep_parallel, ChipRun, KernelGroup, SweepTask,
+    all_kernels, effective_jobs, parallel_map, run_kernel, run_kernel_pooled, run_sweep_parallel,
+    ChipRun, KernelGroup, SweepTask,
 };
 
 /// Default problem size for the streaming kernel groups (elements).
@@ -286,6 +287,219 @@ pub fn profile_kernel(
         chrome_json: mastodon::chrome_trace_json(&events),
     })
 }
+
+/// One row of the recipe-optimizer attribution table (`recipe_opt`): one
+/// kernel on one substrate, executed with the optimizer disabled and with
+/// the default configuration over identical inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct OptAttributionRow {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Substrate the pair of runs executed on.
+    pub backend: DatapathKind,
+    /// Dynamic micro-ops issued with the optimizer disabled.
+    pub uops_off: u64,
+    /// Dynamic micro-ops issued under the default optimizer configuration.
+    pub uops_on: u64,
+    /// Dynamic micro-ops the optimizer removed. [`opt_attribution`] checks
+    /// conservation: `uops_off == uops_on + uops_saved` exactly, i.e. the
+    /// optimizer only ever deletes work the template would have issued.
+    pub uops_saved: u64,
+    /// Elapsed cycles `(off, on)`.
+    pub cycles: (u64, u64),
+    /// Total energy `(off, on)`, picojoules.
+    pub energy_pj: (f64, f64),
+    /// Per-rule attribution from the run's private recipe pool: fires and
+    /// removed micro-ops per *synthesized* recipe (static counts — each
+    /// unique instruction is optimized once and replayed every wave).
+    pub opt: OptStats,
+}
+
+impl OptAttributionRow {
+    /// Fraction of template micro-ops the optimizer removed, percent.
+    pub fn saved_pct(&self) -> f64 {
+        percent_delta(self.uops_off as f64, self.uops_on as f64).abs()
+    }
+
+    /// Cycle delta on→off, percent (negative = the optimized run is faster).
+    pub fn cycles_delta_pct(&self) -> f64 {
+        percent_delta(self.cycles.0 as f64, self.cycles.1 as f64)
+    }
+
+    /// Energy delta on→off, percent (negative = the optimized run is cheaper).
+    pub fn energy_delta_pct(&self) -> f64 {
+        percent_delta(self.energy_pj.0, self.energy_pj.1)
+    }
+}
+
+fn percent_delta(off: f64, on: f64) -> f64 {
+    if off == 0.0 {
+        0.0
+    } else {
+        (on - off) / off * 100.0
+    }
+}
+
+/// Runs every kernel on each substrate twice — optimizer off, then the
+/// default (on) configuration with a private [`RecipePool`] harvesting the
+/// per-rule counters — and returns one attribution row per pair. Both runs
+/// must lane-verify, and the dynamic micro-op counts must conserve
+/// (`off == on + saved`); either failing is an error, not a silent row.
+///
+/// # Errors
+///
+/// Returns a message naming the kernel/substrate on a harness failure,
+/// verification failure, or conservation mismatch.
+pub fn opt_attribution(
+    backends: &[DatapathKind],
+    n: u64,
+    seed: u64,
+) -> Result<Vec<OptAttributionRow>, String> {
+    let mut rows = Vec::new();
+    for &backend in backends {
+        for kernel in all_kernels() {
+            let on_cfg = SimConfig::mpu(backend);
+            let pool = Arc::new(RecipePool::new());
+            let on = run_kernel_pooled(kernel.as_ref(), &on_cfg, n, seed, Some(&pool))
+                .map_err(|e| format!("{} on {backend:?} (optimizer on): {e}", kernel.name()))?;
+            let mut off_cfg = SimConfig::mpu(backend);
+            off_cfg.datapath = off_cfg.datapath.clone().with_opt_config(OptConfig::disabled());
+            let off = run_kernel(kernel.as_ref(), &off_cfg, n, seed)
+                .map_err(|e| format!("{} on {backend:?} (optimizer off): {e}", kernel.name()))?;
+            if !on.verified || !off.verified {
+                return Err(format!(
+                    "{} on {backend:?}: lane verification failed (on={}, off={})",
+                    kernel.name(),
+                    on.verified,
+                    off.verified
+                ));
+            }
+            if off.wave.uops != on.wave.uops + on.wave.uops_saved {
+                return Err(format!(
+                    "{} on {backend:?}: uop conservation broken (off={}, on={}, saved={})",
+                    kernel.name(),
+                    off.wave.uops,
+                    on.wave.uops,
+                    on.wave.uops_saved
+                ));
+            }
+            rows.push(OptAttributionRow {
+                kernel: kernel.name(),
+                backend,
+                uops_off: off.wave.uops,
+                uops_on: on.wave.uops,
+                uops_saved: on.wave.uops_saved,
+                cycles: (off.wave.cycles, on.wave.cycles),
+                energy_pj: (off.wave.energy.total_pj(), on.wave.energy.total_pj()),
+                opt: pool.stats().opt,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the attribution rows as the `recipe_opt` table: one line per
+/// kernel/substrate pair plus a `TOTAL` line per substrate, with per-rule
+/// `fires/removed` columns. Deterministic — the golden snapshot pins it.
+pub fn render_opt_attribution(rows: &[OptAttributionRow], n: u64, seed: u64) -> String {
+    let mut headers = vec![
+        "kernel".to_string(),
+        "backend".to_string(),
+        "uops(off)".to_string(),
+        "uops(on)".to_string(),
+        "saved".to_string(),
+        "cycles".to_string(),
+        "energy".to_string(),
+    ];
+    headers.extend(OptRule::ALL.iter().map(|r| r.name().to_string()));
+
+    let fmt_rules = |opt: &OptStats| -> Vec<String> {
+        OptRule::ALL
+            .iter()
+            .map(|&r| {
+                let s = opt.rule(r);
+                format!("{}/{}", s.fires, s.removed_uops)
+            })
+            .collect()
+    };
+    let fmt_row = |row: &OptAttributionRow, label: &str| -> Vec<String> {
+        let mut cells = vec![
+            label.to_string(),
+            format!("{:?}", row.backend),
+            row.uops_off.to_string(),
+            row.uops_on.to_string(),
+            format!("-{:.2}%", row.saved_pct()),
+            format!("{:+.2}%", row.cycles_delta_pct()),
+            format!("{:+.2}%", row.energy_delta_pct()),
+        ];
+        cells.extend(fmt_rules(&row.opt));
+        cells
+    };
+
+    let mut body: Vec<Vec<String>> = Vec::new();
+    for &backend in BACKEND_ORDER {
+        let group: Vec<&OptAttributionRow> = rows.iter().filter(|r| r.backend == backend).collect();
+        if group.is_empty() {
+            continue;
+        }
+        for row in &group {
+            body.push(fmt_row(row, row.kernel));
+        }
+        let mut total = OptAttributionRow {
+            kernel: "TOTAL",
+            backend,
+            uops_off: 0,
+            uops_on: 0,
+            uops_saved: 0,
+            cycles: (0, 0),
+            energy_pj: (0.0, 0.0),
+            opt: OptStats::default(),
+        };
+        for row in &group {
+            total.uops_off += row.uops_off;
+            total.uops_on += row.uops_on;
+            total.uops_saved += row.uops_saved;
+            total.cycles.0 += row.cycles.0;
+            total.cycles.1 += row.cycles.1;
+            total.energy_pj.0 += row.energy_pj.0;
+            total.energy_pj.1 += row.energy_pj.1;
+            total.opt.merge(&row.opt);
+        }
+        body.push(fmt_row(&total, "TOTAL"));
+    }
+
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in &body {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render_line = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = format!(
+        "# recipe optimizer attribution (n={n}, seed={seed}); per-rule cells are \
+         fires/removed-uops per synthesized recipe\n"
+    );
+    out.push_str(&render_line(&headers));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &body {
+        out.push_str(&render_line(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Substrate order for attribution tables and sweeps.
+pub const BACKEND_ORDER: &[DatapathKind] =
+    &[DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache];
 
 /// Parses a backend name for the profiling CLI.
 ///

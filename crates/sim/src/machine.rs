@@ -1192,7 +1192,7 @@ impl Mpu {
                     }
                     // Architectural accounting, per step in program order.
                     for (k, step) in steps[i..j].iter().enumerate() {
-                        let EnsembleStep::Compute { instr, cycles, uops, .. } = step else {
+                        let EnsembleStep::Compute { instr, cycles, uops, saved, .. } = step else {
                             unreachable!("run boundaries split at non-compute steps");
                         };
                         // The architectural template table sees the same
@@ -1216,6 +1216,7 @@ impl Mpu {
                         self.stats.cycles += cycles;
                         self.stats.compute_cycles += cycles;
                         self.stats.uops += u64::from(*uops);
+                        self.stats.uops_saved += u64::from(*saved);
                         // Energy reads each VRF's enabled count exactly as
                         // run_body does *before* the step executes — the
                         // masks are invariant across the run (batched
@@ -1368,6 +1369,7 @@ impl Mpu {
         self.stats.cycles += cycles;
         self.stats.compute_cycles += cycles;
         self.stats.uops += recipe.len() as u64;
+        self.stats.uops_saved += u64::from(recipe.saved_uops());
         let mut energy = 0.0;
         let interpret = self.config.interpret_recipes;
         for &(rfh, vrf) in wave {
@@ -1388,6 +1390,7 @@ impl Mpu {
                 cycles,
                 compute_cycles: cycles,
                 uops: recipe.len() as u64,
+                uops_saved: u64::from(recipe.saved_uops()),
                 energy: EnergyStats { datapath_pj: energy, ..EnergyStats::default() },
                 ..Stats::default()
             };
@@ -1400,6 +1403,12 @@ impl Mpu {
         wave.iter().map(|&(rfh, vrf)| self.vrf_mut(rfh, vrf).snapshot()).collect()
     }
 
+    /// Per-VRF scratch word ranges for the wave, for architectural image
+    /// comparison (see [`arch_images_agree`]).
+    fn wave_scratch_ranges(&mut self, wave: &[(u16, u16)]) -> Vec<std::ops::Range<usize>> {
+        wave.iter().map(|&(rfh, vrf)| self.vrf_mut(rfh, vrf).scratch_word_range()).collect()
+    }
+
     /// Restores every wave VRF from a snapshot set.
     fn restore_wave(&mut self, wave: &[(u16, u16)], snapshots: &[Vec<u64>]) {
         for (i, &(rfh, vrf)) in wave.iter().enumerate() {
@@ -1408,9 +1417,11 @@ impl Mpu {
     }
 
     /// Duplicate-and-compare: execute twice from the same input state and
-    /// compare the full VRF images lane-exactly. A mismatch is a detected
-    /// fault; retry the pair (fresh fault draws each time) up to the
-    /// retry budget, then escalate as [`SimError::UncorrectedFault`].
+    /// compare the architectural VRF images lane-exactly (scratch planes
+    /// are excluded — see [`BitPlaneVrf::scratch_word_range`]). A mismatch
+    /// is a detected fault; retry the pair (fresh fault draws each time)
+    /// up to the retry budget, then escalate as
+    /// [`SimError::UncorrectedFault`].
     fn run_wave_dmr(
         &mut self,
         cached: &crate::recipe_cache::CachedRecipe,
@@ -1419,6 +1430,7 @@ impl Mpu {
         cycles: u64,
         line: usize,
     ) -> Result<(), SimError> {
+        let scratch = self.wave_scratch_ranges(wave);
         let input = self.snapshot_wave(wave);
         let mut attempt = 0u32;
         loop {
@@ -1429,7 +1441,7 @@ impl Mpu {
             self.trace_fault(line, FaultAction::RedundantRun);
             self.run_wave_once(cached, recipe, wave, cycles, line);
             let second = self.snapshot_wave(wave);
-            if first == second {
+            if arch_images_agree(&first, &second, &scratch) {
                 if attempt > 0 {
                     self.stats.faults.corrected += 1;
                     self.trace_fault(line, FaultAction::Corrected);
@@ -1450,7 +1462,10 @@ impl Mpu {
 
     /// Triple modular redundancy: execute three times from the same input
     /// state and commit the bitwise word-level majority, correcting any
-    /// fault confined to a single run in place.
+    /// fault confined to a single run in place. Unanimity (like the DMR
+    /// comparison) is judged on architectural planes only; the majority
+    /// vote itself spans the full image, which is harmless for scratch —
+    /// recipes never read scratch they did not first write.
     fn run_wave_tmr(
         &mut self,
         cached: &crate::recipe_cache::CachedRecipe,
@@ -1459,6 +1474,7 @@ impl Mpu {
         cycles: u64,
         line: usize,
     ) {
+        let scratch = self.wave_scratch_ranges(wave);
         let input = self.snapshot_wave(wave);
         self.run_wave_once(cached, recipe, wave, cycles, line);
         let a = self.snapshot_wave(wave);
@@ -1472,7 +1488,7 @@ impl Mpu {
         self.trace_fault(line, FaultAction::RedundantRun);
         self.run_wave_once(cached, recipe, wave, cycles, line);
         let c = self.snapshot_wave(wave);
-        if a == b && a == c {
+        if arch_images_agree(&a, &b, &scratch) && arch_images_agree(&a, &c, &scratch) {
             return; // unanimous; current state (== c) stands
         }
         self.stats.faults.detected += 1;
@@ -1772,6 +1788,19 @@ impl Mpu {
     }
 }
 
+/// Architectural equality of two wave snapshot sets: every word outside
+/// each VRF's scratch region must match. Scratch planes are excluded
+/// because their post-recipe contents are not architectural — two runs of
+/// the same recipe may legitimately differ there only by which injected
+/// faults landed in dead scratch, and recipes never read scratch they did
+/// not first write.
+fn arch_images_agree(a: &[Vec<u64>], b: &[Vec<u64>], scratch: &[std::ops::Range<usize>]) -> bool {
+    a.iter()
+        .zip(b)
+        .zip(scratch)
+        .all(|((x, y), r)| x[..r.start] == y[..r.start] && x[r.end..] == y[r.end..])
+}
+
 /// Forms thermal-aware scheduling waves (Fig. 10): per-RFH queues, at most
 /// `limit` VRFs of each RFH per wave.
 fn form_waves(members: &[(u16, u16)], limit: usize) -> Vec<Vec<(u16, u16)>> {
@@ -1898,7 +1927,11 @@ mod tests {
             run_single(racer(), &p, &[((0, 0, 0), vec![5; 64]), ((0, 0, 1), vec![9; 64])]).unwrap();
         assert_eq!(mpu.read_register(0, 0, 2).unwrap(), vec![14; 64]);
         assert!(stats.cycles > 0);
-        assert_eq!(stats.uops, 641);
+        // 641-uop synthesized template, minus what the recipe optimizer
+        // removes (see pum_backend::opt); saved + issued reconstructs it.
+        assert_eq!(stats.uops, 573);
+        assert_eq!(stats.uops_saved, 68);
+        assert_eq!(stats.uops + stats.uops_saved, 641);
         assert_eq!(stats.offload_events, 0);
     }
 

@@ -21,7 +21,7 @@
 
 use mpu_isa::Instruction;
 use parking_lot::RwLock;
-use pum_backend::{CompiledRecipe, DatapathModel, EnsembleTrace, Recipe, RecipeCtx};
+use pum_backend::{CompiledRecipe, DatapathModel, EnsembleTrace, OptStats, Recipe, RecipeCtx};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -43,10 +43,13 @@ pub struct CachedRecipe {
 ///
 /// Recipe templates are keyed by `(RecipeCtx, encoded instruction)`:
 /// synthesis is a pure function of that pair, so datapaths that agree on
-/// logic family and temporary registers (including ablated variants of the
-/// same [`pum_backend::DatapathKind`]) reuse each other's work safely.
-/// Compiled forms additionally key on the VRF geometry `(lanes, regs)`
-/// they were resolved for.
+/// logic family, temporary registers, *and optimizer configuration*
+/// (including ablated variants of the same
+/// [`pum_backend::DatapathKind`]) reuse each other's work safely — and
+/// datapaths that disagree on any of them, notably an optimizer flag
+/// flipped against a warm pool, can never be served each other's
+/// templates. Compiled forms additionally key on the VRF geometry
+/// `(lanes, regs)` they were resolved for.
 #[derive(Debug, Default)]
 pub struct RecipePool {
     templates: RwLock<HashMap<(RecipeCtx, u32), Arc<Recipe>>>,
@@ -55,6 +58,7 @@ pub struct RecipePool {
     lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    opt: RwLock<OptStats>,
 }
 
 /// Counter snapshot for a [`RecipePool`]: host-side template-memo traffic.
@@ -75,6 +79,10 @@ pub struct PoolStats {
     /// threads count a miss even though one insert wins — the counter
     /// reports work performed, not table growth.
     pub misses: u64,
+    /// Per-rule recipe-optimizer attribution accumulated over every
+    /// synthesis this pool performed (counted or not): each template miss
+    /// pays one optimizer pass, and this records what that pass bought.
+    pub opt: OptStats,
 }
 
 /// Memo key for a compiled form: synthesis context, encoded instruction,
@@ -125,7 +133,9 @@ impl RecipePool {
         }
         // Synthesize outside the write lock; a racing thread may do the
         // same work, but the first insert wins and both get the same entry.
-        let recipe = Arc::new(datapath.recipe(instr)?);
+        let (recipe, opt) = datapath.recipe_with_stats(instr)?;
+        let recipe = Arc::new(recipe);
+        self.opt.write().merge(&opt);
         if count {
             self.lookups.fetch_add(1, Ordering::Relaxed);
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -213,6 +223,7 @@ impl RecipePool {
             lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            opt: *self.opt.read(),
         }
     }
 
@@ -274,6 +285,16 @@ pub struct RecipeCache {
     /// shared [`RecipePool`], this is purely a host-side memo: miss
     /// accounting and the LRU clock are unchanged.
     synth_memo: HashMap<u32, CachedRecipe>,
+    /// The synthesis context (logic family, temp registers, optimizer
+    /// config) every cached entry was lowered under. The per-MPU table is
+    /// keyed by instruction word alone, so if the owning datapath's
+    /// context ever changes — e.g. the recipe optimizer is toggled against
+    /// a warm cache — the whole table (and both host-side memos) is
+    /// flushed rather than serving templates from the stale context.
+    ctx: Option<RecipeCtx>,
+    /// Optimizer attribution for pool-less synthesis performed by this
+    /// cache (pooled synthesis accumulates in [`PoolStats::opt`] instead).
+    opt: OptStats,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -288,6 +309,8 @@ impl RecipeCache {
             pool: None,
             traces: HashMap::new(),
             synth_memo: HashMap::new(),
+            ctx: None,
+            opt: OptStats::default(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -316,11 +339,28 @@ impl RecipeCache {
     /// [`Self::lookup`] plus, on a per-MPU miss that consulted a shared
     /// [`RecipePool`], whether the pool already had the template. Used by
     /// the tracing layer; architectural accounting is identical.
+    /// Flushes every cached entry and host-side memo if `datapath`'s
+    /// synthesis context differs from the one the cache was warmed under.
+    /// Hit/miss counters and the LRU clock keep running — the flush models
+    /// a table invalidation, not a fresh table.
+    fn refresh_ctx(&mut self, datapath: &DatapathModel) {
+        let ctx = datapath.recipe_ctx();
+        if self.ctx != Some(ctx) {
+            if self.ctx.is_some() {
+                self.entries.clear();
+                self.traces.clear();
+                self.synth_memo.clear();
+            }
+            self.ctx = Some(ctx);
+        }
+    }
+
     pub(crate) fn lookup_traced(
         &mut self,
         datapath: &DatapathModel,
         instr: &Instruction,
     ) -> Option<(CachedRecipe, LookupOutcome)> {
+        self.refresh_ctx(datapath);
         let key = instr.encode();
         if let Some((entry, stamp)) = self.entries.get_mut(&key) {
             // The LRU clock only advances on lookups that actually touch
@@ -338,7 +378,9 @@ impl RecipeCache {
             None => match self.synth_memo.get(&key) {
                 Some(entry) => (entry.clone(), None),
                 None => {
-                    let recipe = Arc::new(datapath.recipe(instr)?);
+                    let (recipe, opt) = datapath.recipe_with_stats(instr)?;
+                    self.opt.merge(&opt);
+                    let recipe = Arc::new(recipe);
                     let g = datapath.geometry();
                     let compiled = Arc::new(recipe.compile(g.lanes_per_vrf, g.regs_per_vrf));
                     (CachedRecipe { recipe, compiled }, None)
@@ -369,6 +411,7 @@ impl RecipeCache {
         datapath: &DatapathModel,
         body: &[Instruction],
     ) -> Option<Arc<EnsembleTrace>> {
+        self.refresh_ctx(datapath);
         let words: Vec<u32> = body.iter().map(Instruction::encode).collect();
         if let Some(memo) = self.traces.get(&words) {
             return memo.clone();
@@ -377,11 +420,14 @@ impl RecipeCache {
             Some(pool) => pool.get_or_fuse_trace(datapath, body),
             None => {
                 let synth_memo = &mut self.synth_memo;
+                let opt_stats = &mut self.opt;
                 pum_backend::fuse_ensemble_with(datapath, body, |dp, instr| {
                     let entry = match synth_memo.entry(instr.encode()) {
                         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                         std::collections::hash_map::Entry::Vacant(v) => {
-                            let recipe = Arc::new(dp.recipe(instr)?);
+                            let (recipe, opt) = dp.recipe_with_stats(instr)?;
+                            opt_stats.merge(&opt);
+                            let recipe = Arc::new(recipe);
                             let g = dp.geometry();
                             let compiled =
                                 Arc::new(recipe.compile(g.lanes_per_vrf, g.regs_per_vrf));
@@ -395,6 +441,13 @@ impl RecipeCache {
         };
         self.traces.insert(words, trace.clone());
         trace
+    }
+
+    /// Optimizer attribution for pool-less synthesis this cache performed.
+    /// Zero whenever a shared pool is attached — pooled synthesis reports
+    /// through [`RecipePool::stats`] instead.
+    pub fn opt_stats(&self) -> OptStats {
+        self.opt
     }
 
     /// Cache hits so far.
@@ -584,8 +637,75 @@ mod tests {
         assert!(pool.get_or_build(&dp, &Instruction::Nop).is_none());
 
         let s = pool.stats();
-        assert_eq!(s, PoolStats { lookups: 3, hits: 1, misses: 2 });
+        assert_eq!(s, PoolStats { lookups: 3, hits: 1, misses: 2, opt: s.opt });
         assert_eq!(s.hits + s.misses, s.lookups);
+        // Each miss paid one optimizer pass; RACER ADD is known to shrink.
+        assert!(s.opt.saved_uops() > 0, "pool misses accumulate optimizer savings");
+        assert!(s.opt.total_fires() > 0, "per-rule fire counts accumulate");
+    }
+
+    #[test]
+    fn opt_config_is_part_of_the_pool_memo_key() {
+        // Flipping the optimizer against a warm pool must synthesize a
+        // fresh (unoptimized) template, never serve the optimized one.
+        let on = DatapathModel::racer();
+        let off = DatapathModel::racer().with_opt_config(pum_backend::OptConfig::disabled());
+        let pool = Arc::new(RecipePool::new());
+
+        let optimized = pool.get_or_build(&on, &add(2)).unwrap();
+        let plain = pool.get_or_build(&off, &add(2)).unwrap();
+        assert_eq!(pool.len(), 2, "distinct opt configs occupy distinct pool slots");
+        assert_eq!(pool.stats().misses, 2, "the flipped config cannot hit the warm memo");
+        assert!(
+            optimized.len() < plain.len(),
+            "optimized template ({}) should be shorter than unoptimized ({})",
+            optimized.len(),
+            plain.len()
+        );
+        assert_eq!(plain.saved_uops(), 0, "disabled optimizer records no savings");
+    }
+
+    #[test]
+    fn cache_flushes_when_synthesis_context_changes() {
+        // The per-MPU table is keyed by instruction word alone, so toggling
+        // the optimizer against a warm cache must invalidate it.
+        let on = DatapathModel::racer();
+        let off = DatapathModel::racer().with_opt_config(pum_backend::OptConfig::disabled());
+        let mut cache = RecipeCache::new(4);
+
+        let (warm, hit) = cache.lookup(&on, &add(2)).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.lookup(&on, &add(2)).unwrap();
+        assert!(hit, "same context keeps hitting");
+
+        let (fresh, hit) = cache.lookup(&off, &add(2)).unwrap();
+        assert!(!hit, "context change flushes the warm entry");
+        assert!(
+            warm.recipe.len() < fresh.recipe.len(),
+            "the flushed lookup resynthesizes under the new context"
+        );
+
+        let (back, hit) = cache.lookup(&on, &add(2)).unwrap();
+        assert!(!hit, "flipping back flushes again");
+        assert_eq!(back.recipe.len(), warm.recipe.len());
+    }
+
+    #[test]
+    fn pool_less_cache_accumulates_opt_stats() {
+        let dp = DatapathModel::racer();
+        let mut cache = RecipeCache::new(4);
+        cache.lookup(&dp, &add(2)).unwrap();
+        cache.lookup(&dp, &add(2)).unwrap();
+        let s = cache.opt_stats();
+        assert!(s.saved_uops() > 0, "pool-less synthesis reports optimizer savings");
+
+        // With a pool attached, attribution flows to the pool instead.
+        let pool = Arc::new(RecipePool::new());
+        let mut pooled = RecipeCache::new(4);
+        pooled.set_pool(Arc::clone(&pool));
+        pooled.lookup(&dp, &add(3)).unwrap();
+        assert_eq!(pooled.opt_stats(), OptStats::default());
+        assert!(pool.stats().opt.saved_uops() > 0);
     }
 
     #[test]

@@ -111,6 +111,11 @@ pub struct Stats {
     pub instructions: u64,
     /// Micro-ops issued to the datapath.
     pub uops: u64,
+    /// Micro-ops the recipe optimizer removed from issued recipes (the
+    /// work that *would* have been issued had synthesis templates run
+    /// unoptimized; see `pum_backend::opt`).
+    #[serde(default)]
+    pub uops_saved: u64,
     /// Host offload events (Baseline only).
     pub offload_events: u64,
     /// Recipe-table (template lookup) hits.
@@ -182,6 +187,7 @@ impl Stats {
         self.offload_cycles += other.offload_cycles;
         self.instructions += other.instructions;
         self.uops += other.uops;
+        self.uops_saved += other.uops_saved;
         self.offload_events += other.offload_events;
         self.recipe_hits += other.recipe_hits;
         self.recipe_misses += other.recipe_misses;

@@ -32,7 +32,10 @@ fn traced_system(config: SimConfig) -> (Stats, Vec<TraceEvent>, Vec<Stats>) {
 
 fn faulty_config() -> SimConfig {
     let mut config = SimConfig::mpu(DatapathKind::Racer);
-    config.fault = FaultConfig { seed: Some(0xC0FFEE), transient_rate: 2e-4, ..Default::default() };
+    // Rate sized so a ~15k-uop MUL recipe draws well under one transient
+    // per redundant run: DMR's bounded retries must make the schedule
+    // completable, not just detectable.
+    config.fault = FaultConfig { seed: Some(0xC0FFEE), transient_rate: 2e-5, ..Default::default() };
     config.recovery.redundancy = Redundancy::Dmr;
     config
 }
