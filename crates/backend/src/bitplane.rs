@@ -630,6 +630,68 @@ impl BitPlaneVrf {
         }
         values
     }
+
+    /// Masked word-level register store: lane `i` of `reg` receives
+    /// `values[i]` where the lane mask enables it; disabled lanes keep
+    /// their contents. This is the word-serial (DPU) datapath's write-back
+    /// path — unlike [`BitPlaneVrf::write_lane_values`] (a host-side data
+    /// load that bypasses the mask), registers are architectural targets
+    /// here and the merge matches the bit-plane `op2`/`op3` semantics
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != lanes`.
+    pub(crate) fn store_lane_values(&mut self, reg: u8, values: &[u64]) {
+        assert_eq!(values.len(), self.lanes, "word store must cover every lane");
+        let base = self.plane_index(Plane::Reg { reg, bit: 0 }) * self.words;
+        let masked = self.mask_enabled;
+        let mask_base = self.mask_base();
+        let mut block = [0u64; 64];
+        for w in 0..self.words {
+            let lo = w * 64;
+            let n = (self.lanes - lo).min(64);
+            block[..n].copy_from_slice(&values[lo..lo + n]);
+            block[n..].fill(0);
+            transpose_64x64(&mut block);
+            // Tail lanes beyond `lanes` stay zero either way: the unmasked
+            // plane words carry zeros there, and the mask plane's invariant
+            // tail zeros preserve the (zero) old contents when masked.
+            let m = if masked { self.storage[mask_base + w] } else { !0u64 };
+            for (bit, &plane_word) in block.iter().enumerate() {
+                let i = base + bit * self.words + w;
+                self.storage[i] = (plane_word & m) | (self.storage[i] & !m);
+            }
+        }
+        if let Some(f) = &self.faults {
+            if f.has_forced_lanes() {
+                for bit in 0..DATA_BITS as usize {
+                    for w in 0..self.words {
+                        let i = base + bit * self.words + w;
+                        self.storage[i] = f.force_word(w, self.storage[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Masked conditional-plane store from pre-packed per-lane flag words
+    /// (bit `i % 64` of `flags[i / 64]` is lane `i`'s flag). The word-serial
+    /// datapath's `Compare`/`Fuzzy` write-back path.
+    pub(crate) fn store_cond_words(&mut self, flags: &[u64]) {
+        assert_eq!(flags.len(), self.words, "flag words must cover the lane range");
+        let (out, masked) = self.out_base(Plane::Cond);
+        if masked {
+            let mask_base = self.mask_base();
+            for (w, &flag_word) in flags.iter().enumerate() {
+                let m = self.storage[mask_base + w];
+                self.storage[out + w] = (flag_word & m) | (self.storage[out + w] & !m);
+            }
+        } else {
+            self.storage[out..out + self.words].copy_from_slice(flags);
+        }
+        self.finish_write(out);
+    }
 }
 
 #[cfg(test)]

@@ -15,8 +15,9 @@
 //! `tests/inplace_differential.rs` enforce this).
 
 use crate::bitplane::{BitPlaneVrf, Plane, SCRATCH_PLANES};
-use crate::microop::{MicroOp, MicroOpKind};
+use crate::microop::{lut3_word, MicroOp, MicroOpKind};
 use crate::DATA_BITS;
+use mpu_isa::Instruction;
 
 /// Two-input boolean function of a compiled micro-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +57,13 @@ pub(crate) enum CompiledOp {
     Copy { a: u32, out: u32, masked: bool },
     /// Constant preset: `out = value`.
     Fill { out: u32, masked: bool, value: bool },
+    /// pLUTo LUT query: `out = table[a | b<<1 | c<<2]` per lane.
+    Lut { a: u32, b: u32, c: u32, out: u32, table: u8, masked: bool },
+    /// Word-serial instruction (UPMEM-style DPU). Operands stay symbolic:
+    /// execution reads whole registers through the VRF's transpose path,
+    /// so there is nothing to pre-resolve — and the fast word loop cannot
+    /// run it (the fuser marks traces containing word ops as non-fast).
+    Word { instr: Instruction },
 }
 
 /// A recipe compiled for one VRF geometry: plane operands resolved to flat
@@ -231,6 +239,18 @@ pub(crate) fn compile(ops: &[MicroOp], lanes: usize, regs: usize) -> CompiledRec
                 let (out, masked) = layout.out(out);
                 CompiledOp::Fill { out, masked, value }
             }
+            MicroOp::Lut { a, b, c, out, table } => {
+                let (out, masked) = layout.out(out);
+                CompiledOp::Lut {
+                    a: layout.base(a),
+                    b: layout.base(b),
+                    c: layout.base(c),
+                    out,
+                    table,
+                    masked,
+                }
+            }
+            MicroOp::Word { instr } => CompiledOp::Word { instr },
         })
         .collect();
     CompiledRecipe { ops: compiled, lanes, regs, mix }
@@ -315,6 +335,26 @@ pub(crate) fn run_ops(vrf: &mut BitPlaneVrf, ops: &[CompiledOp]) {
                 if inject {
                     vrf.post_op_at(MicroOpKind::Set, out as usize);
                 }
+            }
+            CompiledOp::Lut { a, b, c, out, table, masked } => {
+                vrf.op3(
+                    a as usize,
+                    b as usize,
+                    c as usize,
+                    out as usize,
+                    masked && me,
+                    |x, y, z| lut3_word(table, x, y, z),
+                );
+                if inject {
+                    vrf.post_op_at(MicroOpKind::Lut, out as usize);
+                }
+            }
+            CompiledOp::Word { instr } => {
+                // Re-dispatch through the interpreter's op: `apply` calls
+                // the shared word evaluator and then makes the same single
+                // fault draw on the primary destination, so both tiers are
+                // byte-identical by construction.
+                MicroOp::Word { instr }.apply(vrf);
             }
         }
     }
@@ -457,6 +497,17 @@ fn run_ops_fast_inner(st: &mut [u64], words: usize, mask: usize, ops: &[Compiled
                     st[out..out + words].fill(word);
                 }
             }
+            CompiledOp::Lut { a, b, c, out, table, masked } => {
+                let (a, b, c, out) = (a as usize, b as usize, c as usize, out as usize);
+                op3_fast(st, words, mask, a, b, c, out, masked, |x, y, z| {
+                    lut3_word(table, x, y, z)
+                });
+            }
+            CompiledOp::Word { .. } => {
+                // Word ops need the whole VRF (transpose reads/writes), so
+                // the fuser never marks traces containing them as fast.
+                unreachable!("word-serial ops are excluded from the fast path")
+            }
         }
     }
 }
@@ -476,7 +527,13 @@ mod tests {
     fn compiled_matches_interpreted_for_add() {
         let instr =
             Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
-        for family in [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline] {
+        for family in [
+            LogicFamily::Nor,
+            LogicFamily::Maj,
+            LogicFamily::Bitline,
+            LogicFamily::Lut,
+            LogicFamily::WordSerial,
+        ] {
             let recipe = build_recipe(ctx(family), &instr).unwrap();
             let compiled = recipe.compile(100, 16);
             assert_eq!(compiled.len(), recipe.len());
@@ -502,7 +559,7 @@ mod tests {
         // one draw per micro-op, on the op's output plane.
         let instr =
             Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
-        for family in [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline] {
+        for family in [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline, LogicFamily::Lut] {
             let recipe = build_recipe(ctx(family), &instr).unwrap();
             let compiled = recipe.compile(100, 16);
 
@@ -525,6 +582,35 @@ mod tests {
             assert!(model.site() > 0, "a 25% rate over a full ADD recipe must draw");
             assert!(model.injected() > 0, "and some flips must land");
         }
+    }
+
+    #[test]
+    fn word_fault_injection_is_byte_identical_across_paths() {
+        // A word recipe is a single micro-op, so drive the rate to 1.0 to
+        // guarantee the one draw lands on both paths.
+        let instr =
+            Instruction::Binary { op: BinaryOp::Add, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
+        let recipe = build_recipe(ctx(LogicFamily::WordSerial), &instr).unwrap();
+        let compiled = recipe.compile(100, 16);
+
+        let mut a = BitPlaneVrf::new(100, 16);
+        a.write_lane_values(0, &[0x1234_5678; 100]);
+        a.write_lane_values(1, &[0x9abc_def0; 100]);
+        let mut fm = crate::FaultModel::new(0xBEEF, 100);
+        for kind in crate::MicroOpKind::ALL {
+            fm.set_transient_rate(kind, 1.0);
+        }
+        a.set_fault_model(Some(fm));
+        let mut b = a.clone();
+
+        for op in recipe.ops() {
+            op.apply(&mut a);
+        }
+        b.run_compiled(&compiled);
+        assert_eq!(a, b);
+        let model = a.fault_model().unwrap();
+        assert_eq!(model.site(), 2, "one decision draw + one lane draw per word recipe");
+        assert!(model.injected() > 0);
     }
 
     #[test]

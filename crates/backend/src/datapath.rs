@@ -36,15 +36,58 @@ pub enum DatapathKind {
     Mimdram,
     /// SRAM-based Duality Cache.
     DualityCache,
+    /// DRAM LUT-in-memory (pLUTo, arXiv:2104.07699).
+    Pluto,
+    /// UPMEM-style commercial DPU, PrIM-calibrated (arXiv:2105.03814).
+    Dpu,
     /// A user-defined backend built with [`DatapathBuilder`].
     Custom,
 }
 
 impl DatapathKind {
-    /// The three paper-evaluated backends.
+    /// The three paper-evaluated backends (figure/table reproductions).
     pub const EVALUATED: [DatapathKind; 3] =
         [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache];
+
+    /// Every shipped backend — the sweep constant for conformance, fault,
+    /// and perf-gate matrices. Guarded by [`DatapathKind::is_shipped`]'s
+    /// wildcard-free match plus the const assertion below: a new variant
+    /// fails to compile until both are updated, so a 6th backend cannot
+    /// silently under-sweep.
+    pub const ALL: [DatapathKind; 5] = [
+        DatapathKind::Racer,
+        DatapathKind::Mimdram,
+        DatapathKind::DualityCache,
+        DatapathKind::Pluto,
+        DatapathKind::Dpu,
+    ];
+
+    /// True for backends constructible via [`DatapathModel::for_kind`]
+    /// (everything but `Custom`). The match is deliberately wildcard-free:
+    /// adding a variant breaks compilation here until [`DatapathKind::ALL`]
+    /// is reconsidered.
+    pub const fn is_shipped(self) -> bool {
+        match self {
+            DatapathKind::Racer
+            | DatapathKind::Mimdram
+            | DatapathKind::DualityCache
+            | DatapathKind::Pluto
+            | DatapathKind::Dpu => true,
+            DatapathKind::Custom => false,
+        }
+    }
 }
+
+// Compile-time exhaustiveness: every entry of `ALL` is shipped, and the
+// shipped count matches `ALL`'s length (`is_shipped` is wildcard-free, so
+// a new enum variant cannot compile without revisiting both).
+const _: () = {
+    let mut i = 0;
+    while i < DatapathKind::ALL.len() {
+        assert!(DatapathKind::ALL[i].is_shipped());
+        i += 1;
+    }
+};
 
 /// Physical organization of a datapath, mapping the MPU abstraction onto
 /// hardware (paper §IV and Table III).
@@ -120,6 +163,11 @@ pub struct DatapathModel {
     /// Recipe-optimizer configuration applied by [`DatapathModel::recipe`].
     #[serde(default)]
     opt: crate::opt::OptConfig,
+    /// True for word-serial near-bank cores (UPMEM-style DPUs): one
+    /// micro-op processes the VRF's lanes sequentially, so recipe cycle
+    /// counts scale with `lanes_per_vrf` (energy is already per-lane).
+    #[serde(default)]
+    word_serial: bool,
 }
 
 impl DatapathModel {
@@ -162,6 +210,7 @@ impl DatapathModel {
             active_power_mw_per_vrf: 45.0,
             vrf_area_mm2: 0.0015,
             opt: crate::opt::OptConfig::default(),
+            word_serial: false,
         }
     }
 
@@ -203,6 +252,7 @@ impl DatapathModel {
             active_power_mw_per_vrf: 1.4,
             vrf_area_mm2: 0.0016,
             opt: crate::opt::OptConfig::default(),
+            word_serial: false,
         }
     }
 
@@ -249,6 +299,102 @@ impl DatapathModel {
             active_power_mw_per_vrf: 1.9,
             vrf_area_mm2: 0.055, // SRAM density is poor (0.2 GB chip)
             opt: crate::opt::OptConfig::default(),
+            word_serial: false,
+        }
+    }
+
+    /// The DRAM LUT-in-memory pLUTo backend (arXiv:2104.07699).
+    ///
+    /// Every gate is a single LUT-row query costing one full row cycle
+    /// (tRC ≈ 46 ns at the 1 GHz MPU clock) regardless of the boolean
+    /// function — pLUTo's pitch: complex gates at AND/OR price. Geometry
+    /// mirrors the DRAM mat organization of MIMDRAM; the LUT storage
+    /// overhead costs some array density, hence fewer MPUs per chip.
+    pub fn pluto() -> Self {
+        Self {
+            kind: DatapathKind::Pluto,
+            name: "pLUTo".to_string(),
+            family: LogicFamily::Lut,
+            geometry: Geometry {
+                lanes_per_vrf: 512,
+                regs_per_vrf: 16,
+                vrfs_per_rfh: 64,
+                rfhs_per_mpu: 8,
+                active_vrfs_per_rfh: 256, // effectively all 64
+                mpus_per_chip: 360,       // LUT rows cost array density
+                mem_bytes_per_mpu: 16 << 20,
+            },
+            // A LUT query is a full activate–query–precharge row cycle
+            // (pLUTo §4: tRC-bound); copies and presets are standard
+            // AAP/preset row operations as in MIMDRAM.
+            uop_cycles: BTreeMap::from([
+                (MicroOpKind::Lut, 46),
+                (MicroOpKind::Copy, 28),
+                (MicroOpKind::Set, 20),
+            ]),
+            uop_energy_pj_per_lane: BTreeMap::from([
+                (MicroOpKind::Lut, 0.10),
+                (MicroOpKind::Copy, 0.12),
+                (MicroOpKind::Set, 0.05),
+            ]),
+            bit_pipelined: false,
+            pipeline_depth: 1,
+            transfer_cycles_per_word: 24,
+            transfer_energy_pj_per_word: 20.0,
+            static_power_mw_per_vrf: 0.011, // refresh + peripheral leakage
+            active_power_mw_per_vrf: 1.5,
+            vrf_area_mm2: 0.0019, // mat area + LUT source/destination rows
+            opt: crate::opt::OptConfig::default(),
+            word_serial: false,
+        }
+    }
+
+    /// The UPMEM-style commercial DPU backend, calibrated against the PrIM
+    /// characterization (arXiv:2105.03814).
+    ///
+    /// A DPU is a word-serial near-bank core: no inter-lane bit-plane
+    /// primitives exist, so recipes fall back to one [`MicroOp::Word`] per
+    /// instruction and cycle counts scale with the lanes processed
+    /// sequentially ([`DatapathModel::recipe_cycles`]). PrIM's throughput
+    /// numbers give the per-element cost ratios: add/sub/logic ≈ 1×,
+    /// 32-bit multiply ≈ 8× (software-pipelined shifts on a core without
+    /// a hardware multiplier), division ≈ 13×.
+    pub fn dpu() -> Self {
+        Self {
+            kind: DatapathKind::Dpu,
+            name: "DPU".to_string(),
+            family: LogicFamily::WordSerial,
+            geometry: Geometry {
+                lanes_per_vrf: 64,
+                regs_per_vrf: 16,
+                vrfs_per_rfh: 8, // one tasklet group per RFH
+                rfhs_per_mpu: 8,
+                active_vrfs_per_rfh: 256,    // all tasklets run concurrently
+                mpus_per_chip: 40,           // ranks of 64 DPUs, iso-area
+                mem_bytes_per_mpu: 64 << 20, // MRAM bank per DPU
+            },
+            // Cycles are per lane (word-serial): ~12 pipeline cycles per
+            // 64-bit ALU op at the ~350 MHz DPU clock rescaled to the
+            // 1 GHz MPU clock; MUL/DIV are software loops.
+            uop_cycles: BTreeMap::from([
+                (MicroOpKind::WordAlu, 12),
+                (MicroOpKind::WordMul, 96),
+                (MicroOpKind::WordDiv, 160),
+            ]),
+            uop_energy_pj_per_lane: BTreeMap::from([
+                (MicroOpKind::WordAlu, 4.5),
+                (MicroOpKind::WordMul, 30.0),
+                (MicroOpKind::WordDiv, 55.0),
+            ]),
+            bit_pipelined: false,
+            pipeline_depth: 1,
+            transfer_cycles_per_word: 64, // through the DMA engine + WRAM
+            transfer_energy_pj_per_word: 45.0,
+            static_power_mw_per_vrf: 0.02,
+            active_power_mw_per_vrf: 2.8, // a running RISC core, not an array
+            vrf_area_mm2: 0.02,
+            opt: crate::opt::OptConfig::default(),
+            word_serial: true,
         }
     }
 
@@ -259,6 +405,8 @@ impl DatapathModel {
             DatapathKind::Racer => Self::racer(),
             DatapathKind::Mimdram => Self::mimdram(),
             DatapathKind::DualityCache => Self::duality_cache(),
+            DatapathKind::Pluto => Self::pluto(),
+            DatapathKind::Dpu => Self::dpu(),
             DatapathKind::Custom => panic!("custom datapaths are built with DatapathBuilder"),
         }
     }
@@ -345,9 +493,21 @@ impl DatapathModel {
             * lanes as f64
     }
 
-    /// Total cycles to issue a recipe serially (no bit-pipelining).
+    /// Total cycles to issue a recipe serially (no bit-pipelining). On
+    /// word-serial backends the per-op cost is charged once per lane: the
+    /// near-bank core walks the VRF sequentially.
     pub fn recipe_cycles(&self, recipe: &Recipe) -> u64 {
-        recipe.ops().iter().map(|op| self.uop_cycles(op.kind())).sum()
+        let per_op: u64 = recipe.ops().iter().map(|op| self.uop_cycles(op.kind())).sum();
+        if self.word_serial {
+            per_op * self.geometry.lanes_per_vrf as u64
+        } else {
+            per_op
+        }
+    }
+
+    /// True for word-serial near-bank cores (UPMEM-style DPUs).
+    pub fn word_serial(&self) -> bool {
+        self.word_serial
     }
 
     /// Total energy (pJ) of a recipe across `lanes` lanes.
@@ -534,8 +694,47 @@ mod tests {
     }
 
     #[test]
-    fn recipes_cost_what_the_model_says() {
+    fn new_backends_match_their_calibration_sources() {
+        let p = DatapathModel::pluto();
+        assert_eq!(p.family(), LogicFamily::Lut);
+        assert_eq!(p.uop_cycles(MicroOpKind::Lut), 46, "LUT query is tRC-bound");
+        assert!(!p.word_serial());
+        let d = DatapathModel::dpu();
+        assert_eq!(d.family(), LogicFamily::WordSerial);
+        assert!(d.word_serial());
+        // PrIM cost ratios: MUL ≈ 8× ALU, DIV slower still.
+        assert_eq!(d.uop_cycles(MicroOpKind::WordMul), 8 * d.uop_cycles(MicroOpKind::WordAlu));
+        assert!(d.uop_cycles(MicroOpKind::WordDiv) > d.uop_cycles(MicroOpKind::WordMul));
+    }
+
+    #[test]
+    fn all_covers_every_shipped_backend() {
+        assert_eq!(DatapathKind::ALL.len(), 5);
+        for kind in DatapathKind::ALL {
+            assert!(kind.is_shipped());
+            // Constructible, and self-describing.
+            assert_eq!(DatapathModel::for_kind(kind).kind(), kind);
+        }
+        assert!(!DatapathKind::Custom.is_shipped());
         for kind in DatapathKind::EVALUATED {
+            assert!(DatapathKind::ALL.contains(&kind), "EVALUATED ⊆ ALL");
+        }
+    }
+
+    #[test]
+    fn word_serial_cycles_scale_with_lanes() {
+        let d = DatapathModel::dpu();
+        let recipe = d.recipe(&add_instr()).unwrap();
+        assert_eq!(recipe.len(), 1, "word-serial ADD is a single micro-op");
+        assert_eq!(
+            d.recipe_cycles(&recipe),
+            d.uop_cycles(MicroOpKind::WordAlu) * d.geometry().lanes_per_vrf as u64
+        );
+    }
+
+    #[test]
+    fn recipes_cost_what_the_model_says() {
+        for kind in DatapathKind::ALL {
             let dp = DatapathModel::for_kind(kind);
             let recipe = dp.recipe(&add_instr()).unwrap();
             let cycles = dp.recipe_cycles(&recipe);

@@ -97,21 +97,6 @@ pub fn rate_to_threshold(rate: f64) -> u64 {
     }
 }
 
-#[inline]
-fn kind_index(kind: MicroOpKind) -> usize {
-    match kind {
-        MicroOpKind::Nor => 0,
-        MicroOpKind::Tra => 1,
-        MicroOpKind::Not => 2,
-        MicroOpKind::And => 3,
-        MicroOpKind::Or => 4,
-        MicroOpKind::Xor => 5,
-        MicroOpKind::FullAdd => 6,
-        MicroOpKind::Copy => 7,
-        MicroOpKind::Set => 8,
-    }
-}
-
 /// A seeded hardware fault model attachable to one [`crate::BitPlaneVrf`]
 /// (see the module docs for the fault taxonomy).
 ///
@@ -122,8 +107,8 @@ fn kind_index(kind: MicroOpKind) -> usize {
 pub struct FaultModel {
     prng: FaultPrng,
     /// Per-[`MicroOpKind`] transient flip threshold, indexed by
-    /// [`kind_index`] order (the order of [`MicroOpKind::ALL`]).
-    thresholds: [u64; 9],
+    /// [`MicroOpKind::index`] (the order of [`MicroOpKind::ALL`]).
+    thresholds: [u64; MicroOpKind::ALL.len()],
     /// RFH register-write corruption threshold.
     write_threshold: u64,
     /// Lanes whose writes are forced to 1 (stuck-at-1), packed per word.
@@ -145,7 +130,7 @@ impl FaultModel {
         let words = lanes.div_ceil(64);
         Self {
             prng: FaultPrng::new(seed),
-            thresholds: [0; 9],
+            thresholds: [0; MicroOpKind::ALL.len()],
             write_threshold: 0,
             force_one: vec![0; words],
             force_zero: vec![0; words],
@@ -155,7 +140,7 @@ impl FaultModel {
 
     /// Sets the transient flip probability for one micro-op kind.
     pub fn set_transient_rate(&mut self, kind: MicroOpKind, rate: f64) {
-        self.thresholds[kind_index(kind)] = rate_to_threshold(rate);
+        self.thresholds[kind.index()] = rate_to_threshold(rate);
     }
 
     /// Sets the probability that a runtime register write flips one bit.
@@ -196,7 +181,7 @@ impl FaultModel {
     /// `kind`; on a hit, returns the lane whose output bit flips.
     #[inline]
     pub(crate) fn draw_flip(&mut self, kind: MicroOpKind, lanes: usize) -> Option<usize> {
-        let threshold = self.thresholds[kind_index(kind)];
+        let threshold = self.thresholds[kind.index()];
         if threshold == 0 {
             return None;
         }

@@ -3,9 +3,10 @@
 //! The substrates underneath the MPU front end (paper §II, §IV): bit-plane
 //! vector register files, per-technology micro-operations, instruction →
 //! micro-op recipe synthesis, and calibrated models of the three evaluated
-//! datapaths (ReRAM RACER, DRAM MIMDRAM, SRAM Duality Cache), plus the
-//! power-density (Fig. 5), front-end area/power (Fig. 11), and Table I
-//! feature-matrix models.
+//! datapaths (ReRAM RACER, DRAM MIMDRAM, SRAM Duality Cache) plus two
+//! further shipped substrates — pLUTo DRAM LUT-in-memory queries and an
+//! UPMEM-style word-serial DPU — alongside the power-density (Fig. 5),
+//! front-end area/power (Fig. 11), and Table I feature-matrix models.
 //!
 //! The functional model is *gate-exact*: executing a recipe's micro-ops on
 //! a [`BitPlaneVrf`] performs the actual column-parallel boolean physics of
@@ -86,7 +87,7 @@ pub use datapath::{DatapathBuilder, DatapathKind, DatapathModel, Geometry};
 pub use fault::{FaultModel, FaultPrng};
 pub use features::{supports, Feature, Platform};
 pub use logic::{GateBuilder, LogicFamily};
-pub use microop::{MicroOp, MicroOpKind};
+pub use microop::{lut3_word, word_kind, MicroOp, MicroOpKind};
 pub use opt::{optimize, OptConfig, OptRule, OptStats, RuleStats};
 pub use recipe::{build_recipe, semantics, Recipe, RecipeCtx};
 pub use trace_tier::{fuse_ensemble, fuse_ensemble_with, EnsembleStep, EnsembleTrace};

@@ -29,6 +29,13 @@ pub enum LogicFamily {
     Maj,
     /// AND/OR/XOR/NOT plus CMOS full adder (SRAM bitline).
     Bitline,
+    /// Arbitrary 3-input LUT queries (pLUTo LUT-in-DRAM): every gate is a
+    /// single pre-programmed row activation.
+    Lut,
+    /// No inter-lane bit-plane primitives at all (UPMEM-style DPUs):
+    /// recipes fall back to word-serial execution of whole instructions
+    /// by the near-bank core ([`MicroOp::Word`]).
+    WordSerial,
 }
 
 impl LogicFamily {
@@ -48,6 +55,10 @@ impl LogicFamily {
                 MicroOpKind::Copy,
                 MicroOpKind::Set,
             ],
+            LogicFamily::Lut => &[MicroOpKind::Lut, MicroOpKind::Copy, MicroOpKind::Set],
+            LogicFamily::WordSerial => {
+                &[MicroOpKind::WordAlu, MicroOpKind::WordMul, MicroOpKind::WordDiv]
+            }
         }
     }
 
@@ -138,11 +149,24 @@ impl GateBuilder {
         self.ops.push(op);
     }
 
+    /// Emits a 2-input LUT query (index bit 2 tied to constant zero).
+    fn lut2(&mut self, a: Plane, b: Plane, table: u8, out: Plane) {
+        self.emit(MicroOp::Lut { a, b, c: Plane::Const(false), out, table });
+    }
+
+    /// The word-serial family has no bit-plane gates; recipe synthesis
+    /// bypasses the gate builder entirely (`recipe::build_word_recipe`).
+    fn no_gates(&self) -> ! {
+        unreachable!("word-serial recipes bypass gate synthesis")
+    }
+
     /// `out = !a`.
     pub fn not(&mut self, a: Plane, out: Plane) {
         match self.family {
             LogicFamily::Nor => self.emit(MicroOp::Nor { a, b: a, out }),
             LogicFamily::Maj | LogicFamily::Bitline => self.emit(MicroOp::Not { a, out }),
+            LogicFamily::Lut => self.lut2(a, Plane::Const(false), 0x01, out),
+            LogicFamily::WordSerial => self.no_gates(),
         }
     }
 
@@ -160,6 +184,8 @@ impl GateBuilder {
             }
             LogicFamily::Maj => self.emit(MicroOp::Tra { a, b, c: Plane::Const(false), out }),
             LogicFamily::Bitline => self.emit(MicroOp::And { a, b, out }),
+            LogicFamily::Lut => self.lut2(a, b, 0x08, out),
+            LogicFamily::WordSerial => self.no_gates(),
         }
     }
 
@@ -174,6 +200,8 @@ impl GateBuilder {
             }
             LogicFamily::Maj => self.emit(MicroOp::Tra { a, b, c: Plane::Const(true), out }),
             LogicFamily::Bitline => self.emit(MicroOp::Or { a, b, out }),
+            LogicFamily::Lut => self.lut2(a, b, 0x0e, out),
+            LogicFamily::WordSerial => self.no_gates(),
         }
     }
 
@@ -187,11 +215,17 @@ impl GateBuilder {
                 self.not(t, out);
                 self.release(t);
             }
+            LogicFamily::Lut => self.lut2(a, b, 0x01, out),
+            LogicFamily::WordSerial => self.no_gates(),
         }
     }
 
     /// `out = !(a & b)`.
     pub fn nand(&mut self, a: Plane, b: Plane, out: Plane) {
+        if self.family == LogicFamily::Lut {
+            self.lut2(a, b, 0x07, out);
+            return;
+        }
         let t = self.alloc();
         self.and(a, b, t);
         self.not(t, out);
@@ -228,11 +262,17 @@ impl GateBuilder {
                 self.release(na);
             }
             LogicFamily::Bitline => self.emit(MicroOp::Xor { a, b, out }),
+            LogicFamily::Lut => self.lut2(a, b, 0x06, out),
+            LogicFamily::WordSerial => self.no_gates(),
         }
     }
 
     /// `out = !(a ^ b)`.
     pub fn xnor(&mut self, a: Plane, b: Plane, out: Plane) {
+        if self.family == LogicFamily::Lut {
+            self.lut2(a, b, 0x09, out);
+            return;
+        }
         let t = self.alloc();
         self.xor(a, b, t);
         self.not(t, out);
@@ -243,6 +283,8 @@ impl GateBuilder {
     pub fn maj(&mut self, a: Plane, b: Plane, c: Plane, out: Plane) {
         match self.family {
             LogicFamily::Maj => self.emit(MicroOp::Tra { a, b, c, out }),
+            LogicFamily::Lut => self.emit(MicroOp::Lut { a, b, c, out, table: 0xe8 }),
+            LogicFamily::WordSerial => self.no_gates(),
             LogicFamily::Nor | LogicFamily::Bitline => {
                 // maj = ab | bc | ca.
                 let ab = self.alloc();
@@ -264,6 +306,11 @@ impl GateBuilder {
 
     /// `out = (sel & x) | (!sel & y)` — a per-lane 2:1 multiplexer.
     pub fn mux(&mut self, sel: Plane, x: Plane, y: Plane, out: Plane) {
+        if self.family == LogicFamily::Lut {
+            // table[sel | x<<1 | y<<2] = sel ? x : y → bits {3, 4, 6, 7}.
+            self.emit(MicroOp::Lut { a: sel, b: x, c: y, out, table: 0xd8 });
+            return;
+        }
         let nsel = self.alloc();
         let tx = self.alloc();
         let ty = self.alloc();
@@ -344,6 +391,17 @@ impl GateBuilder {
             LogicFamily::Bitline => {
                 self.emit(MicroOp::FullAdd { a, b, carry, sum: sum_out });
             }
+            LogicFamily::Lut => {
+                // Two LUT queries: parity (sum) staged through scratch so
+                // `sum_out` may alias an addend, then majority (carry-out)
+                // written in place over the carry-in.
+                let t = self.alloc();
+                self.emit(MicroOp::Lut { a, b, c: carry, out: t, table: 0x96 });
+                self.emit(MicroOp::Lut { a, b, c: carry, out: carry, table: 0xe8 });
+                self.copy(t, sum_out);
+                self.release(t);
+            }
+            LogicFamily::WordSerial => self.no_gates(),
         }
     }
 
@@ -367,7 +425,8 @@ mod tests {
     use super::*;
     use crate::bitplane::BitPlaneVrf;
 
-    const FAMILIES: [LogicFamily; 3] = [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline];
+    const FAMILIES: [LogicFamily; 4] =
+        [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline, LogicFamily::Lut];
 
     /// Executes the builder's ops on a fresh VRF whose scratch planes 20/21/22
     /// hold all four (or eight) input combinations, then checks `out`.
@@ -530,5 +589,27 @@ mod tests {
         let mut gb = GateBuilder::new(LogicFamily::Nor);
         gb.full_add(a, b, Plane::Scratch(19), o);
         assert_eq!(gb.len(), 10, "full adder should be 9 NORs + 1 copy");
+    }
+
+    #[test]
+    fn lut_family_costs_one_query_per_gate() {
+        let a = Plane::Scratch(20);
+        let b = Plane::Scratch(21);
+        let o = Plane::Scratch(22);
+        for build in [
+            (|g: &mut GateBuilder, a, b, o| g.and(a, b, o)) as fn(&mut GateBuilder, _, _, _),
+            |g, a, b, o| g.or(a, b, o),
+            |g, a, b, o| g.xor(a, b, o),
+            |g, a, b, o| g.nand(a, b, o),
+            |g, a, b, o| g.xnor(a, b, o),
+            |g, a, b, o| g.mux(a, b, Plane::Scratch(19), o),
+        ] {
+            let mut gb = GateBuilder::new(LogicFamily::Lut);
+            build(&mut gb, a, b, o);
+            assert_eq!(gb.len(), 1, "every LUT-family gate is a single row query");
+        }
+        let mut gb = GateBuilder::new(LogicFamily::Lut);
+        gb.full_add(a, b, Plane::Scratch(19), o);
+        assert_eq!(gb.len(), 3, "LUT full adder: parity + majority + copy-back");
     }
 }

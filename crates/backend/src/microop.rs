@@ -10,8 +10,18 @@
 //! [`MicroOp`] is the union of these primitives; each backend reports which
 //! subset it natively supports ([`crate::Datapath::supports`]) and its
 //! recipes are synthesized from that subset only — this is checked by tests.
+//!
+//! Two substrate families extend the bitwise set:
+//!
+//! * pLUTo-style LUT-in-DRAM exposes [`MicroOp::Lut`]: an arbitrary 3-input
+//!   truth table evaluated per lane by querying a pre-programmed LUT row
+//!   (one row activation per query, so every gate costs the same).
+//! * UPMEM-style DPUs execute near-bank RISC cores with no inter-lane
+//!   bitline primitives at all; [`MicroOp::Word`] carries a whole ISA
+//!   instruction that the datapath evaluates word-serially, lane by lane.
 
 use crate::bitplane::{BitPlaneVrf, Plane};
+use mpu_isa::{BinaryOp, InitValue, Instruction};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -98,6 +108,29 @@ pub enum MicroOp {
         /// Constant value.
         value: bool,
     },
+    /// pLUTo LUT query: `out = table[a | b<<1 | c<<2]`, an arbitrary
+    /// 3-input boolean function evaluated per lane from a pre-programmed
+    /// LUT row. Two-input gates tie `c` to [`Plane::Const`]`(false)`.
+    Lut {
+        /// First input plane (truth-table index bit 0).
+        a: Plane,
+        /// Second input plane (truth-table index bit 1).
+        b: Plane,
+        /// Third input plane (truth-table index bit 2).
+        c: Plane,
+        /// Output plane.
+        out: Plane,
+        /// Truth table: bit `i` is the output for input index `i`.
+        table: u8,
+    },
+    /// UPMEM-style word-serial execution of a whole compute instruction:
+    /// the near-bank core reads every operand lane, evaluates the shared
+    /// word-level semantics ([`crate::recipe::semantics`]) and writes the
+    /// results back under the lane mask. No bit-plane logic is involved.
+    Word {
+        /// The compute instruction evaluated word-serially.
+        instr: Instruction,
+    },
 }
 
 /// The kind of a micro-op, used for capability checks and cost lookup.
@@ -121,11 +154,19 @@ pub enum MicroOpKind {
     Copy,
     /// Constant preset.
     Set,
+    /// pLUTo 3-input LUT query (one DRAM row activation).
+    Lut,
+    /// Word-serial ALU instruction (add/sub/logic/compare class).
+    WordAlu,
+    /// Word-serial multiply (software-pipelined on the DPU core).
+    WordMul,
+    /// Word-serial division (the slowest DPU instruction class).
+    WordDiv,
 }
 
 impl MicroOpKind {
     /// All micro-op kinds.
-    pub const ALL: [MicroOpKind; 9] = [
+    pub const ALL: [MicroOpKind; 13] = [
         MicroOpKind::Nor,
         MicroOpKind::Tra,
         MicroOpKind::Not,
@@ -135,6 +176,10 @@ impl MicroOpKind {
         MicroOpKind::FullAdd,
         MicroOpKind::Copy,
         MicroOpKind::Set,
+        MicroOpKind::Lut,
+        MicroOpKind::WordAlu,
+        MicroOpKind::WordMul,
+        MicroOpKind::WordDiv,
     ];
 
     /// This kind's position in [`MicroOpKind::ALL`], for dense per-kind
@@ -150,6 +195,10 @@ impl MicroOpKind {
             MicroOpKind::FullAdd => 6,
             MicroOpKind::Copy => 7,
             MicroOpKind::Set => 8,
+            MicroOpKind::Lut => 9,
+            MicroOpKind::WordAlu => 10,
+            MicroOpKind::WordMul => 11,
+            MicroOpKind::WordDiv => 12,
         }
     }
 }
@@ -166,9 +215,42 @@ impl fmt::Display for MicroOpKind {
             MicroOpKind::FullAdd => "FULLADD",
             MicroOpKind::Copy => "COPY",
             MicroOpKind::Set => "SET",
+            MicroOpKind::Lut => "LUT",
+            MicroOpKind::WordAlu => "WALU",
+            MicroOpKind::WordMul => "WMUL",
+            MicroOpKind::WordDiv => "WDIV",
         };
         f.write_str(s)
     }
+}
+
+/// The micro-op kind of a word-serial instruction, split by DPU cost
+/// class: multiplies and divisions are software-pipelined on the core and
+/// cost far more than the single-issue ALU class.
+pub fn word_kind(instr: &Instruction) -> MicroOpKind {
+    match instr {
+        Instruction::Binary { op: BinaryOp::Mul | BinaryOp::Mac, .. } => MicroOpKind::WordMul,
+        Instruction::Binary { op: BinaryOp::QDiv | BinaryOp::QRDiv | BinaryOp::RDiv, .. } => {
+            MicroOpKind::WordDiv
+        }
+        _ => MicroOpKind::WordAlu,
+    }
+}
+
+/// Word-parallel evaluation of a 3-input LUT over packed lane bits: lane
+/// `i` of the result is `table[x_i | y_i<<1 | z_i<<2]`. This is the exact
+/// per-lane semantics of a pLUTo LUT-row query, vectorized over 64 lanes.
+pub fn lut3_word(table: u8, x: u64, y: u64, z: u64) -> u64 {
+    let mut out = 0u64;
+    for idx in 0..8 {
+        if table >> idx & 1 == 0 {
+            continue;
+        }
+        out |= (if idx & 1 != 0 { x } else { !x })
+            & (if idx & 2 != 0 { y } else { !y })
+            & (if idx & 4 != 0 { z } else { !z });
+    }
+    out
 }
 
 impl MicroOp {
@@ -184,6 +266,8 @@ impl MicroOp {
             MicroOp::FullAdd { .. } => MicroOpKind::FullAdd,
             MicroOp::Copy { .. } => MicroOpKind::Copy,
             MicroOp::Set { .. } => MicroOpKind::Set,
+            MicroOp::Lut { .. } => MicroOpKind::Lut,
+            MicroOp::Word { instr } => word_kind(instr),
         }
     }
 
@@ -198,8 +282,12 @@ impl MicroOp {
             | MicroOp::Or { out, .. }
             | MicroOp::Xor { out, .. }
             | MicroOp::Copy { out, .. }
-            | MicroOp::Set { out, .. } => out,
+            | MicroOp::Set { out, .. }
+            | MicroOp::Lut { out, .. } => out,
             MicroOp::FullAdd { sum, .. } => sum,
+            // The word-serial op's primary destination, bit 0 standing for
+            // the whole register (the single fault-injection target).
+            MicroOp::Word { instr } => word_out_plane(&instr),
         }
     }
 
@@ -215,10 +303,15 @@ impl MicroOp {
             | MicroOp::And { a, b, .. }
             | MicroOp::Or { a, b, .. }
             | MicroOp::Xor { a, b, .. } => vec![a, b],
-            MicroOp::Tra { a, b, c, .. } => vec![a, b, c],
+            MicroOp::Tra { a, b, c, .. } | MicroOp::Lut { a, b, c, .. } => vec![a, b, c],
             MicroOp::Not { a, .. } | MicroOp::Copy { a, .. } => vec![a],
             MicroOp::FullAdd { a, b, carry, .. } => vec![a, b, carry],
             MicroOp::Set { .. } => vec![],
+            // Coarse word-level summary: bit 0 stands for the whole
+            // register. The optimizer never analyzes word-serial recipes
+            // (it returns them unmodified), so this is documentation, not
+            // dataflow input.
+            MicroOp::Word { instr } => word_reg_planes(&instr, Access::Read),
         }
     }
 
@@ -236,10 +329,12 @@ impl MicroOp {
             | MicroOp::Or { out, .. }
             | MicroOp::Xor { out, .. }
             | MicroOp::Copy { out, .. }
-            | MicroOp::Set { out, .. } => vec![out],
+            | MicroOp::Set { out, .. }
+            | MicroOp::Lut { out, .. } => vec![out],
             MicroOp::FullAdd { carry, sum, .. } => {
                 vec![Plane::Scratch(crate::bitplane::SCRATCH_PLANES as u16 - 1), carry, sum]
             }
+            MicroOp::Word { instr } => word_reg_planes(&instr, Access::Write),
         }
     }
 
@@ -279,8 +374,126 @@ impl MicroOp {
             }
             MicroOp::Copy { a, out } => vrf.copy_plane(a, out),
             MicroOp::Set { out, value } => vrf.fill_plane(out, value),
+            MicroOp::Lut { a, b, c, out, table } => {
+                vrf.apply3(a, b, c, out, |x, y, z| lut3_word(table, x, y, z))
+            }
+            MicroOp::Word { instr } => apply_word(vrf, &instr),
         }
         vrf.post_op(self.kind(), self.out_plane());
+    }
+}
+
+/// Register access direction for [`word_reg_planes`].
+enum Access {
+    Read,
+    Write,
+}
+
+/// The bit-0 planes of the registers a word-serial instruction touches,
+/// used for the coarse [`MicroOp::reads`]/[`MicroOp::writes`] summaries.
+fn word_reg_planes(instr: &Instruction, access: Access) -> Vec<Plane> {
+    let reg = |r: mpu_isa::RegId| Plane::Reg { reg: r.0 as u8, bit: 0 };
+    match (instr, access) {
+        (Instruction::Binary { rs, rt, rd, .. }, Access::Read) => {
+            vec![reg(*rs), reg(*rt), reg(*rd)]
+        }
+        (Instruction::Binary { op: BinaryOp::QRDiv, rt, rd, .. }, Access::Write) => {
+            vec![reg(*rt), reg(*rd)]
+        }
+        (Instruction::Binary { rd, .. }, Access::Write) => vec![reg(*rd)],
+        (Instruction::Unary { rs, .. }, Access::Read) => vec![reg(*rs)],
+        (Instruction::Unary { rd, .. }, Access::Write) => vec![reg(*rd)],
+        (Instruction::Compare { rs, rt, .. }, Access::Read) => vec![reg(*rs), reg(*rt)],
+        (Instruction::Compare { .. }, Access::Write) => vec![Plane::Cond],
+        (Instruction::Fuzzy { rs, rt, rd }, Access::Read) => vec![reg(*rs), reg(*rt), reg(*rd)],
+        (Instruction::Fuzzy { .. }, Access::Write) => vec![Plane::Cond],
+        (Instruction::Cas { rs, rt }, Access::Read) => vec![reg(*rs), reg(*rt)],
+        (Instruction::Cas { rs, rt }, Access::Write) => vec![reg(*rs), reg(*rt)],
+        (Instruction::Init { .. }, Access::Read) => vec![],
+        (Instruction::Init { rd, .. }, Access::Write) => vec![reg(*rd)],
+        (other, _) => panic!("word micro-op carries non-compute instruction {other:?}"),
+    }
+}
+
+/// The primary destination plane of a word-serial instruction.
+fn word_out_plane(instr: &Instruction) -> Plane {
+    match instr {
+        Instruction::Binary { rd, .. } | Instruction::Unary { rd, .. } => {
+            Plane::Reg { reg: rd.0 as u8, bit: 0 }
+        }
+        Instruction::Compare { .. } | Instruction::Fuzzy { .. } => Plane::Cond,
+        Instruction::Cas { rs, .. } => Plane::Reg { reg: rs.0 as u8, bit: 0 },
+        Instruction::Init { rd, .. } => Plane::Reg { reg: rd.0 as u8, bit: 0 },
+        other => panic!("word micro-op carries non-compute instruction {other:?}"),
+    }
+}
+
+/// Evaluates a compute instruction word-serially against the VRF: read
+/// every operand lane, apply the shared word-level semantics
+/// ([`crate::recipe::semantics`] — the same functions the reference model
+/// uses), and write the results back under the lane mask.
+///
+/// Both the interpreted and compiled tiers call this same function, so the
+/// DPU path is byte-identical across tiers by construction. The single
+/// per-op fault draw is made by the caller ([`MicroOp::apply`] /
+/// `compiled::run_ops`) against [`MicroOp::writes`]'s primary target.
+pub(crate) fn apply_word(vrf: &mut BitPlaneVrf, instr: &Instruction) {
+    use crate::recipe::semantics as sem;
+    let lanes = vrf.lanes();
+    let r = |id: mpu_isa::RegId| id.0 as u8;
+    match *instr {
+        Instruction::Binary { op, rs, rt, rd } => {
+            let xs = vrf.read_lane_values(r(rs));
+            let ys = vrf.read_lane_values(r(rt));
+            let acc = vrf.read_lane_values(r(rd)); // MUX and MAC read rd
+            if op == BinaryOp::QRDiv {
+                let rem: Vec<u64> = (0..lanes).map(|i| sem::qrdiv(xs[i], ys[i]).1).collect();
+                vrf.store_lane_values(r(rt), &rem);
+            }
+            let out: Vec<u64> = (0..lanes).map(|i| sem::binary(op, xs[i], ys[i], acc[i])).collect();
+            vrf.store_lane_values(r(rd), &out);
+        }
+        Instruction::Unary { op, rs, rd } => {
+            let xs = vrf.read_lane_values(r(rs));
+            let out: Vec<u64> = xs.iter().map(|&x| sem::unary(op, x)).collect();
+            vrf.store_lane_values(r(rd), &out);
+        }
+        Instruction::Compare { op, rs, rt } => {
+            let xs = vrf.read_lane_values(r(rs));
+            let ys = vrf.read_lane_values(r(rt));
+            let mut packed = vec![0u64; lanes.div_ceil(64)];
+            for i in 0..lanes {
+                if sem::compare(op, xs[i], ys[i]) {
+                    packed[i / 64] |= 1 << (i % 64);
+                }
+            }
+            vrf.store_cond_words(&packed);
+        }
+        Instruction::Fuzzy { rs, rt, rd } => {
+            let xs = vrf.read_lane_values(r(rs));
+            let ys = vrf.read_lane_values(r(rt));
+            let ds = vrf.read_lane_values(r(rd));
+            let mut packed = vec![0u64; lanes.div_ceil(64)];
+            for i in 0..lanes {
+                if sem::fuzzy(xs[i], ys[i], ds[i]) {
+                    packed[i / 64] |= 1 << (i % 64);
+                }
+            }
+            vrf.store_cond_words(&packed);
+        }
+        Instruction::Cas { rs, rt } => {
+            let xs = vrf.read_lane_values(r(rs));
+            let ys = vrf.read_lane_values(r(rt));
+            let (mins, maxs): (Vec<u64>, Vec<u64>) =
+                xs.iter().zip(&ys).map(|(&x, &y)| sem::cas(x, y)).unzip();
+            vrf.store_lane_values(r(rs), &mins);
+            vrf.store_lane_values(r(rt), &maxs);
+        }
+        Instruction::Init { value, rd } => {
+            let v = u64::from(value == InitValue::One);
+            vrf.store_lane_values(r(rd), &vec![v; lanes]);
+        }
+        ref other => panic!("word micro-op carries non-compute instruction {other:?}"),
     }
 }
 
@@ -389,6 +602,64 @@ mod tests {
             MicroOp::FullAdd { a: s(0), b: s(1), carry: s(2), sum: s(3) }.kind(),
             MicroOpKind::FullAdd
         );
-        assert_eq!(MicroOpKind::ALL.len(), 9);
+        assert_eq!(
+            MicroOp::Lut { a: s(0), b: s(1), c: s(2), out: s(3), table: 0x96 }.kind(),
+            MicroOpKind::Lut
+        );
+        let mul = Instruction::Binary {
+            op: BinaryOp::Mul,
+            rs: mpu_isa::RegId(0),
+            rt: mpu_isa::RegId(1),
+            rd: mpu_isa::RegId(2),
+        };
+        assert_eq!(MicroOp::Word { instr: mul }.kind(), MicroOpKind::WordMul);
+        assert_eq!(MicroOpKind::ALL.len(), 13);
+        for (i, kind) in MicroOpKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn lut3_word_matches_truth_table() {
+        for table in [0x00u8, 0x01, 0x06, 0x08, 0x96, 0xe8, 0xd8, 0xff] {
+            for idx in 0..8u64 {
+                let x = if idx & 1 != 0 { !0 } else { 0 };
+                let y = if idx & 2 != 0 { !0 } else { 0 };
+                let z = if idx & 4 != 0 { !0 } else { 0 };
+                let want = if table >> idx & 1 != 0 { !0u64 } else { 0 };
+                assert_eq!(lut3_word(table, x, y, z), want, "table {table:#x} idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_op_evaluates_per_lane() {
+        let mut v = vrf();
+        v.set_plane_words(s(0), &[0b0101_0101]);
+        v.set_plane_words(s(1), &[0b0011_0011]);
+        v.set_plane_words(s(2), &[0b0000_1111]);
+        // 0x96 is the 3-input parity table (full-adder sum).
+        MicroOp::Lut { a: s(0), b: s(1), c: s(2), out: s(3), table: 0x96 }.apply(&mut v);
+        for lane in 0..8 {
+            let a = (0b0101_0101u64 >> lane) & 1;
+            let b = (0b0011_0011u64 >> lane) & 1;
+            let c = (0b0000_1111u64 >> lane) & 1;
+            assert_eq!(v.lane_bit(s(3), lane), (a ^ b ^ c) == 1, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn word_op_applies_instruction_semantics() {
+        let mut v = BitPlaneVrf::new(8, 4);
+        v.write_lane_values(0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        v.write_lane_values(1, &[10, 20, 30, 40, 50, 60, 70, 80]);
+        let add = Instruction::Binary {
+            op: BinaryOp::Add,
+            rs: mpu_isa::RegId(0),
+            rt: mpu_isa::RegId(1),
+            rd: mpu_isa::RegId(2),
+        };
+        MicroOp::Word { instr: add }.apply(&mut v);
+        assert_eq!(v.read_lane_values(2), vec![11, 22, 33, 44, 55, 66, 77, 88]);
     }
 }

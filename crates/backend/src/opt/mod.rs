@@ -134,15 +134,28 @@ impl OptRule {
     /// Logic families this rule is sound for.
     ///
     /// All five shipped rules are proven against the shared micro-op
-    /// semantics that every family lowers onto (`MicroOp::apply` is the
-    /// single source of truth for NOR, MAJ, and bitline execution alike),
-    /// so each is sound for every family — DESIGN.md §10 records the
-    /// per-family argument. The pass still consults this declaration
-    /// before firing a rule, so a future family-restricted rewrite cannot
-    /// leak onto a substrate it was not proven against.
+    /// semantics the bit-plane families lower onto (`MicroOp::apply` is
+    /// the single source of truth for NOR, MAJ, and bitline execution
+    /// alike), so each is sound for those families — DESIGN.md §10 records
+    /// the per-family argument. Two restrictions apply:
+    ///
+    /// * [`LogicFamily::Lut`] withholds [`OptRule::ChainCollapse`]: the
+    ///   value model expands LUT tables into minterm DAGs, and the
+    ///   chain-collapse equivalences have not been proven against that
+    ///   expansion, so the rule is conservatively gated off.
+    /// * [`LogicFamily::WordSerial`] supports no rules: word recipes
+    ///   execute whole instructions outside the bit-plane value lattice
+    ///   and pass through the optimizer unmodified.
+    ///
+    /// The pass consults this declaration before firing a rule, so a
+    /// family-restricted rewrite cannot leak onto a substrate it was not
+    /// proven against.
     pub fn sound_for(self, family: LogicFamily) -> bool {
-        let _ = family;
-        true
+        match family {
+            LogicFamily::Nor | LogicFamily::Maj | LogicFamily::Bitline => true,
+            LogicFamily::Lut => !matches!(self, OptRule::ChainCollapse),
+            LogicFamily::WordSerial => false,
+        }
     }
 }
 

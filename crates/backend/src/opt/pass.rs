@@ -238,6 +238,25 @@ impl Values {
         }
     }
 
+    /// Exact value of a 3-input LUT query: the OR of the AND minterms for
+    /// every set table bit, mirroring [`crate::microop::lut3_word`]. The
+    /// constructor normalizations then fold degenerate tables (constants,
+    /// pass-throughs, single-input negations) for free.
+    fn mk_lut(&mut self, table: u8, a: ValRef, b: ValRef, c: ValRef) -> ValRef {
+        let mut v = FALSE;
+        for idx in 0..8u8 {
+            if table >> idx & 1 == 1 {
+                let xa = if idx & 1 != 0 { a } else { a.not() };
+                let xb = if idx & 2 != 0 { b } else { b.not() };
+                let xc = if idx & 4 != 0 { c } else { c.not() };
+                let t = self.mk_and(xa, xb);
+                let t = self.mk_and(t, xc);
+                v = self.mk_or(v, t);
+            }
+        }
+        v
+    }
+
     fn mk_merge(&mut self, old: ValRef, new: ValRef) -> ValRef {
         if old == new {
             return old;
@@ -341,6 +360,12 @@ pub(super) fn run(
             *value = !*value;
         }
     }
+    // Word-serial ops execute whole instructions against architectural
+    // registers; their dataflow is not expressible in the per-plane value
+    // lattice, so recipes containing them pass through unmodified.
+    if ops.iter().any(|op| matches!(op, MicroOp::Word { .. })) {
+        return (recipe.with_optimized_ops(ops, 0), stats);
+    }
     // The merge model assumes the mask plane is wave-constant, and writes
     // to constant planes trap at execution time; synthesized recipes never
     // do either, but `Recipe::from_ops` sequences may — pass those through.
@@ -443,6 +468,20 @@ fn forward(
             MicroOp::Set { out, value } => {
                 let v = Values::cref(value);
                 changed |= finish_single(slot, out, v, &mut vals, gate, cost, stats);
+            }
+            MicroOp::Lut { mut a, mut b, mut c, out, table } => {
+                changed |= vals.rewrite_operand(&mut a, gate, stats);
+                changed |= vals.rewrite_operand(&mut b, gate, stats);
+                changed |= vals.rewrite_operand(&mut c, gate, stats);
+                slot.op = MicroOp::Lut { a, b, c, out, table };
+                let va = vals.read(a);
+                let vb = vals.read(b);
+                let vc = vals.read(c);
+                let v = vals.mk_lut(table, va, vb, vc);
+                changed |= finish_single(slot, out, v, &mut vals, gate, cost, stats);
+            }
+            MicroOp::Word { .. } => {
+                unreachable!("word-serial recipes bypass the optimizer (run() passes them through)")
             }
             MicroOp::FullAdd { mut a, mut b, carry, sum } => {
                 // The carry operand is read *and* written — never redirect
@@ -683,6 +722,7 @@ fn coalesce(slots: &mut [Slot], gate: &RuleGate, stats: &mut OptStats) -> bool {
             | MicroOp::Xor { out, .. }
             | MicroOp::Copy { out, .. }
             | MicroOp::Set { out, .. }
+            | MicroOp::Lut { out, .. }
                 if *out == src =>
             {
                 *out = dst;

@@ -49,9 +49,19 @@ fn arch_state(vrf: &BitPlaneVrf) -> (Vec<Vec<u64>>, Vec<u64>) {
     (regs, vrf.plane_words(Plane::Cond).to_vec())
 }
 
+fn all_backends() -> [DatapathModel; 5] {
+    [
+        DatapathModel::racer(),
+        DatapathModel::mimdram(),
+        DatapathModel::duality_cache(),
+        DatapathModel::pluto(),
+        DatapathModel::dpu(),
+    ]
+}
+
 #[test]
 fn optimized_matches_template_across_backends_and_masks() {
-    for dp in [DatapathModel::racer(), DatapathModel::mimdram(), DatapathModel::duality_cache()] {
+    for dp in all_backends() {
         for instr in smoke_instrs() {
             for mask in [u64::MAX, 0x0f0f_0f0f_0f0f_0f0f, 0x8000_0000_0000_0001] {
                 let template = build_recipe(dp.recipe_ctx(), &instr).expect("compute instr");
@@ -110,7 +120,7 @@ fn disabled_optimizer_is_identity() {
 
 #[test]
 fn optimized_kinds_stay_inside_the_family() {
-    for dp in [DatapathModel::racer(), DatapathModel::mimdram(), DatapathModel::duality_cache()] {
+    for dp in all_backends() {
         for instr in smoke_instrs() {
             let recipe = dp.recipe(&instr).expect("compute instr");
             for op in recipe.ops() {
@@ -273,6 +283,44 @@ fn mask_plane_writes_bail_to_identity() {
     let (opt, stats) = optimize(&recipe, crate::LogicFamily::Nor, OptConfig::default(), &flat_cost);
     assert_eq!(opt.ops(), ops.as_slice());
     assert_eq!(stats, OptStats::default());
+}
+
+#[test]
+fn family_soundness_declarations_gate_rules() {
+    for rule in OptRule::ALL {
+        assert!(rule.sound_for(crate::LogicFamily::Nor));
+        assert!(rule.sound_for(crate::LogicFamily::Maj));
+        assert!(rule.sound_for(crate::LogicFamily::Bitline));
+        assert_eq!(
+            rule.sound_for(crate::LogicFamily::Lut),
+            rule != OptRule::ChainCollapse,
+            "{} on LUT",
+            rule.name()
+        );
+        assert!(!rule.sound_for(crate::LogicFamily::WordSerial), "{} on DPU", rule.name());
+    }
+}
+
+#[test]
+fn word_recipes_pass_through_unmodified() {
+    let dp = DatapathModel::dpu();
+    for instr in smoke_instrs() {
+        let template = build_recipe(dp.recipe_ctx(), &instr).expect("compute instr");
+        let (optimized, stats) = dp.recipe_with_stats(&instr).expect("compute instr");
+        assert_eq!(optimized.ops(), template.ops(), "{}", instr.mnemonic());
+        assert_eq!(optimized.saved_uops(), 0);
+        assert_eq!(stats, OptStats::default());
+    }
+}
+
+#[test]
+fn lut_recipes_optimize_without_chain_collapse() {
+    let dp = DatapathModel::pluto();
+    let add = binary(BinaryOp::Add);
+    let template = build_recipe(dp.recipe_ctx(), &add).expect("ADD");
+    let (optimized, stats) = dp.recipe_with_stats(&add).expect("ADD");
+    assert!(optimized.len() <= template.len());
+    assert_eq!(stats.rule(OptRule::ChainCollapse).fires, 0, "withheld rule must not fire");
 }
 
 #[test]

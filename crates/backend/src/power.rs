@@ -131,7 +131,9 @@ mod tests {
 
     #[test]
     fn density_is_monotonic_in_active_arrays() {
-        for kind in DatapathKind::EVALUATED {
+        // A physics invariant, not a Fig. 5 pin: it must hold for the
+        // pLUTo and DPU models too.
+        for kind in DatapathKind::ALL {
             let dp = DatapathModel::for_kind(kind);
             let sweep = fig5_sweep(&dp);
             for pair in sweep.windows(2) {

@@ -154,10 +154,13 @@ impl Recipe {
                     | MicroOp::And { a, b, out }
                     | MicroOp::Or { a, b, out }
                     | MicroOp::Xor { a, b, out } => vec![a, b, out],
-                    MicroOp::Tra { a, b, c, out } => vec![a, b, c, out],
+                    MicroOp::Tra { a, b, c, out } | MicroOp::Lut { a, b, c, out, .. } => {
+                        vec![a, b, c, out]
+                    }
                     MicroOp::Not { a, out } | MicroOp::Copy { a, out } => vec![a, out],
                     MicroOp::FullAdd { a, b, carry, sum } => vec![a, b, carry, sum],
                     MicroOp::Set { out, .. } => vec![out],
+                    MicroOp::Word { .. } => vec![],
                 };
                 planes.into_iter().filter_map(scratch).collect::<Vec<_>>()
             })
@@ -180,6 +183,9 @@ fn rp(reg: u16, bit: usize) -> Plane {
 /// Panics if a multi-step instruction aliases `rd` with a source register
 /// (see module docs), or if a register index exceeds 63.
 pub fn build_recipe(ctx: RecipeCtx, instr: &Instruction) -> Option<Recipe> {
+    if ctx.family == LogicFamily::WordSerial {
+        return build_word_recipe(instr);
+    }
     let mut g = GateBuilder::new(ctx.family);
     match *instr {
         Instruction::Binary { op, rs, rt, rd } => build_binary(&mut g, ctx, op, rs.0, rt.0, rd.0),
@@ -192,6 +198,35 @@ pub fn build_recipe(ctx: RecipeCtx, instr: &Instruction) -> Option<Recipe> {
     }
     let scratch_high_water = g.scratch_high_water();
     Some(Recipe { ops: g.finish(), scratch_high_water, saved_uops: 0 })
+}
+
+/// Word-serial synthesis fallback (UPMEM-style DPUs): the substrate has no
+/// inter-lane bit-plane primitives, so every compute instruction lowers to
+/// a single [`MicroOp::Word`] evaluated lane-by-lane by the near-bank
+/// core. The ISA aliasing contract is enforced identically to the
+/// bit-serial builders so the same programs are legal on every backend.
+fn build_word_recipe(instr: &Instruction) -> Option<Recipe> {
+    match *instr {
+        Instruction::Binary { op, rs, rt, rd } => match op {
+            BinaryOp::Mul => assert_no_alias("MUL", rd.0, &[rs.0, rt.0]),
+            BinaryOp::Mac => assert_no_alias("MAC", rd.0, &[rs.0, rt.0]),
+            BinaryOp::QDiv | BinaryOp::QRDiv | BinaryOp::RDiv => {
+                assert_no_alias(op.mnemonic(), rd.0, &[rs.0, rt.0]);
+            }
+            _ => {}
+        },
+        Instruction::Unary { .. }
+        | Instruction::Compare { .. }
+        | Instruction::Fuzzy { .. }
+        | Instruction::Cas { .. }
+        | Instruction::Init { .. } => {}
+        _ => return None,
+    }
+    Some(Recipe {
+        ops: vec![MicroOp::Word { instr: *instr }],
+        scratch_high_water: 0,
+        saved_uops: 0,
+    })
 }
 
 fn build_binary(g: &mut GateBuilder, ctx: RecipeCtx, op: BinaryOp, rs: u16, rt: u16, rd: u16) {
@@ -626,7 +661,13 @@ mod tests {
     use crate::bitplane::BitPlaneVrf;
     use mpu_isa::RegId;
 
-    const FAMILIES: [LogicFamily; 3] = [LogicFamily::Nor, LogicFamily::Maj, LogicFamily::Bitline];
+    const FAMILIES: [LogicFamily; 5] = [
+        LogicFamily::Nor,
+        LogicFamily::Maj,
+        LogicFamily::Bitline,
+        LogicFamily::Lut,
+        LogicFamily::WordSerial,
+    ];
 
     fn ctx(family: LogicFamily) -> RecipeCtx {
         RecipeCtx { family, temp_regs: (14, 15), opt: Default::default() }
@@ -993,6 +1034,27 @@ mod tests {
         build_recipe(
             ctx(LogicFamily::Nor),
             &Instruction::Binary { op: BinaryOp::QDiv, rs: RegId(14), rt: RegId(1), rd: RegId(2) },
+        );
+    }
+
+    #[test]
+    fn word_recipes_are_single_ops_with_no_scratch() {
+        let c = ctx(LogicFamily::WordSerial);
+        for op in BinaryOp::ALL {
+            let instr = Instruction::Binary { op, rs: RegId(0), rt: RegId(1), rd: RegId(2) };
+            let recipe = build_recipe(c, &instr).unwrap();
+            assert_eq!(recipe.len(), 1, "{op:?}");
+            assert_eq!(recipe.scratch_high_water(), 0);
+        }
+        assert!(build_recipe(c, &Instruction::Nop).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not alias")]
+    fn word_mul_aliasing_rejected() {
+        build_recipe(
+            ctx(LogicFamily::WordSerial),
+            &Instruction::Binary { op: BinaryOp::Mul, rs: RegId(2), rt: RegId(1), rd: RegId(2) },
         );
     }
 

@@ -249,6 +249,10 @@ pub fn fuse_ensemble_with(
     // tracking and the cached popcount, so it forfeits the fast loop.
     let mask_base = (regs * DATA_BITS as usize + SCRATCH_PLANES + 1) * lanes.div_ceil(64);
     let mut writes_mask = false;
+    // Word-serial ops transpose whole lane values through the VRF and
+    // consult the mask plane dynamically; they are correct on the general
+    // word-loop core but excluded from the bookkeeping-free fast loop.
+    let mut has_word = false;
     for instr in body {
         match instr {
             Instruction::Binary { .. }
@@ -269,6 +273,9 @@ pub fn fuse_ensemble_with(
                     if op_writes(op, mask_base as u32) {
                         writes_mask = true;
                         mask_full = false;
+                    }
+                    if matches!(op, CompiledOp::Word { .. }) {
+                        has_word = true;
                     }
                     ops.push(if mask_full { drop_mask_merge(op) } else { op });
                 }
@@ -305,7 +312,7 @@ pub fn fuse_ensemble_with(
             _ => return None,
         }
     }
-    let fast = lanes % 64 == 0 && !writes_mask;
+    let fast = lanes % 64 == 0 && !writes_mask && !has_word;
     Some(EnsembleTrace { steps, ops, coeffs, lanes, regs, fast })
 }
 
@@ -319,6 +326,10 @@ fn op_writes(op: CompiledOp, base: u32) -> bool {
         CompiledOp::FullAdd { carry, sum, latch, .. } => {
             carry == base || sum == base || latch == base
         }
+        CompiledOp::Lut { out, .. } => out == base,
+        // Word ops write register (and condition) planes only, never the
+        // mask plane.
+        CompiledOp::Word { .. } => false,
     }
 }
 
@@ -335,6 +346,12 @@ fn drop_mask_merge(op: CompiledOp) -> CompiledOp {
         }
         CompiledOp::Copy { a, out, .. } => CompiledOp::Copy { a, out, masked: false },
         CompiledOp::Fill { out, value, .. } => CompiledOp::Fill { out, masked: false, value },
+        CompiledOp::Lut { a, b, c, out, table, .. } => {
+            CompiledOp::Lut { a, b, c, out, table, masked: false }
+        }
+        // Word ops consult the mask plane dynamically; with a full mask the
+        // merge is already the identity, so there is nothing to drop.
+        op @ CompiledOp::Word { .. } => op,
     }
 }
 
@@ -373,7 +390,7 @@ mod tests {
 
     #[test]
     fn fused_compute_steps_match_interpreted_recipes() {
-        for kind in [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache] {
+        for kind in DatapathKind::ALL {
             let dp = DatapathModel::for_kind(kind);
             let g = dp.geometry();
             let trace = fuse_ensemble(&dp, &body()).expect("straight-line body fuses");
@@ -444,6 +461,14 @@ mod tests {
                 "partial-mask energy is bit-identical to the cost model"
             );
         }
+    }
+
+    #[test]
+    fn word_traces_forfeit_the_fast_loop() {
+        let trace = fuse_ensemble(&DatapathModel::dpu(), &[add(2)]).unwrap();
+        assert!(!trace.fast(), "word-serial ops must take the general word loop");
+        let trace = fuse_ensemble(&DatapathModel::pluto(), &[add(2)]).unwrap();
+        assert!(trace.fast(), "pLUTo bit-plane traces keep the fast loop");
     }
 
     #[test]

@@ -126,6 +126,24 @@ impl RefVrf {
                 let word = if value { !0u64 } else { 0 };
                 self.commit(out, vec![word; self.words]);
             }
+            // Independent LUT reference: walk the set table bits and OR the
+            // AND minterms (not shared with the engine's `lut3_word`).
+            MicroOp::Lut { a, b, c, out, table } => {
+                self.apply3(a, b, c, out, |x, y, z| {
+                    let mut r = 0u64;
+                    for idx in 0..8u8 {
+                        if table >> idx & 1 == 1 {
+                            r |= (if idx & 1 != 0 { x } else { !x })
+                                & (if idx & 2 != 0 { y } else { !y })
+                                & (if idx & 4 != 0 { z } else { !z });
+                        }
+                    }
+                    r
+                });
+            }
+            MicroOp::Word { .. } => {
+                unimplemented!("word ops are covered by recipe-level differential tests")
+            }
         }
     }
 
@@ -197,7 +215,7 @@ fn assert_engines_agree(fast: &BitPlaneVrf, reference: &RefVrf, ctx: &str) {
 type OpSpec = (u8, usize, usize, usize, usize, bool);
 
 fn arb_op() -> impl Strategy<Value = OpSpec> {
-    (0u8..9, 0usize..1024, 0usize..1024, 0usize..1024, 0usize..1024, prop::bool::ANY)
+    (0u8..10, 0usize..1024, 0usize..1024, 0usize..1024, 0usize..1024, prop::bool::ANY)
 }
 
 /// Decodes an [`OpSpec`] against the input/output plane pools. Inputs may
@@ -213,7 +231,7 @@ fn build_op(spec: OpSpec, regs: usize) -> MicroOp {
     let cp = inputs[c % inputs.len()];
     let out = outs[c % outs.len()];
     let out2 = outs[o2 % outs.len()];
-    match kind % 9 {
+    match kind % 10 {
         0 => MicroOp::Nor { a, b, out: out2 },
         1 => MicroOp::Tra { a, b, c: cp, out: out2 },
         2 => MicroOp::Not { a, out: out2 },
@@ -222,7 +240,8 @@ fn build_op(spec: OpSpec, regs: usize) -> MicroOp {
         5 => MicroOp::Xor { a, b, out: out2 },
         6 => MicroOp::FullAdd { a, b, carry: out, sum: out2 },
         7 => MicroOp::Copy { a, out: out2 },
-        _ => MicroOp::Set { out: out2, value },
+        8 => MicroOp::Set { out: out2, value },
+        _ => MicroOp::Lut { a, b, c: cp, out: out2, table: (spec.1 ^ spec.2 ^ spec.3) as u8 },
     }
 }
 
@@ -336,6 +355,8 @@ proptest! {
             MicroOp::Tra { a, b: a, c: a, out: a },
             MicroOp::FullAdd { a, b, carry: a, sum: b },
             MicroOp::Copy { a, out: a },
+            MicroOp::Lut { a, b, c: a, out: a, table: 0x96 },
+            MicroOp::Lut { a, b: r, c: b, out: r, table: 0xe8 },
         ];
         for op in cases {
             op.apply(&mut fast);
@@ -356,6 +377,7 @@ proptest! {
             LogicFamily::Nor,
             LogicFamily::Maj,
             LogicFamily::Bitline,
+            LogicFamily::Lut,
         ]),
         seed in any::<u64>(),
         mask in prop::collection::vec(any::<u64>(), 8),

@@ -11,7 +11,7 @@ use std::hint::black_box;
 
 fn bench_recipe_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("recipe_synthesis");
-    for kind in DatapathKind::EVALUATED {
+    for kind in DatapathKind::ALL {
         let dp = DatapathModel::for_kind(kind);
         for (label, op) in
             [("add", BinaryOp::Add), ("mul", BinaryOp::Mul), ("qdiv", BinaryOp::QDiv)]

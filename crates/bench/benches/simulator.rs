@@ -30,7 +30,7 @@ fn bench_microops(c: &mut Criterion) {
 fn bench_recipe_execution(c: &mut Criterion) {
     let mut group = c.benchmark_group("recipe_exec");
     group.sample_size(20);
-    for kind in DatapathKind::EVALUATED {
+    for kind in DatapathKind::ALL {
         let dp = DatapathModel::for_kind(kind);
         let add = dp
             .recipe(&mpu_isa::Instruction::Binary {

@@ -20,7 +20,8 @@ use pum_backend::DatapathKind;
 /// A small problem size that keeps individual bench iterations fast.
 pub const BENCH_N: u64 = 1 << 12;
 
-/// The three evaluated MPU configurations.
+/// Every shipped MPU configuration (the three paper substrates plus the
+/// pLUTo and DPU models).
 pub fn mpu_configs() -> Vec<SimConfig> {
-    DatapathKind::EVALUATED.iter().map(|&k| SimConfig::mpu(k)).collect()
+    DatapathKind::ALL.iter().map(|&k| SimConfig::mpu(k)).collect()
 }

@@ -99,18 +99,22 @@ pub const GATE_N: u64 = 1 << 12;
 /// Input-data seed pinned by the gate.
 pub const GATE_SEED: u64 = 42;
 
-/// Runs the full kernel sweep and extracts one record per kernel,
-/// deterministically ordered by kernel name.
+/// Runs the full kernel sweep on every shipped substrate and extracts one
+/// record per kernel × backend, deterministically ordered by kernel name
+/// then config label.
 pub fn collect_records() -> Vec<KernelRecord> {
     let kernels = all_kernels();
-    let config = mastodon::SimConfig::mpu(pum_backend::DatapathKind::Racer);
+    let configs: Vec<mastodon::SimConfig> =
+        pum_backend::DatapathKind::ALL.iter().map(|&k| mastodon::SimConfig::mpu(k)).collect();
     let tasks: Vec<SweepTask<'_>> = kernels
         .iter()
-        .map(|k| SweepTask {
-            kernel: k.as_ref(),
-            config: config.clone(),
-            n: GATE_N,
-            seed: GATE_SEED,
+        .flat_map(|k| {
+            configs.iter().map(|config| SweepTask {
+                kernel: k.as_ref(),
+                config: config.clone(),
+                n: GATE_N,
+                seed: GATE_SEED,
+            })
         })
         .collect();
     let mut records: Vec<KernelRecord> = run_sweep_parallel(tasks, None)

@@ -15,7 +15,7 @@ use bench::perf::{
 #[test]
 fn kernel_counters_match_blessed_baseline() {
     let current = collect_records();
-    assert_eq!(current.len(), 21, "the paper's 21-kernel suite must all run");
+    assert_eq!(current.len(), 21 * 5, "the 21-kernel suite must run on all five substrates");
     let path = baseline_path();
 
     if std::env::var("MPU_BLESS").as_deref() == Ok("1") {

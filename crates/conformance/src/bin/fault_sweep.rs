@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fault_sweep [--seed N] [--rate R] [--policy inject|dmr|tmr|all]
-//!             [--trials N] [--backend racer|mimdram|dc|all]
+//!             [--trials N] [--backend racer|mimdram|dc|pluto|dpu|all]
 //!             [--out FILE] [--assert]
 //! ```
 //!
@@ -79,11 +79,11 @@ fn main() {
                     "racer" => vec![DatapathKind::Racer],
                     "mimdram" => vec![DatapathKind::Mimdram],
                     "dc" | "dualitycache" => vec![DatapathKind::DualityCache],
-                    "all" => {
-                        vec![DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache]
-                    }
+                    "pluto" => vec![DatapathKind::Pluto],
+                    "dpu" => vec![DatapathKind::Dpu],
+                    "all" => DatapathKind::ALL.to_vec(),
                     other => {
-                        eprintln!("unknown backend `{other}` (racer|mimdram|dc|all)");
+                        eprintln!("unknown backend `{other}` (racer|mimdram|dc|pluto|dpu|all)");
                         std::process::exit(2);
                     }
                 }
@@ -94,7 +94,7 @@ fn main() {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: fault_sweep [--seed N] [--rate R] [--policy inject|dmr|tmr|all] \
-                     [--trials N] [--backend racer|mimdram|dc|all] [--out FILE] [--assert]"
+                     [--trials N] [--backend racer|mimdram|dc|pluto|dpu|all] [--out FILE] [--assert]"
                 );
                 std::process::exit(2);
             }

@@ -1,7 +1,8 @@
 //! The differential runner: one case, executed by the word-level reference
-//! model and by the cycle-accurate simulator on every backend over all
-//! three execution tiers (compiled, interpreted, fused ensemble trace),
-//! compared lane-exactly plus over the architectural counters the
+//! model and by the cycle-accurate simulator on every shipped backend
+//! (bit-serial NOR/MAJ/bitline, pLUTo LUT queries, word-serial DPU) over
+//! all three execution tiers (compiled, interpreted, fused ensemble
+//! trace), compared lane-exactly plus over the architectural counters the
 //! reference model defines — and cross-tier over the full statistics.
 
 use crate::case::Case;
@@ -12,9 +13,10 @@ use pum_backend::{DatapathKind, DatapathModel};
 use refmodel::{RefGeometry, RefSystem, RefTrace};
 use std::sync::Arc;
 
-/// The three Table III backends every case is checked on.
-pub const BACKENDS: [DatapathKind; 3] =
-    [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache];
+/// Every shipped backend the differential matrix covers: the three
+/// Table III substrates plus the pLUTo LUT-in-DRAM and UPMEM-style DPU
+/// models.
+pub const BACKENDS: [DatapathKind; 5] = DatapathKind::ALL;
 
 /// Registers compared (the division scratch registers `r14`/`r15` hold
 /// implementation-defined values and are excluded; the mask-save registers

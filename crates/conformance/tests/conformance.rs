@@ -146,6 +146,117 @@ fn injected_carry_bug_is_caught_and_shrunk() {
     assert_eq!(check_case_on(DatapathKind::Mimdram, &small, None), None);
 }
 
+/// Corrupts one LUT table entry of a pLUTo recipe — the in-memory analog
+/// of a mis-programmed LUT row. The table is programmed into the DRAM
+/// subarray once and queried at every bit position, so a single flipped
+/// entry corrupts every query that uses that table, not just one op.
+fn corrupt_lut_entry(recipe: &Recipe) -> Recipe {
+    let mut ops = recipe.ops().to_vec();
+    let target = ops.iter().find_map(|op| match op {
+        MicroOp::Lut { table, .. } => Some(*table),
+        _ => None,
+    });
+    if let Some(t) = target {
+        for op in ops.iter_mut() {
+            if let MicroOp::Lut { table, .. } = op {
+                if *table == t {
+                    // Minterm 0 (a=b=c=0): the generator builds small
+                    // structured operand values, so this is the one entry
+                    // virtually every ADD queries at some bit position.
+                    *table ^= 1;
+                }
+            }
+        }
+    }
+    Recipe::from_ops(ops)
+}
+
+/// Rewrites a DPU ADD word recipe into a SUB — the word-serial analog of a
+/// corrupted entry in the DPU's dispatch/cost table sending the operands
+/// down the wrong ALU sequence.
+fn corrupt_word_dispatch(recipe: &Recipe) -> Recipe {
+    let ops = recipe
+        .ops()
+        .iter()
+        .map(|op| match *op {
+            MicroOp::Word { instr: Instruction::Binary { op: BinaryOp::Add, rs, rt, rd } } => {
+                MicroOp::Word { instr: Instruction::Binary { op: BinaryOp::Sub, rs, rt, rd } }
+            }
+            other => other,
+        })
+        .collect();
+    Recipe::from_ops(ops)
+}
+
+/// Shared canary driver: preloads corrupted ADD recipes for `kind` into a
+/// pool, proves the differential suite catches a generated case, and
+/// shrinks it to a ≤ 10-instruction reproducer that passes cleanly without
+/// the corrupted pool.
+fn assert_canary_caught_and_shrunk(kind: DatapathKind, corrupt: impl Fn(&Recipe) -> Recipe) {
+    let model = DatapathModel::for_kind(kind);
+    let ctx = model.recipe_ctx();
+    let pool = Arc::new(RecipePool::new());
+    for rs in 0..14u16 {
+        for rt in 0..14u16 {
+            for rd in 0..10u16 {
+                let instr = Instruction::Binary {
+                    op: BinaryOp::Add,
+                    rs: RegId(rs),
+                    rt: RegId(rt),
+                    rd: RegId(rd),
+                };
+                let recipe = build_recipe(ctx, &instr).expect("ADD recipe");
+                pool.preload(ctx, &instr, corrupt(&recipe));
+            }
+        }
+    }
+
+    let predicate = |case: &Case| check_case_on(kind, case, Some(&pool));
+
+    // Scan seeds until one both trips the canary and shrinks to a minimal
+    // reproducer. Some catches sit inside loop bodies the shrinker cannot
+    // break apart (the loop itself is load-bearing), so a single catch is
+    // not enough — the canary contract needs one ≤10-instruction witness.
+    let mut tripped = 0u32;
+    let mut best: Option<(u64, usize, Case, String)> = None;
+    for seed in 0..200u64 {
+        let case = generate(seed);
+        if !case_has_add(&case) || predicate(&case).is_none() {
+            continue;
+        }
+        tripped += 1;
+        let (small, mismatch) = shrink(&case, predicate);
+        let len = small.lowered_len().expect("shrunk case must lower");
+        if best.as_ref().is_none_or(|(_, blen, _, _)| len < *blen) {
+            best = Some((seed, len, small, mismatch));
+        }
+        if best.as_ref().is_some_and(|(_, blen, _, _)| *blen <= 10) {
+            break;
+        }
+    }
+    assert!(tripped > 0, "no generated case tripped the {kind:?} canary in 200 seeds");
+    let (seed, len, small, mismatch) = best.expect("a tripped canary always yields a shrink");
+    assert!(
+        len <= 10,
+        "seed {seed}: best of {tripped} reproducers not small enough ({len} instructions):\n{}",
+        reproducer_text(&small, &mismatch)
+    );
+    assert!(case_has_add(&small), "shrunk reproducer lost the ADD:\n{}", small.to_text());
+    // The clean pool-less run must still pass: the defect is in the
+    // injected recipe, not the stack.
+    assert_eq!(check_case_on(kind, &small, None), None);
+}
+
+#[test]
+fn injected_lut_table_bug_is_caught_and_shrunk() {
+    assert_canary_caught_and_shrunk(DatapathKind::Pluto, corrupt_lut_entry);
+}
+
+#[test]
+fn injected_dpu_dispatch_bug_is_caught_and_shrunk() {
+    assert_canary_caught_and_shrunk(DatapathKind::Dpu, corrupt_word_dispatch);
+}
+
 #[test]
 fn optimizer_on_suite_stays_conformant() {
     // The recipe optimizer is on by default, so `check_case_on` already
@@ -157,7 +268,7 @@ fn optimizer_on_suite_stays_conformant() {
         std::env::var("CONFORMANCE_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
     for seed in 3000..3000 + cases {
         let case = generate(seed);
-        for kind in [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache] {
+        for kind in BACKENDS {
             let dp = DatapathModel::for_kind(kind);
             assert!(
                 dp.opt_config().enabled,

@@ -23,7 +23,7 @@ fn three_tier_differential_suite() {
         std::env::var("JIT_CONFORMANCE_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(40);
     // A seed range disjoint from tests/conformance.rs so the two sweeps
     // compound rather than repeat (check_case covers compiled,
-    // interpreted, and trace tiers on all three backends).
+    // interpreted, and trace tiers on every shipped backend).
     for seed in 50_000..50_000 + cases {
         let case = generate(seed);
         if let Some(mismatch) = check_case(&case) {
@@ -97,7 +97,7 @@ fn every_backend_agrees_across_tiers_on_a_predicated_body() {
          UNMASK\n\
          INC r3 r4\n\
          COMPUTE_DONE");
-    for kind in [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache] {
+    for kind in DatapathKind::ALL {
         let lanes = SimConfig::mpu(kind).datapath.geometry().lanes_per_vrf;
         let inputs: [((u16, u16, u8), Vec<u64>); 2] =
             [((0, 0, 0), (0..lanes as u64).collect()), ((0, 0, 1), vec![7; lanes])];

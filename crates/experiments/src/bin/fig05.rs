@@ -10,13 +10,17 @@ use pum_backend::{DatapathKind, DatapathModel};
 use workloads::{effective_jobs, parallel_map};
 
 fn main() {
+    // The paper's three substrates and its FloatPIM comparison curve,
+    // plus the pLUTo and DPU models the repo ships beyond the paper.
     let mut models = vec![
         DatapathModel::racer(),
         DatapathModel::mimdram(),
         DatapathModel::duality_cache(),
         floatpim_like(),
+        DatapathModel::pluto(),
+        DatapathModel::dpu(),
     ];
-    let _ = DatapathKind::EVALUATED;
+    let _ = DatapathKind::ALL;
 
     // One sweep per datapath model, fanned across worker threads.
     let sweeps = parallel_map(models.clone(), effective_jobs(parse_jobs()), |m| fig5_sweep(&m));
@@ -36,7 +40,7 @@ fn main() {
     }
     print_table(
         "Fig. 5 — power density (W/cm2) vs active arrays per RFH footprint",
-        &["active", "RACER", "MIMDRAM", "DualityCache", "FloatPIM"],
+        &["active", "RACER", "MIMDRAM", "DualityCache", "FloatPIM", "pLUTo", "DPU"],
         &rows,
     );
     println!("\nair-cooling limit: {AIR_COOLING_LIMIT_W_PER_CM2} W/cm2");

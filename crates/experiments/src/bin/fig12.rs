@@ -1,5 +1,8 @@
 //! Figure 12: speedup (top) and energy savings (bottom) of MPU:X over
-//! Baseline:X for all 21 kernels, X ∈ {RACER, MIMDRAM, DualityCache}.
+//! Baseline:X for all 21 kernels. The paper evaluates X ∈ {RACER,
+//! MIMDRAM, DualityCache}; the table adds the repo's pLUTo and DPU
+//! substrates as extra columns (the paper reference line covers only the
+//! first three).
 
 use experiments::{
     fmt_ratio, geomean, kernel_matrix_jobs, parse_jobs, print_table, KERNEL_N, SEED,
@@ -9,7 +12,7 @@ use workloads::KernelGroup;
 
 fn main() {
     let jobs = parse_jobs();
-    let kinds = DatapathKind::EVALUATED;
+    let kinds = DatapathKind::ALL;
     let matrices: Vec<_> =
         kinds.iter().map(|&k| kernel_matrix_jobs(k, KERNEL_N, SEED, jobs)).collect();
 
@@ -56,7 +59,7 @@ fn main() {
 
         print_table(
             &format!("Fig. 12 — MPU:X {metric} over Baseline:X (n = {KERNEL_N})"),
-            &["kernel", "RACER", "MIMDRAM", "DualityCache"],
+            &["kernel", "RACER", "MIMDRAM", "DualityCache", "pLUTo", "DPU"],
             &rows,
         );
     }

@@ -497,9 +497,15 @@ pub fn render_opt_attribution(rows: &[OptAttributionRow], n: u64, seed: u64) -> 
     out
 }
 
-/// Substrate order for attribution tables and sweeps.
-pub const BACKEND_ORDER: &[DatapathKind] =
-    &[DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache];
+/// Substrate order for attribution tables and sweeps: the three paper
+/// substrates first, then the pLUTo and DPU models.
+pub const BACKEND_ORDER: &[DatapathKind] = &[
+    DatapathKind::Racer,
+    DatapathKind::Mimdram,
+    DatapathKind::DualityCache,
+    DatapathKind::Pluto,
+    DatapathKind::Dpu,
+];
 
 /// Parses a backend name for the profiling CLI.
 ///
@@ -511,9 +517,11 @@ pub fn parse_backend(name: &str) -> Result<DatapathKind, String> {
         "racer" => Ok(DatapathKind::Racer),
         "mimdram" => Ok(DatapathKind::Mimdram),
         "dualitycache" | "duality-cache" | "dc" => Ok(DatapathKind::DualityCache),
-        other => {
-            Err(format!("unknown backend {other:?}; expected racer, mimdram, or dualitycache"))
-        }
+        "pluto" => Ok(DatapathKind::Pluto),
+        "dpu" | "upmem" => Ok(DatapathKind::Dpu),
+        other => Err(format!(
+            "unknown backend {other:?}; expected racer, mimdram, dualitycache, pluto, or dpu"
+        )),
     }
 }
 

@@ -8,10 +8,12 @@ use microjson::Value;
 use pum_backend::DatapathKind;
 use std::path::PathBuf;
 
-const PINNED: [(&str, DatapathKind, &str); 3] = [
+const PINNED: [(&str, DatapathKind, &str); 5] = [
     ("vecadd", DatapathKind::Racer, "profile_vecadd_racer.txt"),
     ("saxpy", DatapathKind::Mimdram, "profile_saxpy_mimdram.txt"),
     ("xorcipher", DatapathKind::DualityCache, "profile_xorcipher_dualitycache.txt"),
+    ("vecadd", DatapathKind::Pluto, "profile_vecadd_pluto.txt"),
+    ("saxpy", DatapathKind::Dpu, "profile_saxpy_dpu.txt"),
 ];
 
 fn golden_path(file: &str) -> PathBuf {

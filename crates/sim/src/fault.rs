@@ -137,6 +137,28 @@ pub fn kind_weight(family: LogicFamily, kind: MicroOpKind) -> f64 {
             Set => 0.05,
             _ => 0.0,
         },
+        // pLUTo: the LUT row activation and column read-out is the analog
+        // step; buffer moves and presets are near-digital.
+        LogicFamily::Lut => match kind {
+            Lut => 1.0,
+            Copy => 0.1,
+            Set => 0.05,
+            _ => 0.0,
+        },
+        // DPU: one word micro-op stands in for an entire vector
+        // instruction — the pipeline walks all 64 lanes serially, so the
+        // per-op exposure integrates over the whole loop rather than a
+        // single row activation. The base rate is calibrated per row-op,
+        // hence the weight scales with lane count (64 for the DPU
+        // geometry) and, for the multi-cycle multiply/divide sequencers,
+        // with their relative occupancy (8x / ~13x an ALU op) discounted
+        // by the 0.7 latch-density factor of the shared sequencer.
+        LogicFamily::WordSerial => match kind {
+            WordAlu => 64.0,
+            WordMul => 358.0,
+            WordDiv => 597.0,
+            _ => 0.0,
+        },
     }
 }
 

@@ -71,12 +71,13 @@ fn arb_program() -> impl Strategy<Value = Program> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// The same binary + data produce identical register files on RACER,
-    /// MIMDRAM, and Duality Cache (over the 64 lanes they all share).
+    /// The same binary + data produce identical register files on every
+    /// shipped backend — RACER, MIMDRAM, Duality Cache, pLUTo, and the
+    /// DPU model (over the 64 lanes they all share).
     #[test]
     fn backends_agree(program in arb_program(), seed in any::<u64>()) {
         let mut results: Vec<Vec<Vec<u64>>> = Vec::new();
-        for kind in [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache] {
+        for kind in DatapathKind::ALL {
             let cfg = SimConfig::mpu(kind);
             let lanes = cfg.datapath.geometry().lanes_per_vrf;
             // Deterministic pseudo-random data, identical in shared lanes.
@@ -97,8 +98,9 @@ proptest! {
                 .collect();
             results.push(regs);
         }
-        prop_assert_eq!(&results[0], &results[1]);
-        prop_assert_eq!(&results[1], &results[2]);
+        for (kind, regs) in DatapathKind::ALL.iter().zip(&results).skip(1) {
+            prop_assert_eq!(&results[0], regs, "{:?} diverged from {:?}", kind, DatapathKind::ALL[0]);
+        }
     }
 
     /// Baseline mode is slower but never changes results.

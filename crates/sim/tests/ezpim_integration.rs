@@ -1,6 +1,6 @@
 //! End-to-end tests: ezpim's structured control flow, lowered to MPU ISA,
-//! executes correctly on the simulated control path across all three
-//! backends — the paper's core "end-to-end execution without a CPU" claim.
+//! executes correctly on the simulated control path across every shipped
+//! backend — the paper's core "end-to-end execution without a CPU" claim.
 
 use ezpim::{Cond, EzProgram};
 use mastodon::{run_single, SimConfig};
@@ -11,8 +11,7 @@ fn r(i: u16) -> RegId {
     RegId(i)
 }
 
-const BACKENDS: [DatapathKind; 3] =
-    [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache];
+const BACKENDS: [DatapathKind; 5] = DatapathKind::ALL;
 
 fn lanes_for(kind: DatapathKind) -> usize {
     SimConfig::mpu(kind).datapath.geometry().lanes_per_vrf

@@ -1,7 +1,9 @@
-//! Portability: the same MPU binary — bit for bit — executes on all three
-//! PUM datapaths (ReRAM RACER, DRAM MIMDRAM, SRAM Duality Cache), because
-//! the MPU ISA is microarchitecture-agnostic and each backend's I2M
-//! decoder expands instructions into its own micro-op recipes.
+//! Portability: the same MPU binary — bit for bit — executes on every
+//! shipped PUM datapath (ReRAM RACER, DRAM MIMDRAM, SRAM Duality Cache,
+//! pLUTo LUT-in-DRAM, and the UPMEM-style DPU), because the MPU ISA is
+//! microarchitecture-agnostic and each backend's I2M decoder expands
+//! instructions into its own micro-op recipes — bit-serial gates, LUT
+//! queries, or word-serial near-bank ops.
 //!
 //! ```sh
 //! cargo run --example portability
@@ -25,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let words = program.encode();
     println!("binary: {} instructions, {} bytes\n", program.len(), words.len() * 4);
 
-    for kind in [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache] {
+    for kind in DatapathKind::ALL {
         let config = SimConfig::mpu(kind);
         let lanes = config.datapath.geometry().lanes_per_vrf;
         let a: Vec<u64> = (0..lanes as u64).collect();
@@ -49,6 +51,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.energy.total_pj() / 1000.0
         );
     }
-    println!("\nidentical results from three different memory technologies.");
+    println!("\nidentical results from five different memory technologies.");
     Ok(())
 }

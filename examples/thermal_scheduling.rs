@@ -30,7 +30,7 @@ fn busy_program(members: &[(u16, u16)]) -> Program {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("-- wave scheduling under the thermal cap --");
-    for kind in [DatapathKind::Racer, DatapathKind::Mimdram] {
+    for kind in DatapathKind::ALL {
         let cfg = SimConfig::mpu(kind);
         let limit = cfg.datapath.geometry().active_vrfs_per_rfh;
         for vrfs in [1usize, 4, 8] {
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n-- autotuning the ensemble shape (paper §VI-C) --");
-    for kind in [DatapathKind::Racer, DatapathKind::Mimdram, DatapathKind::DualityCache] {
+    for kind in DatapathKind::ALL {
         let cfg = SimConfig::mpu(kind);
         let results = autotune(&cfg, |members| (busy_program(members), Vec::new()))?;
         let best = &results[0];
