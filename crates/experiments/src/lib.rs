@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 use mastodon::{RecipePool, SimConfig};
 use platforms::{PlatformModel, PlatformRun};
 use pum_backend::{DatapathKind, OptConfig, OptRule, OptStats};

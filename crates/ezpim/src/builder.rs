@@ -114,6 +114,7 @@ pub struct EzProgram {
     subroutines: Vec<(String, Vec<Item>)>,
     mask_pool: Vec<RegId>,
     statements: usize,
+    dynamic_loops: usize,
 }
 
 impl Default for EzProgram {
@@ -133,13 +134,29 @@ impl EzProgram {
     /// `if`/`while` nesting level consumes two registers from the pool for
     /// the duration of the construct.
     pub fn with_mask_pool(mask_pool: Vec<RegId>) -> Self {
-        Self { main: Vec::new(), subroutines: Vec::new(), mask_pool, statements: 0 }
+        Self {
+            main: Vec::new(),
+            subroutines: Vec::new(),
+            mask_pool,
+            statements: 0,
+            dynamic_loops: 0,
+        }
     }
 
     /// Number of high-level statements written so far (the "ezpim lines of
     /// code" metric of Table IV).
     pub fn statements(&self) -> usize {
         self.statements
+    }
+
+    /// Number of hardware dynamic loops (`while`/`for`) written so far.
+    /// Their trip counts are data-dependent — statically unbounded — so a
+    /// host admitting foreign programs uses this count for loop-bound
+    /// ceilings (reject, or arm
+    /// `mastodon::RecoveryPolicy::watchdog_instructions` at run time).
+    /// Statically unrolled [`Body::repeat`] bodies are not counted.
+    pub fn dynamic_loops(&self) -> usize {
+        self.dynamic_loops
     }
 
     /// Opens a compute ensemble over `(rfh, vrf)` members and builds its
@@ -163,6 +180,7 @@ impl EzProgram {
             items: &mut self.main,
             pool: &mut pool,
             statements: &mut self.statements,
+            dynamic_loops: &mut self.dynamic_loops,
             error: None,
         };
         f(&mut body);
@@ -237,6 +255,7 @@ impl EzProgram {
             items: &mut items,
             pool: &mut pool,
             statements: &mut self.statements,
+            dynamic_loops: &mut self.dynamic_loops,
             error: None,
         };
         f(&mut body);
@@ -309,6 +328,7 @@ pub struct Body<'a> {
     items: &'a mut Vec<Item>,
     pool: &'a mut Vec<RegId>,
     statements: &'a mut usize,
+    dynamic_loops: &'a mut usize,
     error: Option<EzError>,
 }
 
@@ -528,6 +548,7 @@ impl Body<'_> {
     /// (Fig. 7a).
     pub fn while_loop(&mut self, cond: Cond, body: impl FnOnce(&mut Body<'_>)) -> &mut Self {
         *self.statements += 1;
+        *self.dynamic_loops += 1;
         let Some((ro, rm)) = self.alloc_mask_regs() else { return self };
         self.items.push(Item::Instr(Instruction::GetMask { rd: ro }));
         let head = self.items.len();
@@ -791,6 +812,33 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, EzError::RegisterAliasing { mnemonic: "MUL" }));
+    }
+
+    #[test]
+    fn dynamic_loop_count_sees_through_sugar() {
+        let mut ez = EzProgram::new();
+        ez.ensemble(&[(0, 0)], |b| {
+            b.while_loop(Cond::Gt(r(0), r(1)), |b| {
+                b.sub(r(0), r(2), r(0));
+            });
+            b.for_loop(r(3), r(4), |b| {
+                b.add(r(5), r(2), r(5));
+            });
+            // Static unrolling is bounded by construction: not counted.
+            b.repeat(4, |b| {
+                b.add(r(6), r(2), r(6));
+            });
+        })
+        .unwrap();
+        assert_eq!(ez.dynamic_loops(), 2, "one while + one for (not the repeat)");
+
+        let mut straight = EzProgram::new();
+        straight
+            .ensemble(&[(0, 0)], |b| {
+                b.add(r(0), r(1), r(2));
+            })
+            .unwrap();
+        assert_eq!(straight.dynamic_loops(), 0);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! `mpud` — the MPU simulation daemon.
+//!
+//! Serves the resilient multi-tenant simulation service on a Unix
+//! socket. Clients speak the length-prefixed `microjson` protocol (see
+//! `service::proto`); `service::server::ServiceClient` is a ready-made
+//! blocking client.
+//!
+//! ```text
+//! mpud --socket /tmp/mpud.sock --workers 4
+//! ```
+
+use service::{server, Service, ServiceConfig};
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: mpud [--socket PATH] [--workers N] [--queue-capacity N] \
+[--tenant-quota N] [--retry-budget N] [--no-preemption]";
+
+fn parse_num(flag: &str, value: Option<String>) -> usize {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(n)) => n,
+        _ => {
+            eprintln!("mpud: {flag} needs a number\n{USAGE}");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut socket = PathBuf::from("/tmp/mpud.sock");
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => match args.next() {
+                Some(p) => socket = PathBuf::from(p),
+                None => {
+                    eprintln!("mpud: --socket needs a path\n{USAGE}");
+                    exit(2);
+                }
+            },
+            "--workers" => config.workers = parse_num("--workers", args.next()),
+            "--queue-capacity" => {
+                config.queue_capacity = parse_num("--queue-capacity", args.next());
+            }
+            "--tenant-quota" => config.tenant_quota = parse_num("--tenant-quota", args.next()),
+            "--retry-budget" => {
+                config.retry_budget = parse_num("--retry-budget", args.next()) as u32;
+            }
+            "--no-preemption" => config.preemption = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("mpud: unknown flag {other}\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+
+    let service = Arc::new(Service::start(config.clone()));
+    let handle = match server::serve_unix(&socket, Arc::clone(&service)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("mpud: cannot bind {}: {e}", socket.display());
+            exit(1);
+        }
+    };
+    eprintln!(
+        "mpud: serving on {} ({} workers, queue {}, quota {}/tenant)",
+        socket.display(),
+        config.workers,
+        config.queue_capacity,
+        config.tenant_quota
+    );
+    // A `shutdown` request stops the service and the accept loop.
+    handle.join();
+    eprintln!("mpud: shut down");
+}

@@ -1,0 +1,299 @@
+//! Job model: submission specifications, lifecycle phases, results, and
+//! the typed terminal-error taxonomy.
+//!
+//! Every way a job can end is a *typed* outcome — the service never
+//! surfaces a panic, a deadlock, or an untyped string where a caller has
+//! to guess what happened. [`JobError`] enumerates the terminal failure
+//! modes; admission-time rejections live in
+//! [`crate::limits::AdmitError`] because they happen before a job exists.
+
+use pum_backend::DatapathKind;
+use std::fmt;
+
+/// Service-assigned job identifier, unique for the life of the service.
+pub type JobId = u64;
+
+/// Scheduling priority. Higher priorities pop first, may preempt lower
+/// ones, and survive load shedding longer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Best-effort: first to be shed when the service degrades.
+    Low,
+    /// Default.
+    Normal,
+    /// Latency-sensitive: may preempt running lower-priority jobs.
+    High,
+}
+
+impl Priority {
+    /// Wire tag (`"low"` / `"normal"` / `"high"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// Parses a wire tag back into a priority.
+    pub fn from_str_tag(s: &str) -> Option<Self> {
+        match s {
+            "low" => Some(Priority::Low),
+            "normal" => Some(Priority::Normal),
+            "high" => Some(Priority::High),
+            _ => None,
+        }
+    }
+}
+
+/// One register's worth of input (or returned output) data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegInit {
+    /// RF holder.
+    pub rfh: u16,
+    /// VRF within the holder.
+    pub vrf: u16,
+    /// Register within the VRF.
+    pub reg: u8,
+    /// Per-lane element values (broadcast/truncated to the logical width
+    /// by the simulator's host-DMA path).
+    pub values: Vec<u64>,
+}
+
+/// A register the caller wants read back after the job completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegRef {
+    /// RF holder.
+    pub rfh: u16,
+    /// VRF within the holder.
+    pub vrf: u16,
+    /// Register within the VRF.
+    pub reg: u8,
+}
+
+/// How the job's program is supplied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramSource {
+    /// ezpim assembler text, parsed and assembled at admission.
+    EzText(String),
+    /// Raw ISA assembly, parsed with [`mpu_isa::Program::parse_asm`].
+    Asm(String),
+    /// Chaos-engineering poison pill: panics inside the worker at
+    /// execution time. Exists to prove worker isolation
+    /// (`catch_unwind`) keeps one bad job from taking the service down;
+    /// it always terminates as [`JobError::WorkerPanic`].
+    PoisonPanic,
+}
+
+/// Opt-in seeded fault injection for one job (exercises the retry path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRequest {
+    /// Master fault seed; the service perturbs it per attempt so retries
+    /// draw fresh fault sites.
+    pub seed: u64,
+    /// Per-micro-op transient flip probability.
+    pub transient_rate: f64,
+}
+
+/// A complete job submission.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Tenant name for quota accounting.
+    pub tenant: String,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Which PUM substrate to simulate on.
+    pub backend: DatapathKind,
+    /// The program to run.
+    pub program: ProgramSource,
+    /// Registers to load before the run.
+    pub inputs: Vec<RegInit>,
+    /// Registers to read back after the run.
+    pub outputs: Vec<RegRef>,
+    /// Wall-clock deadline in milliseconds from admission; `None` means
+    /// unbounded (the per-ensemble instruction watchdog still applies).
+    pub deadline_ms: Option<u64>,
+    /// Optional fault injection.
+    pub fault: Option<FaultRequest>,
+}
+
+impl JobSpec {
+    /// Convenience constructor: a normal-priority ezpim-text job with no
+    /// deadline and no fault injection.
+    pub fn ez(tenant: &str, backend: DatapathKind, text: &str) -> Self {
+        JobSpec {
+            tenant: tenant.to_string(),
+            priority: Priority::Normal,
+            backend,
+            program: ProgramSource::EzText(text.to_string()),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            deadline_ms: None,
+            fault: None,
+        }
+    }
+}
+
+/// Where a job currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Failed transiently; waiting out its retry backoff.
+    Backoff,
+    /// Terminal: an outcome is available.
+    Done,
+}
+
+impl JobPhase {
+    /// Wire tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Backoff => "backoff",
+            JobPhase::Done => "done",
+        }
+    }
+}
+
+/// Typed terminal failure of an admitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The wall-clock deadline passed; the run was cancelled at the next
+    /// compute-ensemble boundary (or while queued).
+    DeadlineExceeded,
+    /// The caller cancelled the job.
+    Cancelled,
+    /// The per-ensemble instruction watchdog fired with no fault layer
+    /// armed: the program itself spins (a runaway data-dependent loop).
+    RunawayProgram,
+    /// Every retry attempt ended in an uncorrected hardware fault.
+    FaultBudgetExhausted {
+        /// Total attempts made (first run + retries).
+        attempts: u32,
+        /// Display of the last attempt's root-cause fault.
+        last: String,
+    },
+    /// The job's worker panicked; the payload is preserved and the
+    /// worker pool keeps serving.
+    WorkerPanic {
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// The worker executing the job died (chaos kill) more times than
+    /// the retry budget allows.
+    WorkerLost {
+        /// Runs started before the service gave up.
+        attempts: u32,
+    },
+    /// The simulator rejected the job permanently (geometry violation,
+    /// malformed block structure, ...).
+    Sim {
+        /// Display of the simulator error.
+        message: String,
+    },
+}
+
+impl JobError {
+    /// Stable snake_case wire tag for this error kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::DeadlineExceeded => "deadline_exceeded",
+            JobError::Cancelled => "cancelled",
+            JobError::RunawayProgram => "runaway_program",
+            JobError::FaultBudgetExhausted { .. } => "fault_budget_exhausted",
+            JobError::WorkerPanic { .. } => "worker_panic",
+            JobError::WorkerLost { .. } => "worker_lost",
+            JobError::Sim { .. } => "sim",
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            JobError::Cancelled => write!(f, "cancelled by caller"),
+            JobError::RunawayProgram => {
+                write!(f, "runaway program: ensemble instruction watchdog fired")
+            }
+            JobError::FaultBudgetExhausted { attempts, last } => {
+                write!(f, "fault budget exhausted after {attempts} attempts (last: {last})")
+            }
+            JobError::WorkerPanic { payload } => write!(f, "worker panicked: {payload}"),
+            JobError::WorkerLost { attempts } => {
+                write!(f, "worker lost {attempts} times; retry budget exhausted")
+            }
+            JobError::Sim { message } => write!(f, "simulator error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Successful job result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// The requested output registers with their final lane values.
+    pub outputs: Vec<RegInit>,
+    /// Simulated cycles of the successful attempt.
+    pub cycles: u64,
+    /// ISA instructions executed by the successful attempt.
+    pub instructions: u64,
+}
+
+/// Terminal record of a job, successful or not.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job.
+    pub job: JobId,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Result or typed failure.
+    pub result: Result<JobResult, JobError>,
+    /// Runs started (first attempt + fault retries + worker-loss reruns;
+    /// checkpoint resumes do not count — they continue an attempt).
+    pub attempts: u32,
+    /// Times the job was checkpoint-preempted and later resumed.
+    pub preemptions: u32,
+    /// Wall-clock milliseconds from admission to the terminal outcome.
+    pub wall_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_low_to_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+    }
+
+    #[test]
+    fn priority_tags_round_trip() {
+        for p in [Priority::Low, Priority::Normal, Priority::High] {
+            assert_eq!(Priority::from_str_tag(p.as_str()), Some(p));
+        }
+        assert_eq!(Priority::from_str_tag("urgent"), None);
+    }
+
+    #[test]
+    fn error_kinds_are_distinct() {
+        use std::collections::HashSet;
+        let errs = [
+            JobError::DeadlineExceeded,
+            JobError::Cancelled,
+            JobError::RunawayProgram,
+            JobError::FaultBudgetExhausted { attempts: 1, last: String::new() },
+            JobError::WorkerPanic { payload: String::new() },
+            JobError::WorkerLost { attempts: 1 },
+            JobError::Sim { message: String::new() },
+        ];
+        let kinds: HashSet<_> = errs.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), errs.len());
+    }
+}

@@ -1,0 +1,143 @@
+//! Bounded priority admission queue with backoff holds.
+//!
+//! A small linear-scan queue: the service's queue capacity is tens of
+//! entries, so O(n) pops beat heap bookkeeping and keep the eligibility
+//! rule (`not_before`) trivial to express. Ordering is strict priority,
+//! FIFO within a priority (admission sequence breaks ties), and entries
+//! in retry backoff are invisible until their `not_before` passes.
+
+use crate::job::{JobId, Priority};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct QueueEntry {
+    job: JobId,
+    priority: Priority,
+    seq: u64,
+    not_before: Option<Instant>,
+}
+
+/// The bounded admission queue.
+#[derive(Debug)]
+pub(crate) struct AdmissionQueue {
+    entries: Vec<QueueEntry>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl AdmissionQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        AdmissionQueue { entries: Vec::new(), capacity, next_seq: 0 }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Enqueues a job. Callers check [`AdmissionQueue::is_full`] first
+    /// (requeues after preemption/backoff bypass the capacity check — a
+    /// job readmitted mid-flight must not be lost to a full queue).
+    pub(crate) fn push(&mut self, job: JobId, priority: Priority, not_before: Option<Instant>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(QueueEntry { job, priority, seq, not_before });
+    }
+
+    /// Pops the highest-priority eligible entry (FIFO within priority).
+    pub(crate) fn pop_eligible(&mut self, now: Instant) -> Option<JobId> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.not_before.is_none_or(|t| t <= now))
+            .max_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+            .map(|(i, _)| i)?;
+        Some(self.entries.swap_remove(idx).job)
+    }
+
+    /// Time until the earliest backoff hold becomes eligible, if every
+    /// queued entry is currently held.
+    pub(crate) fn next_wakeup(&self, now: Instant) -> Option<Duration> {
+        if self.entries.iter().any(|e| e.not_before.is_none_or(|t| t <= now)) {
+            return None;
+        }
+        self.entries
+            .iter()
+            .filter_map(|e| e.not_before)
+            .min()
+            .map(|t| t.saturating_duration_since(now))
+    }
+
+    /// Removes a queued job (cancellation, queued-deadline expiry).
+    pub(crate) fn remove(&mut self, job: JobId) -> bool {
+        match self.entries.iter().position(|e| e.job == job) {
+            Some(i) => {
+                self.entries.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_beats_fifo_and_fifo_breaks_ties() {
+        let mut q = AdmissionQueue::new(8);
+        let now = Instant::now();
+        q.push(1, Priority::Normal, None);
+        q.push(2, Priority::High, None);
+        q.push(3, Priority::Normal, None);
+        q.push(4, Priority::Low, None);
+        assert_eq!(q.pop_eligible(now), Some(2));
+        assert_eq!(q.pop_eligible(now), Some(1));
+        assert_eq!(q.pop_eligible(now), Some(3));
+        assert_eq!(q.pop_eligible(now), Some(4));
+        assert_eq!(q.pop_eligible(now), None);
+    }
+
+    #[test]
+    fn backoff_holds_hide_entries_until_due() {
+        let mut q = AdmissionQueue::new(8);
+        let now = Instant::now();
+        let due = now + Duration::from_millis(10);
+        q.push(1, Priority::High, Some(due));
+        q.push(2, Priority::Low, None);
+        assert_eq!(q.pop_eligible(now), Some(2));
+        assert_eq!(q.pop_eligible(now), None);
+        let wake = q.next_wakeup(now).unwrap();
+        assert!(wake <= Duration::from_millis(10));
+        assert_eq!(q.pop_eligible(due), Some(1));
+    }
+
+    #[test]
+    fn remove_pulls_a_queued_job() {
+        let mut q = AdmissionQueue::new(8);
+        q.push(1, Priority::Normal, None);
+        assert!(q.remove(1));
+        assert!(!q.remove(1));
+        assert_eq!(q.pop_eligible(Instant::now()), None);
+    }
+
+    #[test]
+    fn capacity_is_visible() {
+        let mut q = AdmissionQueue::new(2);
+        q.push(1, Priority::Normal, None);
+        assert!(!q.is_full());
+        q.push(2, Priority::Normal, None);
+        assert!(q.is_full());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.capacity(), 2);
+    }
+}

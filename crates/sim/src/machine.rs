@@ -127,6 +127,44 @@ pub enum SimError {
         /// The underlying error.
         source: Box<SimError>,
     },
+    /// Execution was cancelled through a [`RunControl`] token at a
+    /// compute-ensemble boundary (deadline expiry, explicit abort).
+    Cancelled {
+        /// Instruction index execution stopped at; resuming is not
+        /// possible — cancellation discards the run.
+        line: usize,
+    },
+    /// Checkpoint/restart recovery exhausted its budget
+    /// ([`crate::RecoveryPolicy::max_restarts`]): every attempt aborted on
+    /// an injected-fault escalation. Carries the restart count and, via
+    /// `source`, the last attempt's fault site so a host scheduler can
+    /// classify the failure as transient (retry the whole job, fresh fault
+    /// sites) rather than permanent. [`SimError::root_cause`] sees through
+    /// this wrapper.
+    RestartsExhausted {
+        /// Instruction index of the ensemble's opening header.
+        line: usize,
+        /// Restarts performed before giving up.
+        restarts: u32,
+        /// The last attempt's error (fault site inside).
+        source: Box<SimError>,
+    },
+    /// A parallel-sweep worker closure panicked while processing one item.
+    /// The panic is contained to that item: the rest of the sweep
+    /// completes and the pool survives.
+    WorkerPanic {
+        /// Index of the item whose closure panicked.
+        item: usize,
+        /// The panic payload rendered as text (`"<non-string panic>"`
+        /// when the payload is not a string).
+        payload: String,
+    },
+    /// A checkpoint was imported into an [`Mpu`] whose configuration does
+    /// not match the one the checkpoint was exported under.
+    CheckpointMismatch {
+        /// Description of the disagreement.
+        what: String,
+    },
 }
 
 /// The ensemble kind carried by [`SimError::InEnsemble`].
@@ -151,11 +189,13 @@ impl fmt::Display for EnsembleKind {
 }
 
 impl SimError {
-    /// Unwraps [`SimError::InEnsemble`] context layers down to the
-    /// underlying error.
+    /// Unwraps [`SimError::InEnsemble`] and [`SimError::RestartsExhausted`]
+    /// context layers down to the underlying error.
     pub fn root_cause(&self) -> &SimError {
         match self {
-            SimError::InEnsemble { source, .. } => source.root_cause(),
+            SimError::InEnsemble { source, .. } | SimError::RestartsExhausted { source, .. } => {
+                source.root_cause()
+            }
             other => other,
         }
     }
@@ -198,6 +238,22 @@ impl fmt::Display for SimError {
             SimError::InEnsemble { mpu, line, kind, source } => {
                 write!(f, "mpu{mpu}: in {kind} ensemble at line {line}: {source}")
             }
+            SimError::Cancelled { line } => {
+                write!(f, "line {line}: execution cancelled at an ensemble boundary")
+            }
+            SimError::RestartsExhausted { line, restarts, source } => {
+                write!(
+                    f,
+                    "line {line}: checkpoint restarts exhausted after {restarts} attempts: \
+                     {source}"
+                )
+            }
+            SimError::WorkerPanic { item, payload } => {
+                write!(f, "sweep worker panicked on item {item}: {payload}")
+            }
+            SimError::CheckpointMismatch { what } => {
+                write!(f, "checkpoint does not fit this machine: {what}")
+            }
         }
     }
 }
@@ -205,7 +261,9 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SimError::InEnsemble { source, .. } => Some(source.as_ref()),
+            SimError::InEnsemble { source, .. } | SimError::RestartsExhausted { source, .. } => {
+                Some(source.as_ref())
+            }
             _ => None,
         }
     }
@@ -252,6 +310,151 @@ pub enum StepEvent {
         /// The expected sender.
         src: MpuId,
     },
+    /// An armed [`RunControl`] requested preemption: execution paused at a
+    /// compute-ensemble boundary with no work in flight. Export the state
+    /// with [`Mpu::export_checkpoint`] and resume later (possibly in a
+    /// fresh machine via [`Mpu::import_checkpoint`]) by calling
+    /// [`Mpu::step`] again — *without* [`Mpu::reset_pc`], which would
+    /// restart the program instead.
+    Preempted,
+}
+
+/// What an armed [`RunControl`] asks of the machine at a boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunDirective {
+    Continue,
+    Preempt,
+    Cancel,
+}
+
+const CTRL_RUN: u8 = 0;
+const CTRL_PREEMPT: u8 = 1;
+const CTRL_CANCEL: u8 = 2;
+
+/// A cooperative cancellation/preemption token shared between a host
+/// scheduler and a running [`Mpu`].
+///
+/// The machine polls the token once per top-level instruction — the
+/// compute-ensemble boundaries, where no partial ensemble work is in
+/// flight. A cancel request surfaces as [`SimError::Cancelled`]; a preempt
+/// request surfaces as [`StepEvent::Preempted`] with the machine in a
+/// checkpointable state. The `boundaries` counter doubles as a progress
+/// heartbeat: a watchdog that sees it stall knows the job is stuck inside
+/// one ensemble (runaway loop) and can only be bounded by
+/// [`crate::RecoveryPolicy::watchdog_instructions`].
+#[derive(Debug, Default)]
+pub struct RunControl {
+    state: std::sync::atomic::AtomicU8,
+    boundaries: std::sync::atomic::AtomicU64,
+    /// Deterministic trigger: preempt when the boundary counter reaches
+    /// this value (`0` = disarmed). Used by tests to pin the preemption
+    /// point exactly.
+    preempt_at: std::sync::atomic::AtomicU64,
+}
+
+impl RunControl {
+    /// Creates a token in the running state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cooperative cancellation; the run errors with
+    /// [`SimError::Cancelled`] at the next ensemble boundary.
+    pub fn request_cancel(&self) {
+        self.state.store(CTRL_CANCEL, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Requests preemption; [`Mpu::step`] returns
+    /// [`StepEvent::Preempted`] at the next ensemble boundary.
+    pub fn request_preempt(&self) {
+        // Never downgrade a cancel.
+        let _ = self.state.compare_exchange(
+            CTRL_RUN,
+            CTRL_PREEMPT,
+            std::sync::atomic::Ordering::AcqRel,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+
+    /// Rearms the token for continued execution (clears a pending preempt
+    /// or cancel; the boundary counter keeps running).
+    pub fn clear(&self) {
+        self.state.store(CTRL_RUN, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Arms a deterministic preemption at the `n`-th boundary crossing
+    /// (1-based; `0` disarms). Crossing `n` boundaries means `n - 1`
+    /// top-level instructions have fully executed.
+    pub fn preempt_at_boundary(&self, n: u64) {
+        self.preempt_at.store(n, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Ensemble boundaries crossed so far — the progress heartbeat.
+    pub fn boundaries(&self) -> u64 {
+        self.boundaries.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Counts one boundary crossing and reports what the machine should do.
+    fn cross_boundary(&self) -> RunDirective {
+        let crossed = self.boundaries.fetch_add(1, std::sync::atomic::Ordering::AcqRel) + 1;
+        match self.state.load(std::sync::atomic::Ordering::Acquire) {
+            CTRL_CANCEL => RunDirective::Cancel,
+            CTRL_PREEMPT => RunDirective::Preempt,
+            _ => {
+                let at = self.preempt_at.load(std::sync::atomic::Ordering::Acquire);
+                if at != 0 && crossed == at {
+                    RunDirective::Preempt
+                } else {
+                    RunDirective::Continue
+                }
+            }
+        }
+    }
+}
+
+/// A full machine snapshot taken at a compute-ensemble boundary (after
+/// [`StepEvent::Preempted`], or any time [`Mpu::step`] is not mid-flight).
+///
+/// Importing a checkpoint into a fresh [`Mpu`] built from the *same*
+/// [`SimConfig`] and resuming with [`Mpu::step`] is byte-identical — lane
+/// values and [`crate::Stats`] — to never having stopped: the snapshot
+/// carries the VRF contents *with their fault-model PRNG state*, the lane
+/// remap tables, the architectural recipe-cache state (table, LRU stamps,
+/// hit/miss counters — a cold cache would replay a different miss
+/// stream), the statistics ledger, and the program counter. Tracers,
+/// recipe pools, and [`RunControl`] tokens are host-side attachments and
+/// stay with the machine.
+#[derive(Debug, Clone)]
+pub struct MpuCheckpoint {
+    config: SimConfig,
+    id: MpuId,
+    vrfs: HashMap<(u16, u16), BitPlaneVrf>,
+    lane_maps: HashMap<(u16, u16), Vec<usize>>,
+    cache: crate::recipe_cache::CacheCheckpoint,
+    stats: Stats,
+    pc: usize,
+    halted: bool,
+    inbox: Vec<Message>,
+    traced_ensembles: u64,
+    fallback_ensembles: u64,
+}
+
+impl MpuCheckpoint {
+    /// The instruction index the resumed machine will continue from.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// The statistics ledger at the moment of capture.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Approximate host-memory footprint in 64-bit words (VRF planes
+    /// dominate) — lets a scheduler budget checkpoint retention.
+    pub fn words(&self) -> usize {
+        self.vrfs.values().map(|v| v.snapshot().len()).sum()
+    }
 }
 
 /// A single memory processing unit: control path + its slice of the PUM
@@ -306,6 +509,11 @@ pub struct Mpu {
     traced_ensembles: u64,
     /// Compute ensembles that fell back to per-instruction execution.
     fallback_ensembles: u64,
+    /// Cooperative cancellation/preemption token (`None` by default):
+    /// polled once per top-level instruction. Host-side only — polling
+    /// never charges cycles, so controlled and uncontrolled runs produce
+    /// byte-identical lane values and [`Stats`].
+    ctrl: Option<Arc<RunControl>>,
 }
 
 impl Mpu {
@@ -325,7 +533,22 @@ impl Mpu {
             tracer: None,
             traced_ensembles: 0,
             fallback_ensembles: 0,
+            ctrl: None,
         }
+    }
+
+    /// Arms a cooperative [`RunControl`] token. The machine polls it at
+    /// every compute-ensemble boundary (once per top-level instruction):
+    /// a cancel request errors with [`SimError::Cancelled`], a preempt
+    /// request pauses with [`StepEvent::Preempted`]. Purely host-side —
+    /// results and statistics are unchanged by polling.
+    pub fn set_run_control(&mut self, ctrl: Arc<RunControl>) {
+        self.ctrl = Some(ctrl);
+    }
+
+    /// Disarms the [`RunControl`] token, if any.
+    pub fn clear_run_control(&mut self) {
+        self.ctrl = None;
     }
 
     /// Execution-tier telemetry: `(trace, fallback)` counts of compute
@@ -423,6 +646,12 @@ impl Mpu {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// The current program counter (a top-level instruction index whenever
+    /// [`Mpu::step`] is not mid-flight).
+    pub fn pc(&self) -> usize {
+        self.pc
     }
 
     fn check_geometry(&self, line: usize, rfh: u16, vrf: u16) -> Result<(), SimError> {
@@ -614,6 +843,9 @@ impl Mpu {
             StepEvent::Sent(_) | StepEvent::AwaitingRecv { .. } => {
                 Err(SimError::CommOutsideSystem { line: self.pc })
             }
+            // `run` has no resume surface; preemptible execution drives
+            // `step` directly.
+            StepEvent::Preempted => Err(SimError::Cancelled { line: self.pc }),
         }
     }
 
@@ -649,6 +881,63 @@ impl Mpu {
         self.stats
     }
 
+    /// Snapshots the complete machine state at the current (ensemble)
+    /// boundary. See [`MpuCheckpoint`] for the byte-identical-resume
+    /// contract. Call only when [`Mpu::step`] is not mid-flight: after it
+    /// returned [`StepEvent::Preempted`], [`StepEvent::Completed`], or
+    /// before the first step.
+    pub fn export_checkpoint(&self) -> MpuCheckpoint {
+        MpuCheckpoint {
+            config: self.config.clone(),
+            id: self.id,
+            vrfs: self.vrfs.clone(),
+            lane_maps: self.lane_maps.clone(),
+            cache: self.cache.checkpoint(),
+            stats: self.stats,
+            pc: self.pc,
+            halted: self.halted,
+            inbox: self.inbox.clone(),
+            traced_ensembles: self.traced_ensembles,
+            fallback_ensembles: self.fallback_ensembles,
+        }
+    }
+
+    /// Restores a [`MpuCheckpoint`] into this machine, which then resumes
+    /// from the captured boundary on the next [`Mpu::step`] — do *not*
+    /// call [`Mpu::reset_pc`] afterwards, it would restart the program.
+    /// The machine adopts the checkpoint's MPU id (fault-site derivation
+    /// keys on it). Host-side attachments (tracer, recipe pool, run
+    /// control) are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CheckpointMismatch`] when this machine was built from a
+    /// different [`SimConfig`] than the checkpoint — geometry, datapath,
+    /// fault, and recovery settings must all agree for resume to be
+    /// meaningful.
+    pub fn import_checkpoint(&mut self, cp: &MpuCheckpoint) -> Result<(), SimError> {
+        if self.config != cp.config {
+            return Err(SimError::CheckpointMismatch {
+                what: format!(
+                    "machine config `{}` differs from checkpoint config `{}`",
+                    self.config.label(),
+                    cp.config.label()
+                ),
+            });
+        }
+        self.id = cp.id;
+        self.vrfs = cp.vrfs.clone();
+        self.lane_maps = cp.lane_maps.clone();
+        self.cache.restore_checkpoint(&cp.cache);
+        self.stats = cp.stats;
+        self.pc = cp.pc;
+        self.halted = cp.halted;
+        self.inbox = cp.inbox.clone();
+        self.traced_ensembles = cp.traced_ensembles;
+        self.fallback_ensembles = cp.fallback_ensembles;
+        Ok(())
+    }
+
     /// Queues an incoming message (applied when `RECV` executes).
     pub fn deliver(&mut self, message: Message, arrival_cycle: u64) {
         // The receiver cannot see the message before it arrives.
@@ -669,6 +958,13 @@ impl Mpu {
         let len = program.len();
         while self.pc < len && !self.halted {
             let line = self.pc;
+            if let Some(ctrl) = &self.ctrl {
+                match ctrl.cross_boundary() {
+                    RunDirective::Continue => {}
+                    RunDirective::Preempt => return Ok(StepEvent::Preempted),
+                    RunDirective::Cancel => return Err(SimError::Cancelled { line }),
+                }
+            }
             match program[line] {
                 Instruction::Compute { .. } => self
                     .exec_compute_ensemble(program)
@@ -839,6 +1135,23 @@ impl Mpu {
                         delta.transfer_cycles = cp_cycles;
                         delta.energy.transfer_pj = cp_pj;
                         (TraceKind::Restart, delta)
+                    });
+                }
+                Err(e)
+                    if matches!(
+                        e.root_cause(),
+                        SimError::UncorrectedFault { .. } | SimError::WatchdogTriggered { .. }
+                    ) =>
+                {
+                    // The restart budget is spent and the final attempt
+                    // still escalated: wrap with the budget context so a
+                    // host scheduler can classify this as transient (a
+                    // whole-job retry draws fresh fault sites) while
+                    // `root_cause` still reaches the fault site inside.
+                    return Err(SimError::RestartsExhausted {
+                        line: start_pc,
+                        restarts,
+                        source: Box::new(e),
                     });
                 }
                 Err(e) => return Err(e),
@@ -2608,5 +2921,163 @@ mod tests {
         let (got, mpu) = run_single(on, &p, &[]).unwrap();
         assert_eq!(mpu.tier_counts(), (1, 0));
         assert_eq!(want, got);
+    }
+
+    /// A program with several top-level instructions (= several ensemble
+    /// boundaries) for the preemption tests.
+    fn staged_program() -> Program {
+        asm("COMPUTE h0 v0\nADD r0 r1 r2\nCOMPUTE_DONE\n\
+             NOP\n\
+             COMPUTE h0 v0\nSUB r2 r1 r3\nCOMPUTE_DONE\n\
+             NOP\n\
+             COMPUTE h0 v0\nADD r2 r3 r4\nCOMPUTE_DONE")
+    }
+
+    const STAGED_INPUTS: [((u16, u16, u8), u64); 2] = [((0, 0, 0), 5), ((0, 0, 1), 9)];
+
+    fn staged_inputs() -> Vec<RegisterInit> {
+        STAGED_INPUTS.iter().map(|&(key, v)| (key, vec![v; 64])).collect()
+    }
+
+    #[test]
+    fn cancel_surfaces_as_typed_error_at_a_boundary() {
+        let ctrl = Arc::new(RunControl::new());
+        ctrl.request_cancel();
+        let mut mpu = Mpu::new(racer(), MpuId(0));
+        mpu.set_run_control(Arc::clone(&ctrl));
+        let err = mpu.run(&staged_program()).unwrap_err();
+        assert!(matches!(err, SimError::Cancelled { line: 0 }), "got {err:?}");
+    }
+
+    #[test]
+    fn preempt_clear_resume_in_place_completes() {
+        let ctrl = Arc::new(RunControl::new());
+        ctrl.request_preempt();
+        let p = staged_program();
+        let mut mpu = Mpu::new(racer(), MpuId(0));
+        mpu.set_run_control(Arc::clone(&ctrl));
+        for ((rfh, vrf, reg), values) in staged_inputs() {
+            mpu.write_register(rfh, vrf, reg, &values).unwrap();
+        }
+        mpu.reset_pc();
+        assert_eq!(mpu.step(&p).unwrap(), StepEvent::Preempted);
+        ctrl.clear();
+        assert_eq!(mpu.step(&p).unwrap(), StepEvent::Completed);
+        mpu.finish();
+        assert_eq!(mpu.read_register(0, 0, 4).unwrap(), vec![14 + 5; 64]);
+    }
+
+    #[test]
+    fn preempt_at_every_boundary_resumes_byte_identical_in_a_fresh_mpu() {
+        let p = staged_program();
+        let inputs = staged_inputs();
+        let (want_stats, mut want) = run_single(racer(), &p, &inputs).unwrap();
+        let want_lanes = want.read_register(0, 0, 4).unwrap();
+
+        // Count the boundaries an uninterrupted controlled run crosses.
+        let counter = Arc::new(RunControl::new());
+        let mut probe = Mpu::new(racer(), MpuId(0));
+        probe.set_run_control(Arc::clone(&counter));
+        for ((rfh, vrf, reg), values) in &inputs {
+            probe.write_register(*rfh, *vrf, *reg, values).unwrap();
+        }
+        let probe_stats = probe.run(&p).unwrap();
+        assert_eq!(probe_stats, want_stats, "an idle token must not change the ledger");
+        let total = counter.boundaries();
+        assert_eq!(total, 5, "3 ensembles + 2 NOPs");
+
+        for k in 1..=total {
+            let ctrl = Arc::new(RunControl::new());
+            ctrl.preempt_at_boundary(k);
+            let mut mpu = Mpu::new(racer(), MpuId(0));
+            mpu.set_run_control(ctrl);
+            for ((rfh, vrf, reg), values) in &inputs {
+                mpu.write_register(*rfh, *vrf, *reg, values).unwrap();
+            }
+            mpu.reset_pc();
+            assert_eq!(mpu.step(&p).unwrap(), StepEvent::Preempted, "boundary {k}");
+            let cp = mpu.export_checkpoint();
+            assert!(cp.words() > 0);
+            drop(mpu);
+
+            let mut fresh = Mpu::new(racer(), MpuId(0));
+            fresh.import_checkpoint(&cp).unwrap();
+            assert_eq!(fresh.step(&p).unwrap(), StepEvent::Completed, "boundary {k}");
+            let stats = fresh.finish();
+            assert_eq!(stats, want_stats, "stats diverged after resume at boundary {k}");
+            assert_eq!(
+                fresh.read_register(0, 0, 4).unwrap(),
+                want_lanes,
+                "lanes diverged after resume at boundary {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_under_armed_faults() {
+        // The snapshot carries the fault PRNG state inside each VRF, so a
+        // resumed run draws the same fault sites the uninterrupted run
+        // would have.
+        let mut cfg = faulty_racer(2e-3, 7);
+        cfg.recovery.redundancy = Redundancy::Tmr;
+        cfg.recovery.max_retries = 8;
+        let p = staged_program();
+        let inputs = staged_inputs();
+        let (want_stats, mut want) = run_single(cfg.clone(), &p, &inputs).unwrap();
+        let want_lanes = want.read_register(0, 0, 4).unwrap();
+        assert!(want_stats.faults.injected > 0, "the fault layer must be exercised");
+
+        let ctrl = Arc::new(RunControl::new());
+        ctrl.preempt_at_boundary(3);
+        let mut mpu = Mpu::new(cfg.clone(), MpuId(0));
+        mpu.set_run_control(ctrl);
+        for ((rfh, vrf, reg), values) in &inputs {
+            mpu.write_register(*rfh, *vrf, *reg, values).unwrap();
+        }
+        mpu.reset_pc();
+        assert_eq!(mpu.step(&p).unwrap(), StepEvent::Preempted);
+        let cp = mpu.export_checkpoint();
+        let mut fresh = Mpu::new(cfg, MpuId(0));
+        fresh.import_checkpoint(&cp).unwrap();
+        assert_eq!(fresh.step(&p).unwrap(), StepEvent::Completed);
+        assert_eq!(fresh.finish(), want_stats);
+        assert_eq!(fresh.read_register(0, 0, 4).unwrap(), want_lanes);
+    }
+
+    #[test]
+    fn checkpoint_into_mismatched_config_is_rejected() {
+        let mpu = Mpu::new(racer(), MpuId(0));
+        let cp = mpu.export_checkpoint();
+        let mut other = Mpu::new(SimConfig::mpu(DatapathKind::Mimdram), MpuId(0));
+        let err = other.import_checkpoint(&cp).unwrap_err();
+        assert!(matches!(err, SimError::CheckpointMismatch { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn exhausted_restart_budget_carries_restart_count_and_fault_site() {
+        // A high fault rate with a DMR policy, no per-instruction retries,
+        // and a tiny restart budget: the ensemble keeps aborting until the
+        // budget runs out, and the surfaced error must carry the restart
+        // count while `root_cause` still reaches the fault site.
+        let p = add_chain(24);
+        let mut cfg = faulty_racer(3e-3, 11);
+        cfg.recovery.redundancy = Redundancy::Dmr;
+        cfg.recovery.max_retries = 0;
+        cfg.recovery.checkpoint_restart = true;
+        cfg.recovery.max_restarts = 1;
+        let inputs: [RegisterInit; 2] = [((0, 0, 0), vec![5; 64]), ((0, 0, 1), vec![9; 64])];
+        let err = run_single(cfg, &p, &inputs).unwrap_err();
+        let SimError::InEnsemble { kind: EnsembleKind::Compute, source, .. } = &err else {
+            panic!("expected ensemble context, got {err:?}");
+        };
+        let SimError::RestartsExhausted { restarts, source: last, .. } = source.as_ref() else {
+            panic!("expected RestartsExhausted, got {source:?}");
+        };
+        assert_eq!(*restarts, 1, "the whole budget was spent");
+        assert!(
+            matches!(last.as_ref(), SimError::UncorrectedFault { .. }),
+            "the last attempt's fault site rides along: {last:?}"
+        );
+        assert!(matches!(err.root_cause(), SimError::UncorrectedFault { .. }));
     }
 }

@@ -267,6 +267,21 @@ pub(crate) struct LookupOutcome {
     pub pool: Option<bool>,
 }
 
+/// The architectural slice of a [`RecipeCache`] captured by
+/// [`RecipeCache::checkpoint`]: template entries with their LRU stamps,
+/// the synthesis context, and the hit/miss/clock counters. Part of an
+/// [`crate::MpuCheckpoint`] — resuming with a cold cache would change the
+/// miss stream and break byte-identical resume.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheCheckpoint {
+    entries: Vec<(u32, CachedRecipe, u64)>,
+    ctx: Option<RecipeCtx>,
+    opt: OptStats,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
 /// A bounded LRU cache of synthesized recipes (with their compiled forms).
 #[derive(Debug)]
 pub struct RecipeCache {
@@ -448,6 +463,44 @@ impl RecipeCache {
     /// through [`RecipePool::stats`] instead.
     pub fn opt_stats(&self) -> OptStats {
         self.opt
+    }
+
+    /// Snapshots the *architectural* cache state: the template table with
+    /// its LRU stamps, the synthesis context, and the hit/miss/clock
+    /// counters. The host-side memos (`traces`, `synth_memo`) are
+    /// deliberately excluded — they are invisible to the modeled hardware
+    /// and rebuild on demand — and so is the pool attachment, which stays
+    /// with the machine, not the checkpoint. Entries are `Arc`-shared, so
+    /// a snapshot is cheap.
+    pub(crate) fn checkpoint(&self) -> CacheCheckpoint {
+        CacheCheckpoint {
+            entries: self.entries.iter().map(|(&k, (e, s))| (k, e.clone(), *s)).collect(),
+            ctx: self.ctx,
+            opt: self.opt,
+            tick: self.tick,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Restores the architectural state captured by [`Self::checkpoint`].
+    /// A machine resumed from a checkpoint must replay the same hit/miss
+    /// stream (and thus the same miss-penalty cycles) an uninterrupted run
+    /// would have seen, so the table contents, LRU stamps, and counters
+    /// all come back; capacity and any attached pool are left as-is.
+    pub(crate) fn restore_checkpoint(&mut self, cp: &CacheCheckpoint) {
+        self.entries = cp.entries.iter().map(|(k, e, s)| (*k, (e.clone(), *s))).collect();
+        if self.ctx != cp.ctx {
+            // Host-side memos warmed under a different synthesis context
+            // must not survive the restore.
+            self.traces.clear();
+            self.synth_memo.clear();
+        }
+        self.ctx = cp.ctx;
+        self.opt = cp.opt;
+        self.tick = cp.tick;
+        self.hits = cp.hits;
+        self.misses = cp.misses;
     }
 
     /// Cache hits so far.

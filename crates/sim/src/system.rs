@@ -201,6 +201,16 @@ impl System {
                         }
                         blocked[i] = Some(src.0);
                     }
+                    StepEvent::Preempted => {
+                        // The system loop has no resume surface: a preempt
+                        // request against a member MPU surfaces as a
+                        // cancellation of the whole collective run.
+                        let line = self.mpus[i].pc();
+                        return Err(SystemError::Mpu {
+                            id: i as u16,
+                            error: SimError::Cancelled { line },
+                        });
+                    }
                 }
             }
             if done.iter().all(|&d| d) {

@@ -15,7 +15,9 @@
 //! §VIII-C observation.
 
 use crate::kernel::Kernel;
-use mastodon::{run_single_traced, EventLog, ExecutionMode, RecipePool, SimConfig, Stats};
+use mastodon::{
+    run_single_traced, EventLog, ExecutionMode, RecipePool, SimConfig, SimError, Stats,
+};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -286,24 +288,43 @@ pub fn effective_jobs(requested: Option<usize>) -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1))
 }
 
-/// Applies `f` to every item on up to `jobs` worker threads, returning
-/// results **in input order** (deterministic regardless of which thread
-/// finishes first). Workers claim items from a shared atomic index, so an
-/// expensive item never stalls the queue behind it.
-pub fn parallel_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+/// Renders a panic payload as text (`&str` and `String` payloads pass
+/// through; anything else becomes a placeholder).
+fn panic_payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+/// Panic-isolated core of the sweep engine: every closure call runs under
+/// `catch_unwind`, so one poisoned item cannot tear down the worker pool —
+/// the worker that caught it keeps claiming items and the rest of the
+/// sweep completes. `Err` carries the raw panic payload for the caller to
+/// type or re-raise.
+fn parallel_map_caught<T, R, F>(
+    items: Vec<T>,
+    jobs: usize,
+    f: F,
+) -> Vec<Result<R, Box<dyn std::any::Any + Send>>>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    let run_one = |item: T| std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
     let len = items.len();
     let jobs = jobs.clamp(1, len.max(1));
     if jobs <= 1 || len <= 1 {
-        return items.into_iter().map(f).collect();
+        return items.into_iter().map(run_one).collect();
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    type Caught<R> = Result<R, Box<dyn std::any::Any + Send>>;
+    let results: Mutex<Vec<(usize, Caught<R>)>> = Mutex::new(Vec::with_capacity(len));
     crossbeam::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|_| loop {
@@ -313,16 +334,63 @@ where
                 }
                 // The atomic index hands each slot to exactly one worker.
                 if let Some(item) = slots[i].lock().take() {
-                    let r = f(item);
+                    let r = run_one(item);
                     results.lock().push((i, r));
                 }
             });
         }
     })
-    .expect("sweep worker panicked");
+    .expect("sweep scope failed despite per-item isolation");
     let mut pairs = results.into_inner();
     pairs.sort_by_key(|&(i, _)| i);
     pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads, returning
+/// results **in input order** (deterministic regardless of which thread
+/// finishes first). Workers claim items from a shared atomic index, so an
+/// expensive item never stalls the queue behind it.
+///
+/// A panicking closure no longer aborts the pool mid-sweep: the remaining
+/// items still complete, then the first panic (in input order) is resumed
+/// on the calling thread. Use [`parallel_map_isolated`] to receive a typed
+/// per-item error instead.
+pub fn parallel_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for caught in parallel_map_caught(items, jobs, f) {
+        match caught {
+            Ok(r) => out.push(r),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// [`parallel_map`] with per-item panic isolation: an item whose closure
+/// panics yields [`SimError::WorkerPanic`] carrying its input-order index
+/// and the panic payload, while every other item's result is returned
+/// normally. The worker pool always survives.
+pub fn parallel_map_isolated<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<Result<R, SimError>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_caught(items, jobs, f)
+        .into_iter()
+        .enumerate()
+        .map(|(item, caught)| {
+            caught.map_err(|payload| SimError::WorkerPanic {
+                item,
+                payload: panic_payload_text(payload.as_ref()),
+            })
+        })
+        .collect()
 }
 
 /// One unit of a chip sweep: a kernel on one configuration.
@@ -345,15 +413,21 @@ pub struct SweepTask<'a> {
 ///   [`run_kernel`] on each task serially: worker threads share only a
 ///   [`RecipePool`], which memoizes host-side recipe synthesis without
 ///   touching simulated statistics.
+/// * A task whose worker closure panics yields
+///   `HarnessError::Sim(SimError::WorkerPanic { .. })` for that task only;
+///   the rest of the sweep completes (see [`parallel_map_isolated`]).
 pub fn run_sweep_parallel(
     tasks: Vec<SweepTask<'_>>,
     jobs: Option<usize>,
 ) -> Vec<Result<ChipRun, HarnessError>> {
     let pool = Arc::new(RecipePool::new());
     let jobs = effective_jobs(jobs);
-    parallel_map(tasks, jobs, |task| {
+    parallel_map_isolated(tasks, jobs, |task| {
         run_kernel_pooled(task.kernel, &task.config, task.n, task.seed, Some(&pool))
     })
+    .into_iter()
+    .map(|caught| caught.unwrap_or_else(|panic| Err(HarnessError::Sim(panic))))
+    .collect()
 }
 
 #[cfg(test)]
@@ -383,6 +457,53 @@ mod tests {
         let base =
             run_kernel(jacobi.as_ref(), &SimConfig::baseline(DatapathKind::Racer), n, 1).unwrap();
         assert!(base.instances >= 4 * mpu.instances - 4, "Toeplitz inflation");
+    }
+
+    #[test]
+    fn a_panicking_item_is_typed_and_the_sweep_completes() {
+        let out = parallel_map_isolated((0..32).collect::<Vec<u64>>(), 4, |v| {
+            assert!(v != 13, "poisoned item");
+            v * 2
+        });
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                match r {
+                    Err(SimError::WorkerPanic { item, payload }) => {
+                        assert_eq!(*item, 13);
+                        assert!(payload.contains("poisoned item"), "payload: {payload}");
+                    }
+                    other => panic!("expected WorkerPanic, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r, Ok(i as u64 * 2), "healthy items must complete");
+            }
+        }
+        // The serial path isolates identically.
+        let serial = parallel_map_isolated(vec![0u64, 13, 2], 1, |v| {
+            assert!(v != 13, "poisoned item");
+            v
+        });
+        assert!(serial[0].is_ok() && serial[2].is_ok());
+        assert!(matches!(serial[1], Err(SimError::WorkerPanic { item: 1, .. })));
+    }
+
+    #[test]
+    fn parallel_map_resumes_the_first_panic_after_finishing() {
+        let finished = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map((0..16).collect::<Vec<usize>>(), 4, |v| {
+                if v == 3 || v == 7 {
+                    panic!("item {v} down");
+                }
+                finished.fetch_add(1, Ordering::Relaxed);
+                v
+            })
+        }));
+        let payload = caught.expect_err("the panic must still surface");
+        let text = super::panic_payload_text(payload.as_ref());
+        assert_eq!(text, "item 3 down", "first panic in input order wins");
+        assert_eq!(finished.load(Ordering::Relaxed), 14, "every healthy item completed");
     }
 
     #[test]

@@ -38,8 +38,8 @@ mod lane;
 mod stencil;
 
 pub use harness::{
-    effective_jobs, parallel_map, run_kernel, run_kernel_pooled, run_kernel_traced,
-    run_sweep_parallel, ChipRun, HarnessError, SweepTask,
+    effective_jobs, parallel_map, parallel_map_isolated, run_kernel, run_kernel_pooled,
+    run_kernel_traced, run_sweep_parallel, ChipRun, HarnessError, SweepTask,
 };
 pub use kernel::{gen_values, BuiltKernel, Kernel, KernelGroup, WorkProfile};
 pub use lane::LaneKernel;
