@@ -1,4 +1,4 @@
-//! Execution-tier wall-clock: the full 21-kernel sweep on the compiled
+//! Execution-tier wall-clock: the full 28-kernel sweep on the compiled
 //! (per-instruction) tier vs. the fused ensemble-trace tier.
 //!
 //! Both tiers run steady-state: each keeps a warmed [`RecipePool`] across

@@ -1,4 +1,4 @@
-//! Chip-sweep throughput: the full 21-kernel sweep run serially vs. fanned
+//! Chip-sweep throughput: the full 28-kernel sweep run serially vs. fanned
 //! across worker threads with [`workloads::run_sweep_parallel`].
 //!
 //! The acceptance target for the parallel engine is a >= 2x speedup at

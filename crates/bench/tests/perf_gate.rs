@@ -1,4 +1,4 @@
-//! The perf-regression gate: compares the current 21-kernel sweep's
+//! The perf-regression gate: compares the current 28-kernel sweep's
 //! architectural counters against the blessed `BENCH_kernels.json`.
 //!
 //! * `cargo test -p bench` — runs the gate; fails on any counter drifting
@@ -15,7 +15,7 @@ use bench::perf::{
 #[test]
 fn kernel_counters_match_blessed_baseline() {
     let current = collect_records();
-    assert_eq!(current.len(), 21 * 5, "the 21-kernel suite must run on all five substrates");
+    assert_eq!(current.len(), 28 * 5, "the 28-kernel suite must run on all five substrates");
     let path = baseline_path();
 
     if std::env::var("MPU_BLESS").as_deref() == Ok("1") {

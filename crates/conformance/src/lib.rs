@@ -24,6 +24,7 @@ pub mod case;
 pub mod diff;
 pub mod fault;
 pub mod generate;
+pub mod pipeline_case;
 pub mod shrink;
 
 pub use case::{reproducer_text, Case, CopyLine, Input, MpuCase, Stmt, Top};
@@ -32,4 +33,5 @@ pub use diff::{
 };
 pub use fault::{remap_recovers, render_report, run_sweep, PolicyKind, SweepConfig, SweepReport};
 pub use generate::{generate, BOX_RFHS, BOX_VRFS};
+pub use pipeline_case::{generate_pipeline_case, kops_to_stmts};
 pub use shrink::shrink;

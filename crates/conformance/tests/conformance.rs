@@ -10,7 +10,8 @@
 //!   fixed corpus (re-bless with `MPU_BLESS=1`).
 
 use conformance::{
-    check_case, check_case_on, generate, reproducer_text, shrink, simulate, BACKENDS,
+    check_case, check_case_on, generate, generate_pipeline_case, reproducer_text, shrink, simulate,
+    BACKENDS,
 };
 use conformance::{Case, Stmt, Top};
 use mastodon::RecipePool;
@@ -27,6 +28,23 @@ fn bounded_differential_suite() {
         if let Some(mismatch) = check_case(&case) {
             let (small, m) = shrink(&case, check_case);
             panic!("seed {seed}: {mismatch}\n{}", reproducer_text(&small, &m));
+        }
+    }
+}
+
+/// The dpapi-pipeline case family: lowered data-parallel pipelines run
+/// through the same reference-model-vs-every-backend/tier differential
+/// machinery as the free-form generated corpus, over inputs (including
+/// lane validity patterns) the frontend's own runtime would never load.
+#[test]
+fn dpapi_pipeline_differential_suite() {
+    let cases: u64 =
+        std::env::var("CONFORMANCE_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(25);
+    for seed in 0..cases {
+        let case = generate_pipeline_case(seed);
+        if let Some(mismatch) = check_case(&case) {
+            let (small, m) = shrink(&case, check_case);
+            panic!("pipeline seed {seed}: {mismatch}\n{}", reproducer_text(&small, &m));
         }
     }
 }
@@ -338,18 +356,17 @@ const GOLDEN_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
 
 fn golden_lines() -> String {
     let mut out = String::new();
-    for seed in GOLDEN_SEEDS {
-        let case = generate(seed);
+    let mut emit = |label: &str, seed: u64, case: &conformance::Case| {
         for kind in BACKENDS {
             let stats =
-                simulate(kind, &case).unwrap_or_else(|e| panic!("seed {seed} on {kind:?}: {e}"));
+                simulate(kind, case).unwrap_or_else(|e| panic!("{label}={seed} on {kind:?}: {e}"));
             let energy = stats.energy.datapath_pj
                 + stats.energy.frontend_pj
                 + stats.energy.transfer_pj
                 + stats.energy.offload_bus_pj
                 + stats.energy.cpu_pj;
             out.push_str(&format!(
-                "seed={seed} backend={kind:?} cycles={} instructions={} uops={} waves={} \
+                "{label}={seed} backend={kind:?} cycles={} instructions={} uops={} waves={} \
                  messages={} noc_bytes={} energy_pj={energy:.3}\n",
                 stats.cycles,
                 stats.instructions,
@@ -359,6 +376,12 @@ fn golden_lines() -> String {
                 stats.noc_bytes,
             ));
         }
+    };
+    for seed in GOLDEN_SEEDS {
+        emit("seed", seed, &generate(seed));
+    }
+    for seed in GOLDEN_SEEDS {
+        emit("pipeline_seed", seed, &generate_pipeline_case(seed));
     }
     out
 }

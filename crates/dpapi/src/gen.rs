@@ -1,0 +1,182 @@
+//! Random pipeline generation for differential testing.
+//!
+//! [`random_pipeline`] builds a seed-deterministic, always-lowerable
+//! pipeline plus matching input columns. The dpapi proptests and the
+//! conformance generator's dpapi-pipeline case family both draw from
+//! this one source, so "random pipeline" means the same distribution
+//! everywhere.
+
+use crate::pipeline::{MapOp, Pipeline, Pred, ReduceOp, ScanOp, Stage, ZipOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated pipeline together with inputs shaped to fit it.
+#[derive(Debug, Clone)]
+pub struct RandomPipeline {
+    /// The generated stage list (always lowers successfully).
+    pub pipeline: Pipeline,
+    /// The primary input column.
+    pub primary: Vec<u64>,
+    /// Zip columns, indexed as the pipeline's `zip` stages expect.
+    pub columns: Vec<Vec<u64>>,
+}
+
+impl RandomPipeline {
+    /// The zip columns as the slice-of-slices shape `run`/`oracle` take.
+    pub fn column_refs(&self) -> Vec<&[u64]> {
+        self.columns.iter().map(|c| c.as_slice()).collect()
+    }
+}
+
+fn random_map(rng: &mut StdRng) -> MapOp {
+    let c = rng.random_range(0..1u64 << 32);
+    match rng.random_range(0..12u32) {
+        0 => MapOp::Add(c),
+        1 => MapOp::Sub(c),
+        2 => MapOp::Mul(c),
+        3 => MapOp::And(c),
+        4 => MapOp::Or(c),
+        5 => MapOp::Xor(c),
+        6 => MapOp::Min(c),
+        7 => MapOp::Max(c),
+        // Eq keeps small constants so it sometimes matches.
+        8 => MapOp::Eq(c & 0x7),
+        9 => MapOp::Not,
+        10 => MapOp::Popc,
+        _ => MapOp::Shl1,
+    }
+}
+
+fn random_zip_op(rng: &mut StdRng) -> ZipOp {
+    match rng.random_range(0..8u32) {
+        0 => ZipOp::Add,
+        1 => ZipOp::Sub,
+        2 => ZipOp::Mul,
+        3 => ZipOp::Min,
+        4 => ZipOp::Max,
+        5 => ZipOp::And,
+        6 => ZipOp::Or,
+        _ => ZipOp::Xor,
+    }
+}
+
+fn random_pred(rng: &mut StdRng) -> Pred {
+    // Mid-range thresholds so filters pass roughly half the elements;
+    // Eq compares low bits so it actually fires.
+    match rng.random_range(0..3u32) {
+        0 => Pred::Gt(rng.random_range(0..1u64 << 31)),
+        1 => Pred::Lt(rng.random_range(0..1u64 << 31)),
+        _ => Pred::Eq(rng.random_range(0..4u64)),
+    }
+}
+
+fn random_reduce(rng: &mut StdRng) -> ReduceOp {
+    match rng.random_range(0..7u32) {
+        0 => ReduceOp::Sum,
+        1 => ReduceOp::Min,
+        2 => ReduceOp::Max,
+        3 => ReduceOp::And,
+        4 => ReduceOp::Or,
+        5 => ReduceOp::Xor,
+        _ => ReduceOp::Count,
+    }
+}
+
+/// Generates a seed-deterministic pipeline and matching inputs.
+///
+/// The generator respects the lowering's budget by construction: at most
+/// two filters, at most one zip column, and an `Eq` map only while a
+/// mask level is free — so every generated pipeline lowers.
+pub fn random_pipeline(seed: u64) -> RandomPipeline {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6470_6170_695f_6765);
+    let n = match rng.random_range(0..4u32) {
+        0 => rng.random_range(0..3usize),
+        1 => rng.random_range(3..64usize),
+        2 => rng.random_range(64..66usize),
+        _ => rng.random_range(66..600usize),
+    };
+    let zips = rng.random_range(0..=1usize);
+
+    let mut p = Pipeline::new();
+    let mut filters = 0usize;
+    let stages = rng.random_range(1..=4usize);
+    for _ in 0..stages {
+        match rng.random_range(0..5u32) {
+            0 | 1 => {
+                let op = random_map(&mut rng);
+                if matches!(op, MapOp::Eq(_)) && filters >= 2 {
+                    p = p.map(MapOp::Add(1));
+                } else {
+                    p = p.map(op);
+                }
+            }
+            2 if zips > 0 => p = p.zip(0, random_zip_op(&mut rng)),
+            3 if filters < 2 => {
+                filters += 1;
+                p = p.filter(random_pred(&mut rng));
+            }
+            _ => p = p.map(random_map(&mut rng)),
+        }
+    }
+    // Recheck: the fallback arm may have drawn an Eq map at full depth.
+    let at_depth = p
+        .stages()
+        .iter()
+        .scan(0usize, |open, s| {
+            if matches!(s, Stage::Filter(_)) {
+                *open += 1;
+            }
+            Some(*open >= 2 && matches!(s, Stage::Map(MapOp::Eq(_))))
+        })
+        .any(|x| x);
+    if at_depth {
+        let fixed: Vec<Stage> =
+            p.stages()
+                .iter()
+                .map(|s| {
+                    if matches!(s, Stage::Map(MapOp::Eq(_))) {
+                        Stage::Map(MapOp::Add(1))
+                    } else {
+                        *s
+                    }
+                })
+                .collect();
+        p = Pipeline::from_stages(fixed);
+    }
+    match rng.random_range(0..3u32) {
+        0 => p = p.reduce(random_reduce(&mut rng)),
+        1 if filters == 0 => p = p.scan(ScanOp::Sum),
+        _ => {}
+    }
+
+    let primary: Vec<u64> = (0..n).map(|_| rng.random_range(0..1u64 << 32)).collect();
+    let columns: Vec<Vec<u64>> =
+        (0..zips).map(|_| (0..n).map(|_| rng.random_range(0..1u64 << 32)).collect()).collect();
+    RandomPipeline { pipeline: p, primary, columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_pipelines_always_lower() {
+        for seed in 0..200u64 {
+            let rp = random_pipeline(seed);
+            rp.pipeline
+                .lower()
+                .unwrap_or_else(|e| panic!("seed {seed}: {:?} failed to lower: {e}", rp.pipeline));
+            for c in &rp.columns {
+                assert_eq!(c.len(), rp.primary.len());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_pipeline(42);
+        let b = random_pipeline(42);
+        assert_eq!(a.pipeline, b.pipeline);
+        assert_eq!(a.primary, b.primary);
+    }
+}

@@ -1,0 +1,657 @@
+//! Lowering: from a stage list to registers, a [`Kop`] IR, and ezpim.
+//!
+//! ## Register layout (r0–r9; r10–r15 stay reserved per the register
+//! conventions)
+//!
+//! - `d0..d{SEG-1}` — SEG elements of the primary column per lane;
+//! - one SEG-register block per distinct zip column;
+//! - one broadcast register per distinct immediate constant;
+//! - an optional scratch register (MUL cannot alias its destination);
+//! - on the *flag path*: `v` (host-loaded validity, 1 for real elements,
+//!   0 for padding) and `f` (the keep flag the filter nest computes).
+//!
+//! SEG is the largest of {8, 4, 2, 1} that fits the budget; pipelines
+//! with a `filter` (or `reduce(Count)`) force SEG = 1 because predication
+//! masks whole lanes, so each lane must hold exactly one element.
+//!
+//! ## Lowering rules
+//!
+//! - `map`/`zip` unroll element-wise over the SEG registers;
+//! - each `filter` opens one `if` nesting level and *stays open* for the
+//!   rest of the pipeline (later stages execute only on surviving lanes,
+//!   like real PIM predication); the innermost level ends with
+//!   `f ← v`, so `f` is exactly `validity ∧ all predicates`. A chain of
+//!   more than two filters exceeds the two-level mask pool and is
+//!   rejected at build time with the offending stage index;
+//! - `reduce` closes the nest, masks dead lanes to the fold identity
+//!   (predicated on `f == 0`), then runs a log-depth in-register tree;
+//!   lanes/members/launches fold on the host, and sharded runs aggregate
+//!   per-MPU partials over SEND/RECV first;
+//! - `scan` runs log-depth Hillis–Steele rounds per lane segment
+//!   (phase 1); the host exclusive-scans the segment totals and a second
+//!   launch (phase 2) adds each lane's offset register to its segment.
+
+use crate::pipeline::{MapOp, Pipeline, Pred, ReduceOp, Stage, ZipOp};
+use crate::DpError;
+use ezpim::{Body, Cond, EzProgram};
+use mpu_isa::{BinaryOp, InitValue, Instruction, Program, RegId, UnaryOp};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Writable architectural registers (r0–r9): r10–r13 are the ezpim mask
+/// pool and r14/r15 are recipe temporaries.
+pub const WRITABLE_REGS: usize = 10;
+
+/// Mask-pool nesting levels the default ezpim pool supports.
+pub const MASK_LEVELS: usize = 2;
+
+/// A lowered compute statement: a tree mirror of the ezpim builder
+/// calls, so one lowering can replay into the builder, print as ezpim
+/// text, and convert into conformance-case statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Kop {
+    /// A straight-line instruction.
+    Op(Instruction),
+    /// `if (cond) { then }` predication.
+    If {
+        /// The lane predicate.
+        cond: Cond,
+        /// The predicated body.
+        then: Vec<Kop>,
+    },
+    /// `if (cond) { then } else { otherwise }` predication.
+    IfElse {
+        /// The lane predicate.
+        cond: Cond,
+        /// The taken body.
+        then: Vec<Kop>,
+        /// The not-taken body.
+        otherwise: Vec<Kop>,
+    },
+}
+
+/// The phase-2 (scan offset fixup) program of a two-launch scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase2 {
+    /// Host-computed per-lane segment offset, loaded as an input.
+    pub offset: RegId,
+    /// The fixup body: `d_k += offset` for every segment register.
+    pub kops: Vec<Kop>,
+}
+
+/// A fully lowered pipeline: register assignments plus the compute body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lowered {
+    /// Elements per lane (segment length).
+    pub seg: usize,
+    /// The SEG primary-column data registers.
+    pub data: Vec<RegId>,
+    /// Per zip column: `(column index, SEG registers)`.
+    pub zips: Vec<(usize, Vec<RegId>)>,
+    /// Broadcast immediates: `(register, value)`.
+    pub consts: Vec<(RegId, u64)>,
+    /// Scratch register for MUL results (also the SEND/RECV landing slot
+    /// for sharded reductions when no data register is free).
+    pub scratch: Option<RegId>,
+    /// Host-loaded validity column (flag path only).
+    pub valid: Option<RegId>,
+    /// The computed keep flag (flag path only).
+    pub flag: Option<RegId>,
+    /// The phase-1 compute body.
+    pub kops: Vec<Kop>,
+    /// The phase-2 scan fixup, when the pipeline ends in an unfiltered
+    /// scan.
+    pub phase2: Option<Phase2>,
+    /// The terminal stage, if any.
+    pub terminal: Option<Stage>,
+}
+
+fn r(i: usize) -> RegId {
+    RegId(i as u16)
+}
+
+fn binary(op: BinaryOp, rs: RegId, rt: RegId, rd: RegId) -> Kop {
+    Kop::Op(Instruction::Binary { op, rs, rt, rd })
+}
+
+fn unary(op: UnaryOp, rs: RegId, rd: RegId) -> Kop {
+    Kop::Op(Instruction::Unary { op, rs, rd })
+}
+
+fn init0(rd: RegId) -> Kop {
+    Kop::Op(Instruction::Init { value: InitValue::Zero, rd })
+}
+
+fn init1(rd: RegId) -> Kop {
+    Kop::Op(Instruction::Init { value: InitValue::One, rd })
+}
+
+impl ReduceOp {
+    /// Kops writing this op's fold identity into `rd`.
+    fn identity_kops(self, rd: RegId) -> Vec<Kop> {
+        if self.identity() == 0 {
+            vec![init0(rd)]
+        } else {
+            // All-ones: zero then invert.
+            vec![init0(rd), unary(UnaryOp::Inv, rd, rd)]
+        }
+    }
+
+    /// The combining ALU op of the reduction tree.
+    fn binary_op(self) -> BinaryOp {
+        match self {
+            ReduceOp::Sum | ReduceOp::Count => BinaryOp::Add,
+            ReduceOp::Min => BinaryOp::Min,
+            ReduceOp::Max => BinaryOp::Max,
+            ReduceOp::And => BinaryOp::And,
+            ReduceOp::Or => BinaryOp::Or,
+            ReduceOp::Xor => BinaryOp::Xor,
+        }
+    }
+}
+
+struct Ctx {
+    seg: usize,
+    data: Vec<RegId>,
+    zip_cols: Vec<usize>,
+    zip_regs: Vec<Vec<RegId>>,
+    consts: Vec<(RegId, u64)>,
+    scratch: Option<RegId>,
+    valid: Option<RegId>,
+    flag: Option<RegId>,
+    has_filters: bool,
+}
+
+impl Ctx {
+    fn creg(&self, value: u64) -> RegId {
+        self.consts
+            .iter()
+            .find(|(_, v)| *v == value)
+            .map(|(reg, _)| *reg)
+            .expect("constant was collected during allocation")
+    }
+
+    fn zreg(&self, column: usize, k: usize) -> RegId {
+        let pos = self.zip_cols.iter().position(|&c| c == column).expect("zip column allocated");
+        self.zip_regs[pos][k]
+    }
+
+    fn map_kops(&self, op: MapOp, d: RegId) -> Vec<Kop> {
+        let t = self.scratch;
+        match op {
+            MapOp::Add(c) => vec![binary(BinaryOp::Add, d, self.creg(c), d)],
+            MapOp::Sub(c) => vec![binary(BinaryOp::Sub, d, self.creg(c), d)],
+            MapOp::Mul(c) => {
+                let t = t.expect("mul reserves scratch");
+                vec![binary(BinaryOp::Mul, d, self.creg(c), t), unary(UnaryOp::Mov, t, d)]
+            }
+            MapOp::And(c) => vec![binary(BinaryOp::And, d, self.creg(c), d)],
+            MapOp::Or(c) => vec![binary(BinaryOp::Or, d, self.creg(c), d)],
+            MapOp::Xor(c) => vec![binary(BinaryOp::Xor, d, self.creg(c), d)],
+            MapOp::Min(c) => vec![binary(BinaryOp::Min, d, self.creg(c), d)],
+            MapOp::Max(c) => vec![binary(BinaryOp::Max, d, self.creg(c), d)],
+            MapOp::Eq(c) => vec![Kop::IfElse {
+                cond: Cond::Eq(d, self.creg(c)),
+                then: vec![init1(d)],
+                otherwise: vec![init0(d)],
+            }],
+            MapOp::Not => vec![unary(UnaryOp::Inv, d, d)],
+            MapOp::Popc => vec![unary(UnaryOp::Popc, d, d)],
+            MapOp::Shl1 => vec![unary(UnaryOp::LShift, d, d)],
+        }
+    }
+
+    fn zip_kops(&self, op: ZipOp, d: RegId, z: RegId) -> Vec<Kop> {
+        match op {
+            ZipOp::Add => vec![binary(BinaryOp::Add, d, z, d)],
+            ZipOp::Sub => vec![binary(BinaryOp::Sub, d, z, d)],
+            ZipOp::Mul => {
+                let t = self.scratch.expect("mul reserves scratch");
+                vec![binary(BinaryOp::Mul, d, z, t), unary(UnaryOp::Mov, t, d)]
+            }
+            ZipOp::Min => vec![binary(BinaryOp::Min, d, z, d)],
+            ZipOp::Max => vec![binary(BinaryOp::Max, d, z, d)],
+            ZipOp::And => vec![binary(BinaryOp::And, d, z, d)],
+            ZipOp::Or => vec![binary(BinaryOp::Or, d, z, d)],
+            ZipOp::Xor => vec![binary(BinaryOp::Xor, d, z, d)],
+        }
+    }
+
+    fn pred_cond(&self, pred: Pred, d: RegId) -> Cond {
+        match pred {
+            Pred::Gt(c) => Cond::Gt(d, self.creg(c)),
+            Pred::Lt(c) => Cond::Lt(d, self.creg(c)),
+            Pred::Eq(c) => Cond::Eq(d, self.creg(c)),
+        }
+    }
+
+    /// Lowers `body[idx..]`; each filter nests the remainder inside its
+    /// `if`, and the innermost point marks survivors with `f ← v`.
+    fn lower_from(&self, body: &[Stage], idx: usize) -> Vec<Kop> {
+        let mut out = Vec::new();
+        for (i, &stage) in body.iter().enumerate().skip(idx) {
+            match stage {
+                Stage::Map(op) => {
+                    for k in 0..self.seg {
+                        out.extend(self.map_kops(op, self.data[k]));
+                    }
+                }
+                Stage::Zip { column, op } => {
+                    for k in 0..self.seg {
+                        out.extend(self.zip_kops(op, self.data[k], self.zreg(column, k)));
+                    }
+                }
+                Stage::Filter(pred) => {
+                    out.push(Kop::If {
+                        cond: self.pred_cond(pred, self.data[0]),
+                        then: self.lower_from(body, i + 1),
+                    });
+                    return out;
+                }
+                Stage::Scan(_) | Stage::Reduce(_) => unreachable!("terminal stripped from body"),
+            }
+        }
+        if self.has_filters {
+            let (v, f) = (self.valid.unwrap(), self.flag.unwrap());
+            out.push(unary(UnaryOp::Mov, v, f));
+        }
+        out
+    }
+}
+
+impl Pipeline {
+    /// Lowers the pipeline: allocates registers, checks the mask-pool
+    /// budget, and produces the [`Kop`] body (plus the phase-2 fixup for
+    /// two-launch scans).
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::TerminalNotLast`], [`DpError::MaskPoolExhausted`] (with
+    /// the offending stage index), or [`DpError::RegisterPressure`].
+    pub fn lower(&self) -> Result<Lowered, DpError> {
+        let columns = self
+            .stages()
+            .iter()
+            .filter_map(|s| match s {
+                Stage::Zip { column, .. } => Some(column + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let terminal = self.validate(columns)?;
+
+        // Mask-depth pre-check: each filter holds a level open for the
+        // rest of the pipeline; an Eq map needs one transient level.
+        let mut open = 0usize;
+        for (i, &stage) in self.stages().iter().enumerate() {
+            let needs = match stage {
+                Stage::Filter(_) => {
+                    open += 1;
+                    open
+                }
+                Stage::Map(MapOp::Eq(_)) => open + 1,
+                _ => continue,
+            };
+            if needs > MASK_LEVELS {
+                return Err(DpError::MaskPoolExhausted { stage: i });
+            }
+        }
+        let has_filters = open > 0;
+
+        let is_count = terminal == Some(Stage::Reduce(ReduceOp::Count));
+        let flagged = has_filters || is_count;
+        // An unflagged reduce still needs a validity column: padding
+        // lanes pass through the map/zip stages, so their values are NOT
+        // the fold identity — they are masked to it on-device, and the
+        // host folds the ragged (< SEG) tail itself.
+        let reduce_mask = matches!(terminal, Some(Stage::Reduce(_))) && !flagged;
+        let needs_scratch = self
+            .stages()
+            .iter()
+            .any(|s| matches!(s, Stage::Map(MapOp::Mul(_)) | Stage::Zip { op: ZipOp::Mul, .. }));
+
+        // Broadcast immediates, plus 0 for the dead-lane identity mask.
+        let mut const_vals: BTreeSet<u64> = BTreeSet::new();
+        for &stage in self.stages() {
+            match stage {
+                Stage::Map(
+                    MapOp::Add(c)
+                    | MapOp::Sub(c)
+                    | MapOp::Mul(c)
+                    | MapOp::And(c)
+                    | MapOp::Or(c)
+                    | MapOp::Xor(c)
+                    | MapOp::Min(c)
+                    | MapOp::Max(c)
+                    | MapOp::Eq(c),
+                )
+                | Stage::Filter(Pred::Gt(c) | Pred::Lt(c) | Pred::Eq(c)) => {
+                    const_vals.insert(c);
+                }
+                _ => {}
+            }
+        }
+        if reduce_mask || (flagged && terminal.is_some() && !is_count) {
+            const_vals.insert(0);
+        }
+
+        let zip_cols: Vec<usize> = {
+            let mut seen = Vec::new();
+            for &stage in self.stages() {
+                if let Stage::Zip { column, .. } = stage {
+                    if !seen.contains(&column) {
+                        seen.push(column);
+                    }
+                }
+            }
+            seen
+        };
+
+        let per_elem = 1 + zip_cols.len();
+        let valid_needed = flagged || reduce_mask;
+        let fixed = const_vals.len()
+            + usize::from(needs_scratch)
+            + usize::from(valid_needed)
+            + usize::from(flagged);
+        let seg = if flagged {
+            1
+        } else {
+            [8usize, 4, 2, 1]
+                .into_iter()
+                .find(|s| s * per_elem + fixed <= WRITABLE_REGS)
+                .unwrap_or(1)
+        };
+        let needed = seg * per_elem + fixed;
+        if needed > WRITABLE_REGS {
+            return Err(DpError::RegisterPressure { needed, available: WRITABLE_REGS });
+        }
+
+        // Assign registers in layout order.
+        let mut next = 0usize;
+        let mut take = |n: usize| {
+            let base = next;
+            next += n;
+            (base..base + n).map(r).collect::<Vec<_>>()
+        };
+        let data = take(seg);
+        let zip_regs: Vec<Vec<RegId>> = zip_cols.iter().map(|_| take(seg)).collect();
+        let const_regs = take(const_vals.len());
+        let consts: Vec<(RegId, u64)> =
+            const_regs.into_iter().zip(const_vals.iter().copied()).collect();
+        let scratch = needs_scratch.then(|| take(1)[0]);
+        let valid = valid_needed.then(|| take(1)[0]);
+        let flag = flagged.then(|| take(1)[0]);
+
+        let ctx = Ctx {
+            seg,
+            data: data.clone(),
+            zip_cols: zip_cols.clone(),
+            zip_regs: zip_regs.clone(),
+            consts: consts.clone(),
+            scratch,
+            valid,
+            flag,
+            has_filters,
+        };
+
+        // Phase-1 body: prelude, the (possibly nested) stage walk, then
+        // the terminal.
+        let body_end = self.stages().len() - usize::from(terminal.is_some());
+        let mut kops = Vec::new();
+        if flagged {
+            let (v, f) = (valid.unwrap(), flag.unwrap());
+            if has_filters {
+                kops.push(init0(f));
+            } else {
+                kops.push(unary(UnaryOp::Mov, v, f));
+            }
+        }
+        kops.extend(ctx.lower_from(&self.stages()[..body_end], 0));
+
+        let mut phase2 = None;
+        match terminal {
+            Some(Stage::Reduce(op)) => {
+                let d0 = data[0];
+                if flagged {
+                    let f = flag.unwrap();
+                    if is_count {
+                        kops.push(unary(UnaryOp::Mov, f, d0));
+                    } else {
+                        kops.push(Kop::If {
+                            cond: Cond::Eq(f, ctx.creg(0)),
+                            then: op.identity_kops(d0),
+                        });
+                    }
+                } else {
+                    // Lanes without a fully-real segment fold as the
+                    // identity; the host picks up their real elements.
+                    let v = valid.unwrap();
+                    kops.push(Kop::If {
+                        cond: Cond::Eq(v, ctx.creg(0)),
+                        then: (0..seg).flat_map(|k| op.identity_kops(data[k])).collect(),
+                    });
+                }
+                // Log-depth in-register tree into d0.
+                let alu = op.binary_op();
+                let mut gap = 1;
+                while gap < seg {
+                    let mut i = 0;
+                    while i + gap < seg {
+                        kops.push(binary(alu, data[i + gap], data[i], data[i]));
+                        i += 2 * gap;
+                    }
+                    gap *= 2;
+                }
+            }
+            Some(Stage::Scan(_)) => {
+                if flagged {
+                    // Dead lanes contribute the sum identity; the host
+                    // completes the scan (see exec).
+                    let f = flag.unwrap();
+                    kops.push(Kop::If {
+                        cond: Cond::Eq(f, ctx.creg(0)),
+                        then: vec![init0(data[0])],
+                    });
+                } else {
+                    // Log-depth Hillis–Steele inclusive scan per segment;
+                    // descending i so each round reads pre-round values.
+                    let mut d = 1;
+                    while d < seg {
+                        for i in (d..seg).rev() {
+                            kops.push(binary(BinaryOp::Add, data[i - d], data[i], data[i]));
+                        }
+                        d *= 2;
+                    }
+                    let offset = r(seg);
+                    let fixup =
+                        (0..seg).map(|k| binary(BinaryOp::Add, offset, data[k], data[k])).collect();
+                    phase2 = Some(Phase2 { offset, kops: fixup });
+                }
+            }
+            _ => {}
+        }
+
+        Ok(Lowered {
+            seg,
+            data,
+            zips: zip_cols.into_iter().zip(zip_regs).collect(),
+            consts,
+            scratch,
+            valid,
+            flag,
+            kops,
+            phase2,
+            terminal,
+        })
+    }
+}
+
+/// Replays kops into an ezpim [`Body`].
+pub fn emit_kops(b: &mut Body<'_>, kops: &[Kop]) {
+    for kop in kops {
+        match kop {
+            Kop::Op(i) => {
+                b.op(*i);
+            }
+            Kop::If { cond, then } => {
+                b.if_then(*cond, |b| emit_kops(b, then));
+            }
+            Kop::IfElse { cond, then, otherwise } => {
+                b.if_else(*cond, |b| emit_kops(b, then), |b| emit_kops(b, otherwise));
+            }
+        }
+    }
+}
+
+fn cond_text(c: &Cond) -> String {
+    match *c {
+        Cond::Eq(a, b) => format!("r{} == r{}", a.0, b.0),
+        Cond::Gt(a, b) => format!("r{} > r{}", a.0, b.0),
+        Cond::Lt(a, b) => format!("r{} < r{}", a.0, b.0),
+        Cond::Fuzzy(a, b, skip) => format!("r{} ~= r{} skip r{}", a.0, b.0, skip.0),
+    }
+}
+
+fn print_kops(out: &mut String, kops: &[Kop], indent: usize) {
+    let pad = "    ".repeat(indent);
+    for kop in kops {
+        match kop {
+            Kop::Op(i) => {
+                let _ = writeln!(out, "{pad}{i}");
+            }
+            Kop::If { cond, then } => {
+                let _ = writeln!(out, "{pad}if {} {{", cond_text(cond));
+                print_kops(out, then, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Kop::IfElse { cond, then, otherwise } => {
+                let _ = writeln!(out, "{pad}if {} {{", cond_text(cond));
+                print_kops(out, then, indent + 1);
+                let _ = writeln!(out, "{pad}}} else {{");
+                print_kops(out, otherwise, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+fn ensemble_text(members: &[(u16, u16)], kops: &[Kop]) -> String {
+    let ms = members.iter().map(|(h, v)| format!("h{h}.v{v}")).collect::<Vec<_>>().join(" ");
+    let mut out = format!("ensemble {ms} {{\n");
+    print_kops(&mut out, kops, 1);
+    out.push_str("}\n");
+    out
+}
+
+fn assemble(members: &[(u16, u16)], kops: &[Kop]) -> Result<Program, DpError> {
+    let mut ez = EzProgram::new();
+    ez.ensemble(members, |b| emit_kops(b, kops)).map_err(|e| DpError::Sim(e.to_string()))?;
+    ez.assemble().map_err(|e| DpError::Sim(e.to_string()))
+}
+
+impl Lowered {
+    /// The phase-1 compute program over `members`.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::Sim`] if ezpim rejects the body (pre-validated, so
+    /// effectively unreachable).
+    pub fn program(&self, members: &[(u16, u16)]) -> Result<Program, DpError> {
+        assemble(members, &self.kops)
+    }
+
+    /// The phase-2 fixup program, for two-launch scans.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::Sim`] as for [`Lowered::program`].
+    pub fn phase2_program(&self, members: &[(u16, u16)]) -> Result<Option<Program>, DpError> {
+        self.phase2.as_ref().map(|p| assemble(members, &p.kops)).transpose()
+    }
+
+    /// The phase-1 program as ezpim text (parses and assembles back to
+    /// exactly [`Lowered::program`]; the round-trip is property-tested).
+    pub fn ezpim_text(&self, members: &[(u16, u16)]) -> String {
+        ensemble_text(members, &self.kops)
+    }
+
+    /// The phase-2 program as ezpim text.
+    pub fn phase2_text(&self, members: &[(u16, u16)]) -> Option<String> {
+        self.phase2.as_ref().map(|p| ensemble_text(members, &p.kops))
+    }
+
+    /// Registers the host reads back per member: the data segment, plus
+    /// the keep flag on the flag path.
+    pub fn output_regs(&self, members: &[(u16, u16)]) -> Vec<(u16, u16, u8)> {
+        let mut regs: Vec<u8> = self.data.iter().map(|d| d.0 as u8).collect();
+        if let Some(f) = self.flag {
+            regs.push(f.0 as u8);
+        }
+        members
+            .iter()
+            .flat_map(|&(rfh, vrf)| regs.iter().map(move |&reg| (rfh, vrf, reg)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ScanOp;
+
+    #[test]
+    fn three_filters_exhaust_the_pool_at_build_time() {
+        let p = Pipeline::new()
+            .filter(Pred::Gt(1))
+            .filter(Pred::Gt(2))
+            .filter(Pred::Gt(3))
+            .reduce(ReduceOp::Sum);
+        assert_eq!(p.lower(), Err(DpError::MaskPoolExhausted { stage: 2 }));
+    }
+
+    #[test]
+    fn eq_map_under_two_filters_exhausts_the_pool() {
+        let p = Pipeline::new().filter(Pred::Gt(1)).filter(Pred::Gt(2)).map(MapOp::Eq(5));
+        assert_eq!(p.lower(), Err(DpError::MaskPoolExhausted { stage: 2 }));
+    }
+
+    #[test]
+    fn seg_widens_without_filters_and_narrows_with_zips() {
+        let plain = Pipeline::new().map(MapOp::Add(1)).lower().unwrap();
+        assert_eq!(plain.seg, 8);
+        let zipped = Pipeline::new().zip(0, ZipOp::Add).lower().unwrap();
+        assert_eq!(zipped.seg, 4); // 2 columns × 4 regs + 0 consts
+        let filtered = Pipeline::new().filter(Pred::Gt(0)).lower().unwrap();
+        assert_eq!(filtered.seg, 1);
+        assert!(filtered.valid.is_some() && filtered.flag.is_some());
+    }
+
+    #[test]
+    fn scan_lowers_to_two_phases() {
+        let p = Pipeline::new().scan(ScanOp::Sum).lower().unwrap();
+        assert_eq!(p.seg, 8);
+        let phase2 = p.phase2.expect("unfiltered scan is two-launch");
+        assert_eq!(phase2.kops.len(), 8);
+    }
+
+    #[test]
+    fn lowered_program_assembles() {
+        let p = Pipeline::new()
+            .map(MapOp::And(3))
+            .filter(Pred::Eq(3))
+            .reduce(ReduceOp::Count)
+            .lower()
+            .unwrap();
+        let program = p.program(&[(0, 0), (1, 0)]).unwrap();
+        assert!(program.len() > 4);
+    }
+
+    #[test]
+    fn text_round_trips_through_the_parser() {
+        let p = Pipeline::new().map(MapOp::Eq(7)).zip(0, ZipOp::Add).lower().unwrap();
+        let members = [(0u16, 0u16), (1, 0)];
+        let text = p.ezpim_text(&members);
+        let parsed = ezpim::parse(&text).unwrap().assemble().unwrap();
+        assert_eq!(parsed, p.program(&members).unwrap());
+    }
+}

@@ -1,0 +1,372 @@
+//! The typed pipeline surface and its plain-Rust oracle.
+//!
+//! Semantics (shared bit-for-bit by the oracle, the lowering, and the
+//! execution engine):
+//!
+//! - all values are `u64`; `+`/`-` wrap; comparisons are unsigned;
+//! - `Mul` truncates both operands to their low 32 bits before the
+//!   multiply, exactly like the ISA's narrow-operand `MUL`;
+//! - `filter` drops elements: surviving elements keep their original
+//!   order, and downstream `zip` stages still join by *original* element
+//!   index (the columns are aligned before any filtering);
+//! - `scan` is an inclusive prefix sum over the surviving elements;
+//! - `reduce` folds the surviving elements, yielding the operation's
+//!   identity on an empty selection (`Count` yields 0).
+
+use crate::DpError;
+use pum_backend::semantics;
+
+/// Element-wise map with a broadcast immediate where applicable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapOp {
+    /// `x + c` (wrapping).
+    Add(u64),
+    /// `x - c` (wrapping).
+    Sub(u64),
+    /// `mul32(x, c)`: low-32-bit multiply, like the ISA.
+    Mul(u64),
+    /// `x & c`.
+    And(u64),
+    /// `x | c`.
+    Or(u64),
+    /// `x ^ c`.
+    Xor(u64),
+    /// `min(x, c)` (unsigned).
+    Min(u64),
+    /// `max(x, c)` (unsigned).
+    Max(u64),
+    /// `1` if `x == c`, else `0`.
+    Eq(u64),
+    /// `!x`.
+    Not,
+    /// `popcount(x)`.
+    Popc,
+    /// `x << 1`.
+    Shl1,
+}
+
+/// Element-wise combine with a second input column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipOp {
+    /// `x + z` (wrapping).
+    Add,
+    /// `x - z` (wrapping).
+    Sub,
+    /// `mul32(x, z)`.
+    Mul,
+    /// `min(x, z)` (unsigned).
+    Min,
+    /// `max(x, z)` (unsigned).
+    Max,
+    /// `x & z`.
+    And,
+    /// `x | z`.
+    Or,
+    /// `x ^ z`.
+    Xor,
+}
+
+/// Filter predicate against a broadcast immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pred {
+    /// Keep elements with `x > c` (unsigned).
+    Gt(u64),
+    /// Keep elements with `x < c` (unsigned).
+    Lt(u64),
+    /// Keep elements with `x == c`.
+    Eq(u64),
+}
+
+/// Terminal reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Wrapping sum (identity 0).
+    Sum,
+    /// Unsigned minimum (identity `u64::MAX`).
+    Min,
+    /// Unsigned maximum (identity 0).
+    Max,
+    /// Bitwise and (identity `u64::MAX`).
+    And,
+    /// Bitwise or (identity 0).
+    Or,
+    /// Bitwise xor (identity 0).
+    Xor,
+    /// Number of surviving elements.
+    Count,
+}
+
+impl ReduceOp {
+    /// The fold identity.
+    pub fn identity(self) -> u64 {
+        match self {
+            ReduceOp::Sum | ReduceOp::Max | ReduceOp::Or | ReduceOp::Xor | ReduceOp::Count => 0,
+            ReduceOp::Min | ReduceOp::And => u64::MAX,
+        }
+    }
+
+    /// The binary combine.
+    pub fn combine(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum | ReduceOp::Count => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::And => a & b,
+            ReduceOp::Or => a | b,
+            ReduceOp::Xor => a ^ b,
+        }
+    }
+}
+
+/// Terminal inclusive scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanOp {
+    /// Wrapping inclusive prefix sum.
+    Sum,
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Element-wise map.
+    Map(MapOp),
+    /// Element-wise combine with input column `column`.
+    Zip {
+        /// Which extra input column to join (index into the `columns`
+        /// argument of [`Pipeline::run`] / [`Pipeline::oracle`]).
+        column: usize,
+        /// The combine operation.
+        op: ZipOp,
+    },
+    /// Drop elements failing the predicate.
+    Filter(Pred),
+    /// Terminal inclusive scan over the survivors.
+    Scan(ScanOp),
+    /// Terminal fold over the survivors.
+    Reduce(ReduceOp),
+}
+
+impl Stage {
+    /// True for `scan`/`reduce`, which must come last.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Stage::Scan(_) | Stage::Reduce(_))
+    }
+}
+
+/// Host-side map semantics.
+pub(crate) fn apply_map(op: MapOp, x: u64) -> u64 {
+    match op {
+        MapOp::Add(c) => x.wrapping_add(c),
+        MapOp::Sub(c) => x.wrapping_sub(c),
+        MapOp::Mul(c) => semantics::mul32(x, c),
+        MapOp::And(c) => x & c,
+        MapOp::Or(c) => x | c,
+        MapOp::Xor(c) => x ^ c,
+        MapOp::Min(c) => x.min(c),
+        MapOp::Max(c) => x.max(c),
+        MapOp::Eq(c) => u64::from(x == c),
+        MapOp::Not => !x,
+        MapOp::Popc => u64::from(x.count_ones()),
+        MapOp::Shl1 => x << 1,
+    }
+}
+
+/// Host-side zip semantics.
+pub(crate) fn apply_zip(op: ZipOp, x: u64, z: u64) -> u64 {
+    match op {
+        ZipOp::Add => x.wrapping_add(z),
+        ZipOp::Sub => x.wrapping_sub(z),
+        ZipOp::Mul => semantics::mul32(x, z),
+        ZipOp::Min => x.min(z),
+        ZipOp::Max => x.max(z),
+        ZipOp::And => x & z,
+        ZipOp::Or => x | z,
+        ZipOp::Xor => x ^ z,
+    }
+}
+
+/// Host-side predicate semantics.
+pub(crate) fn apply_pred(pred: Pred, x: u64) -> bool {
+    match pred {
+        Pred::Gt(c) => x > c,
+        Pred::Lt(c) => x < c,
+        Pred::Eq(c) => x == c,
+    }
+}
+
+/// What a pipeline evaluates to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineOutput {
+    /// Surviving (and possibly scanned) element values, in order. Empty
+    /// for `reduce`-terminated pipelines.
+    pub values: Vec<u64>,
+    /// The folded value for `reduce`-terminated pipelines.
+    pub reduced: Option<u64>,
+}
+
+/// A typed data-parallel pipeline. See the crate docs for an example.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Pipeline {
+    stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// An empty pipeline (the identity over its input).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a pipeline directly from stages (used by the generators).
+    pub fn from_stages(stages: Vec<Stage>) -> Self {
+        Self { stages }
+    }
+
+    /// The stage sequence.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Appends an element-wise map.
+    pub fn map(mut self, op: MapOp) -> Self {
+        self.stages.push(Stage::Map(op));
+        self
+    }
+
+    /// Appends an element-wise combine with input column `column`.
+    pub fn zip(mut self, column: usize, op: ZipOp) -> Self {
+        self.stages.push(Stage::Zip { column, op });
+        self
+    }
+
+    /// Appends a filter.
+    pub fn filter(mut self, pred: Pred) -> Self {
+        self.stages.push(Stage::Filter(pred));
+        self
+    }
+
+    /// Appends the terminal inclusive scan.
+    pub fn scan(mut self, op: ScanOp) -> Self {
+        self.stages.push(Stage::Scan(op));
+        self
+    }
+
+    /// Appends the terminal reduction.
+    pub fn reduce(mut self, op: ReduceOp) -> Self {
+        self.stages.push(Stage::Reduce(op));
+        self
+    }
+
+    /// Validates stage ordering and zip columns against `columns` extra
+    /// inputs; returns the terminal stage, if any.
+    pub(crate) fn validate(&self, columns: usize) -> Result<Option<Stage>, DpError> {
+        let mut terminal = None;
+        for (i, &stage) in self.stages.iter().enumerate() {
+            if terminal.is_some() {
+                return Err(DpError::TerminalNotLast { stage: i - 1 });
+            }
+            match stage {
+                Stage::Zip { column, .. } if column >= columns => {
+                    return Err(DpError::UnknownColumn { stage: i, column });
+                }
+                s if s.is_terminal() => terminal = Some(s),
+                _ => {}
+            }
+        }
+        Ok(terminal)
+    }
+
+    /// The plain-Rust oracle: evaluates the pipeline over `primary` (and
+    /// `columns` for zips) with the exact device semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns stage-ordering, unknown-column, and length-mismatch
+    /// errors.
+    pub fn oracle(&self, primary: &[u64], columns: &[&[u64]]) -> Result<PipelineOutput, DpError> {
+        let terminal = self.validate(columns.len())?;
+        for (j, col) in columns.iter().enumerate() {
+            if col.len() != primary.len() {
+                return Err(DpError::ColumnLengthMismatch {
+                    column: j,
+                    len: col.len(),
+                    expected: primary.len(),
+                });
+            }
+        }
+        let mut survivors = Vec::new();
+        'elem: for (i, &x0) in primary.iter().enumerate() {
+            let mut x = x0;
+            for &stage in &self.stages {
+                match stage {
+                    Stage::Map(op) => x = apply_map(op, x),
+                    Stage::Zip { column, op } => x = apply_zip(op, x, columns[column][i]),
+                    Stage::Filter(pred) => {
+                        if !apply_pred(pred, x) {
+                            continue 'elem;
+                        }
+                    }
+                    Stage::Scan(_) | Stage::Reduce(_) => break,
+                }
+            }
+            survivors.push(x);
+        }
+        Ok(match terminal {
+            None => PipelineOutput { values: survivors, reduced: None },
+            Some(Stage::Scan(ScanOp::Sum)) => {
+                let mut running = 0u64;
+                for v in &mut survivors {
+                    running = running.wrapping_add(*v);
+                    *v = running;
+                }
+                PipelineOutput { values: survivors, reduced: None }
+            }
+            Some(Stage::Reduce(op)) => {
+                let folded = survivors.iter().fold(op.identity(), |acc, &v| {
+                    op.combine(acc, if op == ReduceOp::Count { 1 } else { v })
+                });
+                PipelineOutput { values: Vec::new(), reduced: Some(folded) }
+            }
+            Some(_) => unreachable!("only scan/reduce are terminal"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_maps_filters_and_reduces() {
+        let p = Pipeline::new().map(MapOp::And(3)).filter(Pred::Eq(3)).reduce(ReduceOp::Count);
+        let out = p.oracle(&(0..8).collect::<Vec<_>>(), &[]).unwrap();
+        assert_eq!(out.reduced, Some(2)); // 3 and 7
+    }
+
+    #[test]
+    fn oracle_zip_joins_by_original_index() {
+        let p = Pipeline::new().filter(Pred::Gt(1)).zip(0, ZipOp::Add);
+        let out = p.oracle(&[1, 2, 3], &[&[10, 20, 30]]).unwrap();
+        // Element 0 is dropped; survivors still join their own column rows.
+        assert_eq!(out.values, vec![22, 33]);
+    }
+
+    #[test]
+    fn oracle_scan_is_inclusive_over_survivors() {
+        let p = Pipeline::new().filter(Pred::Gt(10)).scan(ScanOp::Sum);
+        let out = p.oracle(&[5, 20, 7, 30], &[]).unwrap();
+        assert_eq!(out.values, vec![20, 50]);
+    }
+
+    #[test]
+    fn terminal_must_be_last() {
+        let p = Pipeline::new().reduce(ReduceOp::Sum).map(MapOp::Not);
+        assert_eq!(p.oracle(&[1], &[]), Err(DpError::TerminalNotLast { stage: 0 }));
+    }
+
+    #[test]
+    fn reduce_of_empty_selection_is_identity() {
+        let p = Pipeline::new().filter(Pred::Gt(u64::MAX)).reduce(ReduceOp::Min);
+        let out = p.oracle(&[1, 2, 3], &[]).unwrap();
+        assert_eq!(out.reduced, Some(u64::MAX));
+    }
+}

@@ -1,0 +1,132 @@
+//! Differential verification of the dpapi lowering: random stage
+//! compositions must match the plain-Rust oracle when executed on the
+//! cycle-exact simulator, every lowered program must round-trip through
+//! the ezpim text format (builder → text → parser → assemble), and
+//! build-time errors must carry the offending stage index.
+
+use dpapi::{random_pipeline, DpError, MapOp, Pipeline, Pred, ReduceOp, ScanOp, ZipOp};
+use mastodon::SimConfig;
+use proptest::prelude::*;
+use pum_backend::DatapathKind;
+
+fn cfg() -> SimConfig {
+    SimConfig::mpu(DatapathKind::Racer)
+}
+
+fn assert_matches_oracle(p: &Pipeline, primary: &[u64], columns: &[&[u64]], label: &str) {
+    let want = p.oracle(primary, columns).unwrap_or_else(|e| panic!("{label}: oracle: {e}"));
+    let got = p.run(&cfg(), primary, columns).unwrap_or_else(|e| panic!("{label}: run: {e}"));
+    assert_eq!(got.values, want.values, "{label}: values diverge (pipeline {p:?})");
+    assert_eq!(got.reduced, want.reduced, "{label}: reduced diverges (pipeline {p:?})");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random pipelines over random inputs: lowered execution ≡ oracle.
+    #[test]
+    fn random_pipelines_match_oracle(seed in any::<u64>()) {
+        let rp = random_pipeline(seed);
+        assert_matches_oracle(
+            &rp.pipeline,
+            &rp.primary,
+            &rp.column_refs(),
+            &format!("seed {seed}"),
+        );
+    }
+
+    /// Builder → text → parser → assemble is the identity on every
+    /// lowered program (both phases of two-launch scans).
+    #[test]
+    fn lowered_text_round_trips(seed in any::<u64>()) {
+        let rp = random_pipeline(seed);
+        let lowered = rp.pipeline.lower().unwrap();
+        let members = [(0u16, 0u16), (1, 0), (0, 2)];
+        let text = lowered.ezpim_text(&members);
+        let parsed = ezpim::parse(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: text failed to parse: {e}\n{text}"))
+            .assemble()
+            .unwrap();
+        prop_assert_eq!(parsed, lowered.program(&members).unwrap());
+        if let Some(text2) = lowered.phase2_text(&members) {
+            let parsed2 = ezpim::parse(&text2).unwrap().assemble().unwrap();
+            prop_assert_eq!(parsed2, lowered.phase2_program(&members).unwrap().unwrap());
+        }
+    }
+}
+
+/// Edge input shapes: empty, singleton, around the 64-lane boundary, and
+/// multi-chunk, for one pipeline of each terminal kind.
+#[test]
+fn edge_lengths_match_oracle() {
+    let pipelines = [
+        Pipeline::new().map(MapOp::Add(3)).map(MapOp::Xor(0xF0F0)),
+        Pipeline::new().map(MapOp::And(7)).filter(Pred::Lt(4)),
+        Pipeline::new().zip(0, ZipOp::Max).reduce(ReduceOp::Min),
+        Pipeline::new().map(MapOp::Popc).scan(ScanOp::Sum),
+        Pipeline::new().filter(Pred::Gt(1 << 20)).reduce(ReduceOp::Count),
+    ];
+    for n in [0usize, 1, 63, 64, 65, 200] {
+        let primary: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+        let col: Vec<u64> = (0..n as u64).map(|i| i.rotate_left(17) ^ 0xABCD).collect();
+        for (pi, p) in pipelines.iter().enumerate() {
+            assert_matches_oracle(p, &primary, &[&col], &format!("pipeline {pi} n {n}"));
+        }
+    }
+}
+
+/// An all-false filter yields no values and fold identities.
+#[test]
+fn all_false_filter_matches_oracle() {
+    let data: Vec<u64> = (0..500).collect();
+    let kept = Pipeline::new().filter(Pred::Gt(u64::MAX));
+    assert_matches_oracle(&kept, &data, &[], "all-false filter");
+    let counted = Pipeline::new().filter(Pred::Gt(u64::MAX)).reduce(ReduceOp::Count);
+    let run = counted.run(&cfg(), &data, &[]).unwrap();
+    assert_eq!(run.reduced, Some(0));
+    let min = Pipeline::new().filter(Pred::Gt(u64::MAX)).reduce(ReduceOp::Min);
+    assert_eq!(min.run(&cfg(), &data, &[]).unwrap().reduced, Some(u64::MAX));
+}
+
+/// Sharded execution is value-identical to single-MPU execution for both
+/// the SEND/RECV reduce path and the embarrassing path.
+#[test]
+fn sharded_runs_match_single_mpu() {
+    let data: Vec<u64> = (0..4000).map(|i| i ^ (i << 13)).collect();
+    let reduce = Pipeline::new().map(MapOp::And(0xFFFF)).reduce(ReduceOp::Xor);
+    let filter = Pipeline::new().map(MapOp::And(0xFF)).filter(Pred::Gt(0x7F));
+    for p in [&reduce, &filter] {
+        let single = p.run(&cfg(), &data, &[]).unwrap();
+        let sharded = p.run_sharded(&cfg(), 4, &data, &[]).unwrap();
+        assert_eq!(single.values, sharded.values);
+        assert_eq!(single.reduced, sharded.reduced);
+    }
+}
+
+/// Build-time errors carry the offending stage index, and shape errors
+/// carry the offending column.
+#[test]
+fn errors_carry_stage_and_column_context() {
+    let deep = Pipeline::new()
+        .map(MapOp::Add(1))
+        .filter(Pred::Gt(2))
+        .map(MapOp::Not)
+        .filter(Pred::Lt(9))
+        .filter(Pred::Eq(0));
+    assert_eq!(deep.lower(), Err(DpError::MaskPoolExhausted { stage: 4 }));
+
+    let unknown = Pipeline::new().zip(2, ZipOp::Add);
+    assert_eq!(
+        unknown.run(&cfg(), &[1, 2], &[&[3, 4]]),
+        Err(DpError::UnknownColumn { stage: 0, column: 2 })
+    );
+
+    let short = Pipeline::new().zip(0, ZipOp::Add);
+    assert_eq!(
+        short.run(&cfg(), &[1, 2, 3], &[&[9]]),
+        Err(DpError::ColumnLengthMismatch { column: 0, len: 1, expected: 3 })
+    );
+
+    let trailing = Pipeline::new().reduce(ReduceOp::Sum).map(MapOp::Not);
+    assert_eq!(trailing.lower(), Err(DpError::TerminalNotLast { stage: 0 }));
+}

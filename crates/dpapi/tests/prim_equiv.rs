@@ -1,0 +1,241 @@
+//! Frontend ↔ hand-written equivalence for the PrIM kernel suite: every
+//! registered PrIM kernel is also expressed through the dpapi pipeline
+//! frontend, and the frontend-lowered execution must reproduce the
+//! hand-written kernel's golden expectations byte-for-byte on the same
+//! input data (reconstructed from the kernel's own `BuiltKernel`).
+//!
+//! Where a kernel needs per-slot composition (gather/scatter/hash-join),
+//! the host combines several pipeline runs — the same host/device split
+//! a DaPPA application uses. Values are full-width u64, so indicators
+//! are widened to masks with `Eq → Sub(1) → Not` (all-ones on match)
+//! and applied with a bitwise-`And` zip rather than a 32-bit multiply.
+
+use dpapi::{MapOp, Pipeline, Pred, ReduceOp, ScanOp, ZipOp};
+use mastodon::SimConfig;
+use pum_backend::DatapathKind;
+use workloads::{all_kernels, BuiltKernel};
+
+const SEED: u64 = 0xD1FF_0007;
+
+fn cfg() -> SimConfig {
+    SimConfig::mpu(DatapathKind::Racer)
+}
+
+/// Harness member layout (one VRF per RFH, even VRFs, up to 8 members).
+fn members(config: &SimConfig) -> Vec<(u16, u16)> {
+    let g = config.datapath.geometry();
+    let count = 8.min(g.max_active_vrfs_per_mpu()).max(1);
+    (0..count).map(|i| ((i % g.rfhs_per_mpu) as u16, ((i / g.rfhs_per_mpu) * 2) as u16)).collect()
+}
+
+fn build(name: &str) -> BuiltKernel {
+    let config = cfg();
+    let kernel = all_kernels()
+        .into_iter()
+        .find(|k| k.name() == name)
+        .unwrap_or_else(|| panic!("kernel {name} is registered"));
+    kernel.build(&config.datapath.geometry(), &members(&config), SEED)
+}
+
+/// The input lane values of register `reg` for member `mi`.
+fn input(built: &BuiltKernel, mi: usize, reg: u8) -> Vec<u64> {
+    let (rfh, vrf) = built.members[mi];
+    built
+        .inputs
+        .iter()
+        .find(|((r, v, g), _)| (*r, *v, *g) == (rfh, vrf, reg))
+        .map(|(_, vals)| vals.clone())
+        .unwrap_or_else(|| panic!("member {mi} has input register r{reg}"))
+}
+
+/// Flattens one register across members and lanes (member-major).
+fn flatten(built: &BuiltKernel, reg: u8) -> Vec<u64> {
+    (0..built.members.len()).flat_map(|mi| input(built, mi, reg)).collect()
+}
+
+/// Flattens a register window segment-major: for each member and lane,
+/// the `regs` values are consecutive.
+fn flatten_segments(built: &BuiltKernel, regs: &[u8]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for mi in 0..built.members.len() {
+        let cols: Vec<Vec<u64>> = regs.iter().map(|&r| input(built, mi, r)).collect();
+        let lanes = cols[0].len();
+        for lane in 0..lanes {
+            for col in &cols {
+                out.push(col[lane]);
+            }
+        }
+    }
+    out
+}
+
+/// The golden expectation for output position `oi` of member `mi`
+/// (LaneKernel layout: member-major, then declared output order).
+fn expected(built: &BuiltKernel, mi: usize, outs: usize, oi: usize) -> &[u64] {
+    &built.expected[mi * outs + oi]
+}
+
+/// An indicator-mask pipeline: all-ones where `x == c`, zero elsewhere,
+/// then AND-ed with zip column 0. Safe for full-width u64 values.
+fn masked_pick(c: u64) -> Pipeline {
+    Pipeline::new().map(MapOp::Eq(c)).map(MapOp::Sub(1)).map(MapOp::Not).zip(0, ZipOp::And)
+}
+
+/// histogram ≡ per-bin `map(And 3) → filter(Eq bin) → reduce(Count)`.
+#[test]
+fn histogram_counts_match_pipeline_counts() {
+    let built = build("histogram");
+    let elements: Vec<u64> = (0..3).flat_map(|e| flatten(&built, e)).collect();
+    for bin in 0..4u64 {
+        let hand: u64 = built.expected[bin as usize].iter().sum();
+        let run = Pipeline::new()
+            .map(MapOp::And(3))
+            .filter(Pred::Eq(bin))
+            .reduce(ReduceOp::Count)
+            .run(&cfg(), &elements, &[])
+            .unwrap();
+        assert_eq!(run.reduced, Some(hand), "bin {bin}");
+    }
+}
+
+/// spmv ≡ `zip(Mul) → scan(Sum)` plus host row-differencing of the
+/// inclusive prefix at each 4-wide ELL row boundary.
+#[test]
+fn spmv_rows_match_zip_mul_scan() {
+    let built = build("spmv");
+    let vals = flatten_segments(&built, &[0, 1, 2, 3]);
+    let xs = flatten_segments(&built, &[4, 5, 6, 7]);
+    let run =
+        Pipeline::new().zip(0, ZipOp::Mul).scan(ScanOp::Sum).run(&cfg(), &vals, &[&xs]).unwrap();
+    let lanes = input(&built, 0, 0).len();
+    for mi in 0..built.members.len() {
+        let hand = expected(&built, mi, 1, 0);
+        for (lane, &want) in hand.iter().enumerate().take(lanes) {
+            let row = (mi * lanes + lane) * 4;
+            let prev = if row == 0 { 0 } else { run.values[row - 1] };
+            let y = run.values[row + 3].wrapping_sub(prev);
+            assert_eq!(y, want, "member {mi} lane {lane}");
+        }
+    }
+}
+
+/// gather ≡ per-slot indicator-mask pipelines AND-ed with the broadcast
+/// table column, summed on the host (slots are disjoint).
+#[test]
+fn gather_matches_indicator_pipelines() {
+    let built = build("gather");
+    for (oi, idx_reg) in [(0usize, 4u8), (1, 5)] {
+        let indices = flatten(&built, idx_reg);
+        let mut gathered = vec![0u64; indices.len()];
+        for slot in 0..4u64 {
+            let table: Vec<u64> = flatten(&built, slot as u8);
+            let run = masked_pick(slot).run(&cfg(), &indices, &[&table]).unwrap();
+            for (g, v) in gathered.iter_mut().zip(&run.values) {
+                *g |= v;
+            }
+        }
+        let lanes = input(&built, 0, idx_reg).len();
+        for mi in 0..built.members.len() {
+            let hand = expected(&built, mi, 2, oi);
+            assert_eq!(&gathered[mi * lanes..(mi + 1) * lanes], hand, "member {mi} out {oi}");
+        }
+    }
+}
+
+/// scatter ≡ per-slot indicator pipelines for both (value, index) pairs,
+/// with the host applying last-writer-wins (pair 1 over pair 0).
+#[test]
+fn scatter_matches_indicator_pipelines() {
+    let built = build("scatter");
+    let (v0, i0) = (flatten(&built, 4), flatten(&built, 5));
+    let (v1, i1) = (flatten(&built, 6), flatten(&built, 7));
+    let lanes = input(&built, 0, 4).len();
+    for slot in 0..4u64 {
+        let ind1 = Pipeline::new().map(MapOp::Eq(slot)).run(&cfg(), &i1, &[]).unwrap();
+        let c1 = masked_pick(slot).run(&cfg(), &i1, &[&v1]).unwrap();
+        let c0 = masked_pick(slot).run(&cfg(), &i0, &[&v0]).unwrap();
+        let slots: Vec<u64> = (0..i0.len())
+            .map(|e| if ind1.values[e] == 1 { c1.values[e] } else { c0.values[e] })
+            .collect();
+        for mi in 0..built.members.len() {
+            let hand = expected(&built, mi, 4, slot as usize);
+            assert_eq!(&slots[mi * lanes..(mi + 1) * lanes], hand, "member {mi} slot {slot}");
+        }
+    }
+}
+
+/// select ≡ `filter(Gt threshold)`: the pipeline's survivors equal the
+/// hand-written kernel's flagged lanes, in lane order.
+#[test]
+fn select_survivors_match_filter() {
+    let built = build("select");
+    for mi in 0..built.members.len() {
+        let values = input(&built, mi, 0);
+        let threshold = input(&built, mi, 1)[0];
+        let run = Pipeline::new().filter(Pred::Gt(threshold)).run(&cfg(), &values, &[]).unwrap();
+        let flags = expected(&built, mi, 2, 0);
+        let masked = expected(&built, mi, 2, 1);
+        let hand: Vec<u64> =
+            flags.iter().zip(masked).filter(|(f, _)| **f == 1).map(|(_, v)| *v).collect();
+        assert_eq!(run.values, hand, "member {mi}");
+        let count = Pipeline::new()
+            .filter(Pred::Gt(threshold))
+            .reduce(ReduceOp::Count)
+            .run(&cfg(), &values, &[])
+            .unwrap();
+        assert_eq!(count.reduced, Some(flags.iter().sum()), "member {mi} count");
+    }
+}
+
+/// hash-join ≡ per-build-key indicator masks over the probe column; the
+/// host picks the matching build value (keys are distinct, so at most
+/// one mask fires per probe).
+#[test]
+fn hashjoin_matches_indicator_pipelines() {
+    let built = build("hash-join");
+    for mi in 0..built.members.len() {
+        let probe = input(&built, mi, 6);
+        let mut out = vec![0u64; probe.len()];
+        let mut flag = vec![0u64; probe.len()];
+        for j in 0..3u8 {
+            let key = input(&built, mi, j)[0];
+            let val = input(&built, mi, 3 + j)[0];
+            let mask = Pipeline::new()
+                .map(MapOp::Eq(key))
+                .map(MapOp::Sub(1))
+                .map(MapOp::Not)
+                .run(&cfg(), &probe, &[])
+                .unwrap();
+            for ((o, f), m) in out.iter_mut().zip(flag.iter_mut()).zip(&mask.values) {
+                *o |= m & val;
+                *f |= m & 1;
+            }
+        }
+        assert_eq!(out, expected(&built, mi, 2, 0), "member {mi} joined values");
+        assert_eq!(flag, expected(&built, mi, 2, 1), "member {mi} match flags");
+    }
+}
+
+/// prefix-scan ≡ global `scan(Sum)` plus host re-segmentation into the
+/// kernel's 8-element per-lane segments.
+#[test]
+fn prefixscan_segments_match_global_scan() {
+    let built = build("prefix-scan");
+    let elements = flatten_segments(&built, &[0, 1, 2, 3, 4, 5, 6, 7]);
+    let run = Pipeline::new().scan(ScanOp::Sum).run(&cfg(), &elements, &[]).unwrap();
+    let lanes = input(&built, 0, 0).len();
+    for mi in 0..built.members.len() {
+        for lane in 0..lanes {
+            let base = (mi * lanes + lane) * 8;
+            let prev = if base == 0 { 0 } else { run.values[base - 1] };
+            for k in 0..8 {
+                let hand = expected(&built, mi, 8, k)[lane];
+                assert_eq!(
+                    run.values[base + k].wrapping_sub(prev),
+                    hand,
+                    "member {mi} lane {lane} k {k}"
+                );
+            }
+        }
+    }
+}

@@ -1,5 +1,5 @@
 //! Figure 12: speedup (top) and energy savings (bottom) of MPU:X over
-//! Baseline:X for all 21 kernels. The paper evaluates X ∈ {RACER,
+//! Baseline:X for all 28 kernels. The paper evaluates X ∈ {RACER,
 //! MIMDRAM, DualityCache}; the table adds the repo's pLUTo and DPU
 //! substrates as extra columns (the paper reference line covers only the
 //! first three).

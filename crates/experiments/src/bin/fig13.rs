@@ -1,5 +1,5 @@
 //! Figure 13: speedup (top) and energy savings (bottom) of Baseline:X and
-//! MPU:X over the GPU, X ∈ {RACER, MIMDRAM}, for all 21 kernels; plus the
+//! MPU:X over the GPU, X ∈ {RACER, MIMDRAM}, for all 28 kernels; plus the
 //! paper's footnote on MPU:DualityCache.
 
 use experiments::{

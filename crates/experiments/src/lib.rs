@@ -20,8 +20,8 @@ use pum_backend::{DatapathKind, OptConfig, OptRule, OptStats};
 use std::sync::Arc;
 use workloads::apps::{run_app_pooled, AppRun};
 use workloads::{
-    all_kernels, effective_jobs, parallel_map, run_kernel, run_kernel_pooled, run_sweep_parallel,
-    ChipRun, KernelGroup, SweepTask,
+    all_kernels, effective_jobs, kernels_in_group, parallel_map, run_kernel, run_kernel_pooled,
+    run_sweep_parallel, ChipRun, KernelGroup, SweepTask,
 };
 
 /// Default problem size for the streaming kernel groups (elements).
@@ -90,7 +90,7 @@ impl KernelComparison {
     }
 }
 
-/// Runs all 21 kernels on one datapath in both modes, plus the GPU model.
+/// Runs all 28 kernels on one datapath in both modes, plus the GPU model.
 ///
 /// Simulations fan out across worker threads (`MPU_JOBS` or the machine's
 /// core count); results are bit-identical to a serial sweep. Use
@@ -499,6 +499,110 @@ pub fn render_opt_attribution(rows: &[OptAttributionRow], n: u64, seed: u64) -> 
     out
 }
 
+/// One `prim_suite` row: one PrIM kernel on one substrate (default
+/// optimizer configuration, compiled tier), wave counters plus the
+/// chip-scaled time/energy projection.
+#[derive(Debug, Clone)]
+pub struct PrimSuiteRow {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Substrate the run executed on.
+    pub backend: DatapathKind,
+    /// Elapsed wave cycles.
+    pub cycles: u64,
+    /// Retired ISA instructions.
+    pub instructions: u64,
+    /// Dynamic micro-ops issued.
+    pub uops: u64,
+    /// Chip-scaled execution time, nanoseconds.
+    pub time_ns: f64,
+    /// Chip-scaled total energy, picojoules.
+    pub energy_pj: f64,
+}
+
+/// Runs every PrIM-group kernel on each substrate and returns one row per
+/// pair. Every run lane-verifies against the kernel's golden model inside
+/// the harness — a mismatch is an error, not a silent row.
+///
+/// # Errors
+///
+/// Returns a message naming the kernel/substrate on a harness or
+/// verification failure.
+pub fn prim_suite(
+    backends: &[DatapathKind],
+    n: u64,
+    seed: u64,
+) -> Result<Vec<PrimSuiteRow>, String> {
+    let mut rows = Vec::new();
+    for &backend in backends {
+        for kernel in kernels_in_group(KernelGroup::Prim) {
+            let config = SimConfig::mpu(backend);
+            let run = run_kernel(kernel.as_ref(), &config, n, seed)
+                .map_err(|e| format!("{} on {backend:?}: {e}", kernel.name()))?;
+            rows.push(PrimSuiteRow {
+                kernel: kernel.name(),
+                backend,
+                cycles: run.wave.cycles,
+                instructions: run.wave.instructions,
+                uops: run.wave.uops,
+                time_ns: run.time_ns,
+                energy_pj: run.energy_pj,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the PrIM suite rows as the `prim_suite` table: one line per
+/// kernel/substrate pair, grouped by substrate in [`BACKEND_ORDER`].
+/// Deterministic — the golden snapshot and `--assert` pin it.
+pub fn render_prim_suite(rows: &[PrimSuiteRow], n: u64, seed: u64) -> String {
+    let headers =
+        ["kernel", "backend", "cycles", "instructions", "uops", "time", "energy"].map(String::from);
+    let mut body: Vec<Vec<String>> = Vec::new();
+    for &backend in BACKEND_ORDER {
+        for row in rows.iter().filter(|r| r.backend == backend) {
+            body.push(vec![
+                row.kernel.to_string(),
+                format!("{:?}", row.backend),
+                row.cycles.to_string(),
+                row.instructions.to_string(),
+                row.uops.to_string(),
+                fmt_time_ns(row.time_ns),
+                fmt_energy_pj(row.energy_pj),
+            ]);
+        }
+    }
+
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in &body {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render_line = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = format!(
+        "# PrIM workload suite (n={n}, seed={seed}); wave counters plus chip-scaled \
+         time/energy, lane-verified per run\n"
+    );
+    out.push_str(&render_line(&headers));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &body {
+        out.push_str(&render_line(row));
+        out.push('\n');
+    }
+    out
+}
+
 /// Substrate order for attribution tables and sweeps: the three paper
 /// substrates first, then the pLUTo and DPU models.
 pub const BACKEND_ORDER: &[DatapathKind] = &[
@@ -655,7 +759,7 @@ mod tests {
     fn kernel_matrix_smoke_racer() {
         // Tiny n for speed; full sizes run in the fig binaries.
         let rows = kernel_matrix(DatapathKind::Racer, 1 << 12, 1);
-        assert_eq!(rows.len(), 21);
+        assert_eq!(rows.len(), 28);
         for row in &rows {
             assert!(row.mpu.verified && row.baseline.verified, "{}", row.kernel);
             assert!(row.mpu_speedup_vs_baseline() > 0.0);

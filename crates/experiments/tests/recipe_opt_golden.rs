@@ -19,7 +19,7 @@ fn attribution_table_matches_golden_and_meets_floor() {
     // opt_attribution itself enforces lane verification and the uop
     // conservation law (off == on + saved) for every row.
     let rows = opt_attribution(BACKEND_ORDER, N, SEED).expect("attribution sweep");
-    assert_eq!(rows.len(), 21 * BACKEND_ORDER.len(), "one row per kernel per substrate");
+    assert_eq!(rows.len(), 28 * BACKEND_ORDER.len(), "one row per kernel per substrate");
 
     // Headline floor: >= 10% aggregate dynamic uop reduction somewhere.
     let best = BACKEND_ORDER

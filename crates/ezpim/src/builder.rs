@@ -39,9 +39,12 @@ impl Cond {
 /// Errors raised while building or assembling an ezpim program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EzError {
-    /// Ran out of mask-save registers for the requested nesting depth.
+    /// Ran out of mask-save registers for the requested nesting depth,
+    /// reported at build time (the offending construct's body closure is
+    /// skipped, so no partially predicated program can escape).
     MaskPoolExhausted {
-        /// Nesting depth at which the pool ran dry.
+        /// Nesting depth of the construct that could not be allocated
+        /// (1 = outermost `if`/`while`).
         depth: usize,
     },
     /// `call` names a subroutine that was never defined.
@@ -179,6 +182,7 @@ impl EzProgram {
         let mut body = Body {
             items: &mut self.main,
             pool: &mut pool,
+            depth: 0,
             statements: &mut self.statements,
             dynamic_loops: &mut self.dynamic_loops,
             error: None,
@@ -254,6 +258,7 @@ impl EzProgram {
         let mut body = Body {
             items: &mut items,
             pool: &mut pool,
+            depth: 0,
             statements: &mut self.statements,
             dynamic_loops: &mut self.dynamic_loops,
             error: None,
@@ -327,6 +332,9 @@ impl EzProgram {
 pub struct Body<'a> {
     items: &'a mut Vec<Item>,
     pool: &'a mut Vec<RegId>,
+    /// Current predication nesting depth, so pool exhaustion reports the
+    /// depth of the construct that failed rather than the registers left.
+    depth: usize,
     statements: &'a mut usize,
     dynamic_loops: &'a mut usize,
     error: Option<EzError>,
@@ -469,18 +477,22 @@ impl Body<'_> {
         let ro = self.pool.pop();
         let rm = self.pool.pop();
         match (ro, rm) {
-            (Some(ro), Some(rm)) => Some((ro, rm)),
+            (Some(ro), Some(rm)) => {
+                self.depth += 1;
+                Some((ro, rm))
+            }
             (ro, _) => {
                 if let Some(r) = ro {
                     self.pool.push(r);
                 }
-                self.fail(EzError::MaskPoolExhausted { depth: self.pool.len() });
+                self.fail(EzError::MaskPoolExhausted { depth: self.depth + 1 });
                 None
             }
         }
     }
 
     fn release_mask_regs(&mut self, ro: RegId, rm: RegId) {
+        self.depth -= 1;
         self.pool.push(rm);
         self.pool.push(ro);
     }
@@ -751,7 +763,31 @@ mod tests {
                 });
             })
             .unwrap_err();
-        assert!(matches!(err, EzError::MaskPoolExhausted { .. }));
+        // The inner `if` is the second nesting level: the error must name
+        // the nesting depth of the construct that failed to allocate.
+        assert_eq!(err, EzError::MaskPoolExhausted { depth: 2 });
+    }
+
+    #[test]
+    fn pool_exhaustion_depth_counts_nesting_not_leftover_registers() {
+        // Four-register pool (two levels): a depth-3 chain fails at 3,
+        // even though sibling constructs before it allocated and released.
+        let mut ez = EzProgram::new();
+        let err = ez
+            .ensemble(&[(0, 0)], |b| {
+                b.if_then(Cond::Gt(r(0), r(1)), |b| {
+                    b.nop();
+                });
+                b.if_then(Cond::Gt(r(0), r(1)), |b| {
+                    b.if_then(Cond::Lt(r(2), r(3)), |b| {
+                        b.if_then(Cond::Eq(r(4), r(5)), |b| {
+                            b.nop();
+                        });
+                    });
+                });
+            })
+            .unwrap_err();
+        assert_eq!(err, EzError::MaskPoolExhausted { depth: 3 });
     }
 
     #[test]

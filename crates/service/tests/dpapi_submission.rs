@@ -1,0 +1,78 @@
+//! Frontend-built programs as service submissions: dpapi pipelines are
+//! lowered to ezpim text, submitted to `mpud` as ordinary jobs (program
+//! text + register inits + output refs), and the read-back registers
+//! reproduce the pipeline's plain-Rust oracle — the client workflow the
+//! data-parallel frontend exists to serve.
+
+use dpapi::{MapOp, Pipeline, Pred, ReduceOp};
+use pum_backend::DatapathKind;
+use service::{JobSpec, RegInit, RegRef, Service, ServiceConfig};
+
+const LANES: usize = 64;
+
+/// Builds the submission for a lowered single-member (h0.v0) pipeline:
+/// ezpim program text, the frontend's register layout as inputs, and its
+/// output registers as read-back refs. `data` must fill the 64-lane VRF
+/// exactly (one element per lane, the SEG=1 flag-path layout).
+fn pipeline_spec(tenant: &str, pipeline: &Pipeline, data: &[u64]) -> JobSpec {
+    let lowered = pipeline.lower().expect("pipeline lowers");
+    assert_eq!(lowered.seg, 1, "flag-path pipelines hold one element per lane");
+    assert_eq!(data.len(), LANES, "data must fill the member's lanes");
+    let members = [(0u16, 0u16)];
+    let mut spec = JobSpec::ez(tenant, DatapathKind::Racer, &lowered.ezpim_text(&members));
+    spec.inputs.push(RegInit {
+        rfh: 0,
+        vrf: 0,
+        reg: lowered.data[0].0 as u8,
+        values: data.to_vec(),
+    });
+    for &(c, v) in &lowered.consts {
+        spec.inputs.push(RegInit { rfh: 0, vrf: 0, reg: c.0 as u8, values: vec![v; LANES] });
+    }
+    if let Some(v) = lowered.valid {
+        spec.inputs.push(RegInit { rfh: 0, vrf: 0, reg: v.0 as u8, values: vec![1; LANES] });
+    }
+    for (rfh, vrf, reg) in lowered.output_regs(&members) {
+        spec.outputs.push(RegRef { rfh, vrf, reg });
+    }
+    spec
+}
+
+#[test]
+fn filter_pipeline_submission_reproduces_the_oracle() {
+    let pipeline = Pipeline::new().map(MapOp::And(7)).filter(Pred::Gt(3));
+    let data: Vec<u64> = (0..LANES as u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+    let spec = pipeline_spec("dpapi", &pipeline, &data);
+
+    let service = Service::start(ServiceConfig { workers: 1, ..Default::default() });
+    let id = service.submit(spec).unwrap();
+    let outcome = service.wait(id).unwrap();
+    service.shutdown();
+    let result = outcome.result.expect("pipeline job succeeds");
+
+    // output_regs order: the data segment (d0), then the keep flag.
+    let d0 = &result.outputs[0].values;
+    let flag = &result.outputs[1].values;
+    let survivors: Vec<u64> =
+        flag.iter().zip(d0).filter(|(f, _)| **f == 1).map(|(_, v)| *v).collect();
+    assert_eq!(survivors, pipeline.oracle(&data, &[]).unwrap().values);
+}
+
+#[test]
+fn count_pipeline_submission_reproduces_the_oracle() {
+    // The doc-example histogram bin, submitted over the wire: how many
+    // values land in bin 3?
+    let pipeline = Pipeline::new().map(MapOp::And(3)).filter(Pred::Eq(3)).reduce(ReduceOp::Count);
+    let data: Vec<u64> = (0..LANES as u64).map(|i| i.rotate_left(11) ^ 0x5bd1_e995).collect();
+    let spec = pipeline_spec("dpapi", &pipeline, &data);
+
+    let service = Service::start(ServiceConfig { workers: 1, ..Default::default() });
+    let id = service.submit(spec).unwrap();
+    let outcome = service.wait(id).unwrap();
+    service.shutdown();
+    let result = outcome.result.expect("pipeline job succeeds");
+
+    // Flagged Count leaves the 0/1 keep flag in d0; the host folds lanes.
+    let count: u64 = result.outputs[0].values.iter().sum();
+    assert_eq!(Some(count), pipeline.oracle(&data, &[]).unwrap().reduced);
+}

@@ -20,12 +20,20 @@ pub enum KernelGroup {
     /// Kernels with complex control instructions the datapaths cannot run
     /// without a CPU/MPU.
     Complex,
+    /// PrIM-style real-PIM benchmark staples (histogram, SpMV,
+    /// gather/scatter, select, hash-join, prefix-scan).
+    Prim,
 }
 
 impl KernelGroup {
-    /// All groups, in the paper's order.
-    pub const ALL: [KernelGroup; 4] =
-        [KernelGroup::Basic, KernelGroup::Branch, KernelGroup::Stencil, KernelGroup::Complex];
+    /// All groups, in the paper's order (PrIM extensions last).
+    pub const ALL: [KernelGroup; 5] = [
+        KernelGroup::Basic,
+        KernelGroup::Branch,
+        KernelGroup::Stencil,
+        KernelGroup::Complex,
+        KernelGroup::Prim,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -34,6 +42,7 @@ impl KernelGroup {
             KernelGroup::Branch => "branch",
             KernelGroup::Stencil => "stencil",
             KernelGroup::Complex => "complex",
+            KernelGroup::Prim => "prim",
         }
     }
 }
@@ -123,7 +132,8 @@ mod tests {
     #[test]
     fn groups_have_labels() {
         assert_eq!(KernelGroup::Basic.label(), "basic");
-        assert_eq!(KernelGroup::ALL.len(), 4);
+        assert_eq!(KernelGroup::Prim.label(), "prim");
+        assert_eq!(KernelGroup::ALL.len(), 5);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `LaneKernel`: a declarative description of a per-lane kernel, from
 //! which programs, inputs, and golden expectations are derived.
 //!
-//! Every one of the paper's 21 kernels is data-parallel per lane (stencils
+//! Every one of the sweep's per-lane kernels is data-parallel per lane (stencils
 //! become per-lane once their shifted neighbor vectors are staged, which is
 //! exactly how PUM lays out stencil data). A [`LaneKernel`] couples an
 //! ezpim body with a per-lane reference function over the 16-register
@@ -83,9 +83,7 @@ impl Kernel for LaneKernel {
         let mut outputs = Vec::new();
         let mut expected = Vec::new();
         for (mi, &(rfh, vrf)) in members.iter().enumerate() {
-            let member_seed =
-                seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(mi as u64 + 1));
-            let data = (self.gen)(member_seed, lanes);
+            let data = (self.gen)(member_seed(seed, mi), lanes);
             // Golden model: per lane, run the reference over the register
             // file initialized with this member's inputs.
             let mut final_regs: Vec<[u64; REGS]> = Vec::with_capacity(lanes);
@@ -115,6 +113,12 @@ impl Kernel for LaneKernel {
             ezpim_statements: ez.statements(),
         }
     }
+}
+
+/// Derives the per-member data seed from the wave seed (golden-ratio
+/// stream split, shared by every kernel so tests can reconstruct inputs).
+pub fn member_seed(seed: u64, mi: usize) -> u64 {
+    seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(mi as u64 + 1))
 }
 
 /// Helper for `gen` functions: a constant register (same value per lane).

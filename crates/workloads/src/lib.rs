@@ -1,7 +1,9 @@
 //! # workloads — the MPU paper's evaluation programs
 //!
 //! The 21 data-intensive kernels of §VII (four groups: basic, branch,
-//! stencil, complex) and the three end-to-end applications of §VIII-D
+//! stencil, complex), the seven PrIM-style kernels of the `prim` group
+//! (histogram, SpMV, gather/scatter, select, hash-join, prefix-scan),
+//! and the three end-to-end applications of §VIII-D
 //! (`LLMEncode`, `BlackScholes`, `EditDistance`), each expressed through
 //! the ezpim assembler with a per-lane golden reference model, plus the
 //! chip-level harness that simulates, verifies, and scales them.
@@ -13,7 +15,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let kernels = all_kernels();
-//! assert_eq!(kernels.len(), 21);
+//! assert_eq!(kernels.len(), 28);
 //! let run = run_kernel(
 //!     kernels[0].as_ref(),
 //!     &SimConfig::mpu(DatapathKind::Racer),
@@ -35,6 +37,7 @@ mod complex_k;
 mod harness;
 mod kernel;
 mod lane;
+pub mod prim;
 mod stencil;
 
 pub use harness::{
@@ -42,9 +45,10 @@ pub use harness::{
     run_kernel_traced, run_sweep_parallel, ChipRun, HarnessError, SweepTask,
 };
 pub use kernel::{gen_values, BuiltKernel, Kernel, KernelGroup, WorkProfile};
-pub use lane::LaneKernel;
+pub use lane::{member_seed, LaneKernel, MemberInputs, REGS};
 
-/// All 21 kernels, grouped and ordered as in the paper's figures.
+/// All 28 kernels, grouped and ordered as in the paper's figures
+/// (the PrIM group last).
 pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
     vec![
         // basic
@@ -72,6 +76,14 @@ pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
         Box::new(complex_k::ibert_sqrt()),
         Box::new(complex_k::softmax4()),
         Box::new(complex_k::crc32()),
+        // prim
+        Box::new(prim::histogram()),
+        Box::new(prim::spmv()),
+        Box::new(prim::gather()),
+        Box::new(prim::scatter()),
+        Box::new(prim::select()),
+        Box::new(prim::hashjoin()),
+        Box::new(prim::prefixscan()),
     ]
 }
 
@@ -85,19 +97,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn twenty_one_kernels_in_four_groups() {
+    fn twenty_eight_kernels_in_five_groups() {
         let kernels = all_kernels();
-        assert_eq!(kernels.len(), 21);
+        assert_eq!(kernels.len(), 28);
         assert_eq!(kernels_in_group(KernelGroup::Basic).len(), 6);
         assert_eq!(kernels_in_group(KernelGroup::Branch).len(), 5);
         assert_eq!(kernels_in_group(KernelGroup::Stencil).len(), 5);
         assert_eq!(kernels_in_group(KernelGroup::Complex).len(), 5);
+        assert_eq!(kernels_in_group(KernelGroup::Prim).len(), 7);
     }
 
     #[test]
     fn paper_named_kernels_present() {
         let names: Vec<_> = all_kernels().iter().map(|k| k.name()).collect();
-        for name in ["manhattan", "euclidean", "ibert-sqrt", "softmax", "crc32"] {
+        for name in [
+            "manhattan",
+            "euclidean",
+            "ibert-sqrt",
+            "softmax",
+            "crc32",
+            "histogram",
+            "spmv",
+            "gather",
+            "scatter",
+            "select",
+            "hash-join",
+            "prefix-scan",
+        ] {
             assert!(names.contains(&name), "missing paper kernel {name}");
         }
     }
@@ -106,7 +132,7 @@ mod tests {
     fn names_are_unique() {
         use std::collections::HashSet;
         let names: HashSet<_> = all_kernels().iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 28);
     }
 
     #[test]

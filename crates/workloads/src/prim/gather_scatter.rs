@@ -1,0 +1,153 @@
+//! `gather` and `scatter`: indexed reads and writes over a per-lane
+//! 4-entry window, the PrIM GAS pattern expressed as predicated
+//! compare-select sweeps (PUM datapaths have no indexed addressing; a
+//! gather/scatter is a cursor sweep with one predicated move per slot).
+//!
+//! Index 4 is out of range by construction: a gather miss yields 0 and a
+//! scatter to index 4 is dropped. Duplicate scatter indices resolve by
+//! **last-writer-wins in pair order** — pair 1's predicated move is
+//! emitted after pair 0's inside each cursor step, so when both pairs
+//! target the same slot, pair 1's value lands. The oracle encodes the
+//! same order.
+
+use crate::kernel::WorkProfile;
+use crate::lane::{const_reg, rand_reg, LaneKernel, MemberInputs};
+use crate::prim::mix;
+use crate::KernelGroup;
+use ezpim::Cond;
+use mpu_isa::RegId;
+
+/// Table / slot window size.
+const SLOTS: usize = 4;
+
+fn r(i: u16) -> RegId {
+    RegId(i)
+}
+
+fn gather_gen(seed: u64, lanes: usize) -> MemberInputs {
+    let mut regs: Vec<(u8, Vec<u64>)> = (0..SLOTS)
+        .map(|k| const_reg(k as u8, mix(seed, k as u64), lanes)) // broadcast table
+        .collect();
+    regs.push(rand_reg(4, seed, lanes, SLOTS as u64 + 1)); // idx0, SLOTS = miss
+    regs.push(rand_reg(5, seed, lanes, SLOTS as u64 + 1)); // idx1
+    regs
+}
+
+/// Constructs the `gather` kernel: broadcast table in r0–r3, two indices
+/// in r4/r5, gathered results in r6/r7, cursor in r8.
+pub fn gather() -> LaneKernel {
+    LaneKernel {
+        name: "gather",
+        group: KernelGroup::Prim,
+        profile: WorkProfile {
+            ops_per_elem: 2.0,
+            bytes_per_elem: 24.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.3,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: gather_gen,
+        body: |b| {
+            b.init0(r(6));
+            b.init0(r(7));
+            b.init0(r(8));
+            for k in 0..SLOTS as u16 {
+                b.if_then(Cond::Eq(r(4), r(8)), |b| {
+                    b.mov(r(k), r(6));
+                });
+                b.if_then(Cond::Eq(r(5), r(8)), |b| {
+                    b.mov(r(k), r(7));
+                });
+                b.inc(r(8), r(8));
+            }
+        },
+        reference: |regs| {
+            let (idx0, idx1) = (regs[4] as usize, regs[5] as usize);
+            regs[6] = if idx0 < SLOTS { regs[idx0] } else { 0 };
+            regs[7] = if idx1 < SLOTS { regs[idx1] } else { 0 };
+        },
+        outputs: &[6, 7],
+        regs_per_elem: 2,
+    }
+}
+
+fn scatter_gen(seed: u64, lanes: usize) -> MemberInputs {
+    vec![
+        rand_reg(4, seed, lanes, 1 << 32),          // v0
+        rand_reg(5, seed, lanes, SLOTS as u64 + 1), // i0, SLOTS = dropped
+        rand_reg(6, seed, lanes, 1 << 32),          // v1
+        rand_reg(7, seed, lanes, SLOTS as u64 + 1), // i1
+    ]
+}
+
+/// `scatter` variant generator forcing `i0 == i1` on every lane, so the
+/// documented last-writer-wins resolution is exercised on every lane
+/// (used by the differential tests, not registered in the sweep).
+fn scatter_dup_gen(seed: u64, lanes: usize) -> MemberInputs {
+    let mut regs = scatter_gen(seed, lanes);
+    let dup = regs[1].1.clone();
+    regs[3].1 = dup;
+    regs
+}
+
+fn scatter_body(b: &mut ezpim::Body<'_>) {
+    for k in 0..SLOTS as u16 {
+        b.init0(r(k));
+    }
+    b.init0(r(8));
+    for k in 0..SLOTS as u16 {
+        b.if_then(Cond::Eq(r(5), r(8)), |b| {
+            b.mov(r(4), r(k));
+        });
+        // Pair 1 after pair 0: duplicate indices resolve last-writer-wins.
+        b.if_then(Cond::Eq(r(7), r(8)), |b| {
+            b.mov(r(6), r(k));
+        });
+        b.inc(r(8), r(8));
+    }
+}
+
+fn scatter_reference(regs: &mut [u64; crate::lane::REGS]) {
+    let (v0, i0, v1, i1) = (regs[4], regs[5] as usize, regs[6], regs[7] as usize);
+    for slot in regs.iter_mut().take(SLOTS) {
+        *slot = 0;
+    }
+    if i0 < SLOTS {
+        regs[i0] = v0;
+    }
+    if i1 < SLOTS {
+        regs[i1] = v1; // last writer wins
+    }
+}
+
+fn scatter_kernel(name: &'static str, gen: fn(u64, usize) -> MemberInputs) -> LaneKernel {
+    LaneKernel {
+        name,
+        group: KernelGroup::Prim,
+        profile: WorkProfile {
+            ops_per_elem: 2.0,
+            bytes_per_elem: 24.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.3,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen,
+        body: scatter_body,
+        reference: scatter_reference,
+        outputs: &[0, 1, 2, 3],
+        regs_per_elem: 2,
+    }
+}
+
+/// Constructs the `scatter` kernel: slots r0–r3 (zeroed in-program), two
+/// (value, index) pairs in r4–r7, cursor in r8.
+pub fn scatter() -> LaneKernel {
+    scatter_kernel("scatter", scatter_gen)
+}
+
+/// The duplicate-index `scatter` variant (every lane has `i0 == i1`).
+pub fn scatter_dup() -> LaneKernel {
+    scatter_kernel("scatter-dup", scatter_dup_gen)
+}

@@ -1,0 +1,153 @@
+//! `histogram`: privatized per-lane bins with a log-depth cross-member
+//! tree merge — the PrIM HST-S pattern.
+//!
+//! Phase 1 bins three elements per lane into four private bins (bin =
+//! `value & 3`), entirely predicated, so every lane of every member owns
+//! a private histogram. Phase 2 merges the privatized bins with a
+//! log-depth binary tree across ensemble members: each round DTC-copies
+//! the source member's bins into scratch registers of the destination
+//! member (the element registers, dead after binning) and adds them in.
+//! Member 0's bins end up holding the per-lane totals over all members,
+//! which is what the harness verifies against the oracle.
+
+use crate::kernel::{BuiltKernel, Kernel, KernelGroup, WorkProfile};
+use crate::lane::{member_seed, rand_reg};
+use ezpim::{Cond, EzProgram};
+use mpu_isa::RegId;
+use pum_backend::Geometry;
+
+/// Elements binned per lane per member.
+const ELEMS: usize = 3;
+/// Number of histogram bins (bin index = `value & 3`).
+const BINS: usize = 4;
+
+fn bin(k: usize) -> RegId {
+    RegId(3 + k as u16)
+}
+
+/// Scratch registers for the merge phase: the element registers and the
+/// masked-value temp, all dead once binning is done.
+const TMP: [RegId; BINS] = [RegId(0), RegId(1), RegId(2), RegId(8)];
+
+/// The histogram kernel (see module docs).
+pub struct Histogram;
+
+/// Constructs the `histogram` kernel.
+pub fn histogram() -> Histogram {
+    Histogram
+}
+
+impl Kernel for Histogram {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn group(&self) -> KernelGroup {
+        KernelGroup::Prim
+    }
+
+    fn regs_per_elem(&self) -> u32 {
+        1
+    }
+
+    fn profile(&self) -> WorkProfile {
+        WorkProfile {
+            ops_per_elem: 3.0,
+            bytes_per_elem: 8.5,
+            kernel_launches: 1,
+            // GPU histograms bottleneck on atomics contention.
+            gpu_efficiency: 0.2,
+            avg_trip_count: 1.0,
+        }
+    }
+
+    fn build(&self, geometry: &Geometry, members: &[(u16, u16)], seed: u64) -> BuiltKernel {
+        let lanes = geometry.lanes_per_vrf;
+        let mut ez = EzProgram::new();
+
+        // Phase 1: private binning. r7 holds the broadcast bin mask (3),
+        // r8 the masked value, r9 a bin cursor compared against r8.
+        ez.ensemble(members, |b| {
+            for k in 0..BINS {
+                b.init0(bin(k));
+            }
+            for e in 0..ELEMS {
+                b.and(RegId(e as u16), RegId(7), RegId(8));
+                b.init0(RegId(9));
+                for k in 0..BINS {
+                    b.if_then(Cond::Eq(RegId(8), RegId(9)), |b| {
+                        b.inc(bin(k), bin(k));
+                    });
+                    b.inc(RegId(9), RegId(9));
+                }
+            }
+        })
+        .expect("histogram binning phase must build");
+
+        // Phase 2: log-depth tree merge. One transfer block is emitted
+        // per distinct (src_vrf, dst_vrf) pair because a block shares its
+        // memcpy list across all of its rfh pairs.
+        let mut gap = 1;
+        while gap < members.len() {
+            // (src_vrf, dst_vrf) -> list of (src_rfh, dst_rfh) memcpy pairs.
+            type VrfMoves = Vec<((u16, u16), Vec<(u16, u16)>)>;
+            let mut moves: VrfMoves = Vec::new();
+            let mut dsts: Vec<(u16, u16)> = Vec::new();
+            let mut i = 0;
+            while i + gap < members.len() {
+                let (src_rfh, src_vrf) = members[i + gap];
+                let (dst_rfh, dst_vrf) = members[i];
+                match moves.iter_mut().find(|(vrfs, _)| *vrfs == (src_vrf, dst_vrf)) {
+                    Some((_, pairs)) => pairs.push((src_rfh, dst_rfh)),
+                    None => moves.push(((src_vrf, dst_vrf), vec![(src_rfh, dst_rfh)])),
+                }
+                dsts.push(members[i]);
+                i += 2 * gap;
+            }
+            for ((src_vrf, dst_vrf), pairs) in &moves {
+                ez.transfer(pairs, |t| {
+                    for (k, &tmp) in TMP.iter().enumerate() {
+                        t.memcpy(*src_vrf, bin(k), *dst_vrf, tmp);
+                    }
+                });
+            }
+            ez.ensemble(&dsts, |b| {
+                for (k, &tmp) in TMP.iter().enumerate() {
+                    b.add(tmp, bin(k), bin(k));
+                }
+            })
+            .expect("histogram merge phase must build");
+            gap *= 2;
+        }
+        let program = ez.assemble().expect("histogram must assemble");
+
+        // Oracle: per-lane bin totals summed across members (lane L of
+        // member 0 accumulates lane L of every member).
+        let mut inputs = Vec::new();
+        let mut totals = vec![[0u64; BINS]; lanes];
+        for (mi, &(rfh, vrf)) in members.iter().enumerate() {
+            let mseed = member_seed(seed, mi);
+            for e in 0..ELEMS {
+                let (reg, values) = rand_reg(e as u8, mseed, lanes, u64::MAX);
+                for (lane, &v) in values.iter().enumerate() {
+                    totals[lane][(v & 3) as usize] += 1;
+                }
+                inputs.push(((rfh, vrf, reg), values));
+            }
+            inputs.push(((rfh, vrf, 7), vec![(BINS - 1) as u64; lanes]));
+        }
+        let (rfh0, vrf0) = members[0];
+        let outputs: Vec<_> = (0..BINS).map(|k| (rfh0, vrf0, 3 + k as u8)).collect();
+        let expected: Vec<Vec<u64>> =
+            (0..BINS).map(|k| totals.iter().map(|t| t[k]).collect()).collect();
+
+        BuiltKernel {
+            program,
+            members: members.to_vec(),
+            inputs,
+            outputs,
+            expected,
+            ezpim_statements: ez.statements(),
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! `prefix-scan`: per-lane inclusive prefix sum over an 8-element
+//! segment, computed in-place with log-depth Hillis–Steele rounds — the
+//! in-register half of the PrIM SCAN-SSA pattern (the `dpapi` frontend
+//! adds the cross-lane offset pass as a second launch).
+//!
+//! Each round `d ∈ {1, 2, 4}` runs `r[i] += r[i-d]` with `i` descending
+//! so every read observes the previous round's values; after the last
+//! round `r[i]` holds the inclusive prefix over `r[0..=i]` (wrapping).
+
+use crate::kernel::WorkProfile;
+use crate::lane::{rand_reg, LaneKernel, MemberInputs};
+use crate::KernelGroup;
+use mpu_isa::RegId;
+
+/// Segment length: one scan segment per lane, one element per register.
+const SEG: usize = 8;
+
+fn r(i: u16) -> RegId {
+    RegId(i)
+}
+
+fn gen(seed: u64, lanes: usize) -> MemberInputs {
+    (0..SEG).map(|i| rand_reg(i as u8, seed, lanes, u64::MAX)).collect()
+}
+
+/// Constructs the `prefix-scan` kernel: segment in r0–r7, scanned
+/// in-place.
+pub fn prefixscan() -> LaneKernel {
+    LaneKernel {
+        name: "prefix-scan",
+        group: KernelGroup::Prim,
+        profile: WorkProfile {
+            ops_per_elem: 2.0,
+            bytes_per_elem: 16.0,
+            // GPU scans are two-launch (block scan + offset fixup).
+            kernel_launches: 2,
+            gpu_efficiency: 0.5,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen,
+        body: |b| {
+            let mut d = 1;
+            while d < SEG {
+                for i in (d..SEG).rev() {
+                    b.add(r((i - d) as u16), r(i as u16), r(i as u16));
+                }
+                d *= 2;
+            }
+        },
+        reference: |regs| {
+            let mut running = 0u64;
+            for slot in regs.iter_mut().take(SEG) {
+                running = running.wrapping_add(*slot);
+                *slot = running;
+            }
+        },
+        outputs: &[0, 1, 2, 3, 4, 5, 6, 7],
+        regs_per_elem: 1,
+    }
+}

@@ -1,0 +1,144 @@
+//! `select` and `hash-join`: the two columnar database staples of the
+//! PrIM suite, expressed as predicated per-lane filters.
+//!
+//! `select` emits a keep-flag column plus the masked value column (the
+//! host compacts survivors at readback — the same contract the `dpapi`
+//! frontend uses for `filter`). `hash-join` probes a host-built 3-slot
+//! hash table broadcast as constants; build keys are distinct by
+//! construction, so at most one slot matches.
+
+use crate::kernel::gen_values;
+use crate::kernel::WorkProfile;
+use crate::lane::{const_reg, rand_reg, LaneKernel, MemberInputs};
+use crate::prim::mix;
+use crate::KernelGroup;
+use ezpim::Cond;
+use mpu_isa::RegId;
+
+/// Hash-table slots for the join build side.
+const BUILD: usize = 3;
+
+fn r(i: u16) -> RegId {
+    RegId(i)
+}
+
+fn select_gen(seed: u64, lanes: usize) -> MemberInputs {
+    vec![
+        rand_reg(0, seed, lanes, u64::MAX),
+        // Broadcast threshold drawn from the full range, so selectivity
+        // varies freely with the seed.
+        const_reg(1, mix(seed, 0x5e1e), lanes),
+    ]
+}
+
+/// `select` variant with an always-false predicate (threshold
+/// `u64::MAX`), for the all-false filter edge case in the differential
+/// tests; not registered in the sweep.
+fn select_none_gen(seed: u64, lanes: usize) -> MemberInputs {
+    vec![rand_reg(0, seed, lanes, u64::MAX), const_reg(1, u64::MAX, lanes)]
+}
+
+fn select_kernel(name: &'static str, gen: fn(u64, usize) -> MemberInputs) -> LaneKernel {
+    LaneKernel {
+        name,
+        group: KernelGroup::Prim,
+        profile: WorkProfile {
+            ops_per_elem: 2.0,
+            bytes_per_elem: 17.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.4,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen,
+        body: |b| {
+            b.init0(r(2));
+            b.init0(r(3));
+            b.if_then(Cond::Gt(r(0), r(1)), |b| {
+                b.init1(r(2));
+                b.mov(r(0), r(3));
+            });
+        },
+        reference: |regs| {
+            regs[2] = u64::from(regs[0] > regs[1]);
+            regs[3] = if regs[0] > regs[1] { regs[0] } else { 0 };
+        },
+        outputs: &[2, 3],
+        regs_per_elem: 1,
+    }
+}
+
+/// Constructs the `select` kernel: value r0, broadcast threshold r1,
+/// keep-flag r2, masked value r3.
+pub fn select() -> LaneKernel {
+    select_kernel("select", select_gen)
+}
+
+/// The all-false `select` variant (nothing survives the predicate).
+pub fn select_none() -> LaneKernel {
+    select_kernel("select-none", select_none_gen)
+}
+
+/// Build-side key for slot `j`: distinct by construction (low nibble
+/// encodes the slot; probe misses force low nibble 0xF).
+fn key(seed: u64, j: u64) -> u64 {
+    (mix(seed, 100 + j) & !0xF) | j
+}
+
+fn hashjoin_gen(seed: u64, lanes: usize) -> MemberInputs {
+    let mut regs: Vec<(u8, Vec<u64>)> = Vec::new();
+    for j in 0..BUILD as u64 {
+        regs.push(const_reg(j as u8, key(seed, j), lanes));
+        regs.push(const_reg(BUILD as u8 + j as u8, mix(seed, 200 + j), lanes));
+    }
+    // Probe column: roughly half the lanes hit one of the build keys,
+    // the rest miss (low nibble forced past every slot tag).
+    let sel = gen_values(seed ^ 0xab1e, lanes, 2 * BUILD as u64);
+    let noise = gen_values(seed ^ 0x1dea, lanes, u64::MAX);
+    let probe = (0..lanes)
+        .map(|l| if sel[l] < BUILD as u64 { key(seed, sel[l]) } else { noise[l] | 0xF })
+        .collect();
+    regs.push((2 * BUILD as u8, probe));
+    regs
+}
+
+/// Constructs the `hash-join` kernel: build keys r0–r2, build values
+/// r3–r5 (broadcast), probe key r6, joined value r7, match flag r8.
+pub fn hashjoin() -> LaneKernel {
+    LaneKernel {
+        name: "hash-join",
+        group: KernelGroup::Prim,
+        profile: WorkProfile {
+            ops_per_elem: 4.0,
+            bytes_per_elem: 25.0,
+            kernel_launches: 1,
+            gpu_efficiency: 0.25,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen: hashjoin_gen,
+        body: |b| {
+            b.init0(r(7));
+            b.init0(r(8));
+            for j in 0..BUILD as u16 {
+                b.if_then(Cond::Eq(r(2 * BUILD as u16), r(j)), |b| {
+                    b.mov(r(BUILD as u16 + j), r(7));
+                    b.init1(r(8));
+                });
+            }
+        },
+        reference: |regs| {
+            let probe = regs[2 * BUILD];
+            regs[2 * BUILD + 1] = 0;
+            regs[2 * BUILD + 2] = 0;
+            for j in 0..BUILD {
+                if probe == regs[j] {
+                    regs[2 * BUILD + 1] = regs[BUILD + j];
+                    regs[2 * BUILD + 2] = 1;
+                }
+            }
+        },
+        outputs: &[7, 8],
+        regs_per_elem: 2,
+    }
+}

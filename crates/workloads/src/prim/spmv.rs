@@ -1,0 +1,77 @@
+//! `spmv`: sparse matrix–vector multiply over CSR, one row per lane.
+//!
+//! The generator builds a CSR matrix host-side (random row lengths
+//! including empty rows, random columns including duplicates), performs
+//! the DTC gather of `x[col_idx[..]]` — exactly the host staging step a
+//! PIM SpMV performs — and ELL-pads every row to width 4 with explicit
+//! zeros so the on-chip program is a uniform 4-term multiply-accumulate.
+
+use crate::kernel::WorkProfile;
+use crate::lane::{LaneKernel, MemberInputs};
+use crate::KernelGroup;
+use mpu_isa::RegId;
+use pum_backend::semantics;
+
+/// ELL padding width: the maximum nonzeros per row.
+const WIDTH: usize = 4;
+/// Columns in the (implicit) sparse matrix / length of the dense vector.
+const COLS: usize = 64;
+
+fn r(i: u16) -> RegId {
+    RegId(i)
+}
+
+fn gen(seed: u64, lanes: usize) -> MemberInputs {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5045_4d53_504d_5621);
+    let x: Vec<u64> = (0..COLS).map(|_| rng.random_range(0..1u64 << 32)).collect();
+    let mut regs: Vec<(u8, Vec<u64>)> =
+        (0..2 * WIDTH).map(|reg| (reg as u8, vec![0u64; lanes])).collect();
+    for lane in 0..lanes {
+        // One CSR row per lane. Duplicate columns are allowed (their
+        // products simply both accumulate), and nnz == 0 keeps the row
+        // all-padding: y stays 0.
+        let nnz = rng.random_range(0..=WIDTH);
+        for k in 0..nnz {
+            let col = rng.random_range(0..COLS);
+            regs[k].1[lane] = rng.random_range(0..1u64 << 32);
+            regs[WIDTH + k].1[lane] = x[col];
+        }
+    }
+    regs
+}
+
+/// Constructs the `spmv` kernel: vals in r0–r3, gathered x in r4–r7,
+/// y accumulated in r8.
+pub fn spmv() -> LaneKernel {
+    LaneKernel {
+        name: "spmv",
+        group: KernelGroup::Prim,
+        profile: WorkProfile {
+            ops_per_elem: 2.0,
+            bytes_per_elem: 20.0,
+            kernel_launches: 1,
+            // Irregular gathers keep GPU SpMV far from peak.
+            gpu_efficiency: 0.25,
+            avg_trip_count: 1.0,
+        },
+        staged: false,
+        gen,
+        body: |b| {
+            b.init0(r(8));
+            for k in 0..WIDTH as u16 {
+                b.mac(r(k), r(WIDTH as u16 + k), r(8));
+            }
+        },
+        reference: |regs| {
+            let mut y = 0u64;
+            for k in 0..WIDTH {
+                y = y.wrapping_add(semantics::mul32(regs[k], regs[WIDTH + k]));
+            }
+            regs[8] = y;
+        },
+        outputs: &[8],
+        regs_per_elem: 2,
+    }
+}

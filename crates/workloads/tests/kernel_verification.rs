@@ -1,4 +1,4 @@
-//! Full-matrix verification: all 21 kernels × {RACER, MIMDRAM, Duality
+//! Full-matrix verification: all 28 kernels × {RACER, MIMDRAM, Duality
 //! Cache} × {MPU, Baseline}, each executed gate-exactly on the bit-plane
 //! substrate and checked lane-by-lane against golden references.
 

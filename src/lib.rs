@@ -1,4 +1,5 @@
 //! Umbrella crate re-exporting the MPU reproduction workspace.
+pub use dpapi;
 pub use ezpim;
 pub use mastodon;
 pub use mpu_isa as isa;
